@@ -1,0 +1,39 @@
+//! Solver-heuristic ablations (the paper's "Better SAT Solving"
+//! direction, Sec. VII): solve the same LaS instance with individual
+//! CDCL features disabled.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sat::{Backend, Budget, CdclConfig, CdclSolver};
+use synth::encode::encode;
+use workloads::graphs::Graph;
+use workloads::specs::graph_state_spec;
+
+fn bench_ablation(c: &mut Criterion) {
+    let spec = graph_state_spec(&Graph::cycle(6), 2);
+    let enc = encode(&spec).unwrap();
+    let configs: Vec<(&str, CdclConfig)> = vec![
+        ("full", CdclConfig::default()),
+        ("no_restarts", CdclConfig { use_restarts: false, ..CdclConfig::default() }),
+        ("no_phase_saving", CdclConfig { use_phase_saving: false, ..CdclConfig::default() }),
+        ("no_clause_deletion", CdclConfig { use_clause_deletion: false, ..CdclConfig::default() }),
+        ("no_minimization", CdclConfig { use_minimization: false, ..CdclConfig::default() }),
+    ];
+    let mut group = c.benchmark_group("ablation_graph_state_ring6");
+    group.sample_size(10);
+    for (name, config) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = CdclSolver::with_config(config.clone()).solve_with(
+                    &enc.cnf,
+                    &[],
+                    &Budget::default(),
+                );
+                assert!(out.is_sat());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

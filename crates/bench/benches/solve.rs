@@ -1,0 +1,38 @@
+//! End-to-end synthesis of small subroutines (encode + solve + decode +
+//! verify), the per-instance cost behind Fig. 13.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use synth::Synthesizer;
+use workloads::graphs::Graph;
+use workloads::specs::graph_state_spec;
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve");
+    group.sample_size(10);
+    group.bench_function("cnot", |b| {
+        b.iter(|| {
+            let r = Synthesizer::new(lasre::fixtures::cnot_spec()).unwrap().run().unwrap();
+            assert!(r.is_sat());
+        })
+    });
+    for n in [4usize, 6] {
+        let g = Graph::cycle(n);
+        group.bench_function(format!("graph_state_ring{n}_d2"), |b| {
+            b.iter(|| {
+                let r = Synthesizer::new(graph_state_spec(&g, 2)).unwrap().run().unwrap();
+                assert!(r.is_sat());
+            })
+        });
+    }
+    group.bench_function("majority_3x3x5", |b| {
+        b.iter(|| {
+            let spec = workloads::specs::majority_gate_spec(3);
+            let r = Synthesizer::new(spec).unwrap().run().unwrap();
+            assert!(r.is_sat());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solve);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Microbenchmarks of the substrate crates: GF(2) algebra, Pauli
+//! strings, the tableau simulator and ZX flow derivation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+
+    // gf2: rank of a dense pseudo-random 256×256 matrix.
+    let mut m = gf2::BitMat::zeros(256, 256);
+    let mut state = 0x9e3779b97f4a7c15u64;
+    for r in 0..256 {
+        for ch in 0..256 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            m.set(r, ch, state >> 60 & 1 == 1);
+        }
+    }
+    group.bench_function("gf2_rank_256", |b| b.iter(|| black_box(&m).rank()));
+
+    // pauli: products of 64-qubit strings.
+    let a: pauli::PauliString = "XZYX".repeat(16).parse().unwrap();
+    let bb: pauli::PauliString = "ZZXY".repeat(16).parse().unwrap();
+    group.bench_function("pauli_mul_64q", |b| b.iter(|| black_box(&a).mul(black_box(&bb))));
+
+    // tableau: GHZ preparation + joint measurement on 64 qubits.
+    group.bench_function("tableau_ghz64_measure", |b| {
+        b.iter(|| {
+            let mut t = tableau::Tableau::new(64);
+            t.h(0);
+            for q in 1..64 {
+                t.cx(0, q);
+            }
+            let obs: pauli::PauliString = "X".repeat(64).parse().unwrap();
+            t.measure_pauli(&obs, None)
+        })
+    });
+
+    // zx: flow derivation for a CNOT ladder of 8 spiders.
+    group.bench_function("zx_flows_cnot_ladder", |b| {
+        b.iter(|| {
+            let mut d = zx::Diagram::new();
+            let ins: Vec<_> = (0..4).map(|_| d.add_boundary()).collect();
+            let outs: Vec<_> = (0..4).map(|_| d.add_boundary()).collect();
+            let mut wires = ins.clone();
+            for i in 0..3 {
+                let z = d.add_spider(zx::SpiderKind::Z, 0);
+                let x = d.add_spider(zx::SpiderKind::X, 0);
+                d.add_edge(wires[i], z);
+                d.add_edge(wires[i + 1], x);
+                d.add_edge(z, x);
+                wires[i] = z;
+                wires[i + 1] = x;
+            }
+            for (w, o) in wires.iter().zip(&outs) {
+                d.add_edge(*w, *o);
+            }
+            d.stabilizer_flows().unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

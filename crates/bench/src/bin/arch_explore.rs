@@ -1,0 +1,56 @@
+//! Architecture exploration (paper Sec. VII, "Using LaSsynth More"):
+//! compare optimal graph-state depths across lane counts — quasi-1D
+//! (1 lane), the paper's 2-lane substrate, and a roomy 3-lane grid.
+//! Fewer lanes are easier to fabricate but may cost depth; the
+//! synthesizer quantifies that trade exactly.
+
+use bench_support::{cli::Cli, report::Table};
+use synth::optimize::find_min_depth;
+use synth::SynthOptions;
+use workloads::graphs::Graph;
+use workloads::specs::graph_state_spec_arch;
+
+fn main() {
+    let cli = Cli::parse();
+    let n = if cli.full { 8 } else { 6 };
+    let workloads: Vec<(&str, Graph)> = vec![
+        ("path", Graph::path(n)),
+        ("cycle", Graph::cycle(n)),
+        ("star", Graph::star(n)),
+        ("complete", Graph::complete(n)),
+        ("wheel", Graph::wheel(n)),
+    ];
+    println!("== architecture exploration: optimal depth by lane count ({n}-qubit graphs) ==\n");
+    let options = SynthOptions::default().with_time_limit(cli.timeout);
+    let mut table = Table::new(["graph", "1 lane", "2 lanes", "3 lanes", "vol@1", "vol@2", "vol@3"]);
+    for (name, g) in &workloads {
+        let mut depths = Vec::new();
+        let mut volumes = Vec::new();
+        for lanes in 1..=3usize {
+            let spec = graph_state_spec_arch(g, 3, lanes);
+            let search = find_min_depth(&spec, 1, 8, 3, &options).expect("synthesis");
+            match search.best_depth() {
+                Some(d) => {
+                    depths.push(d.to_string());
+                    volumes.push((n * lanes * d).to_string());
+                }
+                None => {
+                    depths.push("?".into());
+                    volumes.push("-".into());
+                }
+            }
+        }
+        table.row([
+            name.to_string(),
+            depths[0].clone(),
+            depths[1].clone(),
+            depths[2].clone(),
+            volumes[0].clone(),
+            volumes[1].clone(),
+            volumes[2].clone(),
+        ]);
+    }
+    table.print();
+    println!("\nreading: quasi-1D (1 lane) trades depth for footprint; dense graphs");
+    println!("gain most from the extra routing lane, sparse ones barely need it.");
+}

@@ -1,0 +1,54 @@
+//! Regenerates paper Fig. 18: the T-factory assuming no classical
+//! injection delay. Litinski's design (Ref. [8]): 11 patches × depth 11
+//! = 121. The paper's: 3×3×11 = 99 (−18%), a smaller footprint at the
+//! same depth.
+
+use bench_support::{cli::Cli, report::Table, timing::time_it};
+use synth::{SynthOptions, SynthResult, Synthesizer};
+use workloads::specs::{baselines, t_factory_nodelay_spec};
+
+fn main() {
+    let cli = Cli::parse();
+    println!("== Fig. 18: no-delay 15-to-1 T-factory ==\n");
+    println!("Litinski baseline: {} (11-patch floorplan × depth 11)",
+             baselines::T_FACTORY_NODELAY_VOLUME);
+    println!("paper result:      {} (3×3×11, 9-patch floorplan, −18%)\n",
+             baselines::PAPER_T_FACTORY_NODELAY_VOLUME);
+    let mut table = Table::new(["floorplan", "volume", "V·nstab", "vars", "clauses", "verdict", "time"]);
+    for depth in [11usize] {
+        let spec = t_factory_nodelay_spec(depth);
+        let mut synth = Synthesizer::new(spec).expect("valid spec").with_options(
+            SynthOptions::default().with_time_limit(cli.timeout),
+        );
+        let stats = synth.stats();
+        let (verdict, time) = if cli.solve {
+            let (result, time) = time_it(|| synth.run().expect("synthesis"));
+            let v = match result {
+                SynthResult::Sat(d) => {
+                    std::fs::create_dir_all(&cli.out).ok();
+                    let scene = viz::Scene::from_design(&d, viz::SceneOptions::default());
+                    std::fs::write(format!("{}/fig18_t_factory.gltf", cli.out),
+                                   viz::gltf::to_gltf(&scene)).ok();
+                    "SAT (verified)"
+                }
+                SynthResult::Unsat => "UNSAT",
+                SynthResult::Unknown => "TIMEOUT",
+            };
+            (v.to_string(), format!("{time:.1?}"))
+        } else {
+            ("(encode only)".into(), "-".into())
+        };
+        table.row([
+            format!("3x3x{depth}"),
+            (9 * depth).to_string(),
+            stats.v_nstab.to_string(),
+            stats.num_vars.to_string(),
+            stats.num_clauses.to_string(),
+            verdict,
+            time,
+        ]);
+    }
+    table.print();
+    println!("\npaper's Kissat solved the 99-volume instance in 20.6 s (seed SD 0.61);");
+    println!("pass --solve --timeout 3600 to attempt it with the in-tree CDCL.");
+}

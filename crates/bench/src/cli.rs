@@ -1,0 +1,62 @@
+//! Minimal CLI flag parsing shared by the experiment binaries.
+
+use std::time::Duration;
+
+/// Parsed common flags.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// `--full`: run the paper-scale configuration.
+    pub full: bool,
+    /// `--solve`: attempt expensive SAT solves instead of encode-only.
+    pub solve: bool,
+    /// `--timeout <secs>` per solver call.
+    pub timeout: Duration,
+    /// `--seeds <n>` for seed-variance experiments.
+    pub seeds: usize,
+    /// `--out <dir>` for generated artifacts (glTF etc.).
+    pub out: String,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            full: false,
+            solve: false,
+            timeout: Duration::from_secs(30),
+            seeds: 3,
+            out: "target/experiments".into(),
+        }
+    }
+}
+
+impl Cli {
+    /// Parses `std::env::args`, ignoring unknown flags.
+    pub fn parse() -> Cli {
+        let mut cli = Cli::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => cli.full = true,
+                "--solve" => cli.solve = true,
+                "--timeout" => {
+                    i += 1;
+                    cli.timeout = Duration::from_secs(
+                        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(30),
+                    );
+                }
+                "--seeds" => {
+                    i += 1;
+                    cli.seeds = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(3);
+                }
+                "--out" => {
+                    i += 1;
+                    cli.out = args.get(i).cloned().unwrap_or_else(|| "target/experiments".into());
+                }
+                other => eprintln!("(ignoring unknown flag {other:?})"),
+            }
+            i += 1;
+        }
+        cli
+    }
+}

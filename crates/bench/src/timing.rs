@@ -1,0 +1,41 @@
+//! Wall-clock helpers.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f`, returning its result and elapsed time.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Mean and (population) standard deviation of durations, in seconds.
+pub fn mean_sd(times: &[Duration]) -> (f64, f64) {
+    if times.is_empty() {
+        return (0.0, 0.0);
+    }
+    let secs: Vec<f64> = times.iter().map(Duration::as_secs_f64).collect();
+    let mean = secs.iter().sum::<f64>() / secs.len() as f64;
+    let var = secs.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / secs.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_it_returns_value() {
+        let (v, t) = time_it(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(t < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn mean_sd_of_constant_is_zero_sd() {
+        let times = vec![Duration::from_millis(100); 4];
+        let (mean, sd) = mean_sd(&times);
+        assert!((mean - 0.1).abs() < 1e-9);
+        assert!(sd.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,40 @@
+//! Decoding SAT models into solved designs, with post-processing.
+
+use crate::encode::Encoding;
+use lasre::{LasDesign, LasSpec};
+use sat::Model;
+
+/// Turns a satisfying model into a [`LasDesign`]: reads the LaSre
+/// variables off the model, prunes port-disconnected structure (the
+/// paper's "pipe donuts"), and infers K-pipe colors / domain walls.
+pub fn decode(spec: &LasSpec, encoding: &Encoding, model: &Model) -> LasDesign {
+    let values: Vec<bool> =
+        encoding.var_map.iter().map(|&lit| model.lit_true(lit)).collect();
+    let mut design = LasDesign::new(spec.clone(), values);
+    design.prune();
+    design.infer_k_colors();
+    design
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::encode::encode;
+    use lasre::fixtures::cnot_spec;
+    use sat::Backend;
+
+    #[test]
+    fn solver_model_decodes_to_valid_design() {
+        let spec = cnot_spec();
+        let enc = encode(&spec).unwrap();
+        let out = sat::CdclSolver::default().solve(&enc.cnf);
+        let model = out.expect_sat();
+        let design = super::decode(&spec, &enc, &model);
+        let errors = lasre::check_validity(&design);
+        assert!(errors.is_empty(), "decoded design violates constraints: {errors:?}");
+        // All four port pipes present.
+        for port in &design.spec().ports {
+            let (base, axis) = port.pipe();
+            assert!(design.has_pipe(axis, base));
+        }
+    }
+}

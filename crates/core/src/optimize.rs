@@ -1,0 +1,315 @@
+//! Optimization loops around the synthesizer (paper Fig. 12b).
+//!
+//! The synthesizer answers one SAT/UNSAT question; optimization asks a
+//! sequence of them: shrink the allowed volume until UNSAT (descending),
+//! or grow it until SAT (ascending), and optionally explore port
+//! permutations in parallel with first-success cancellation.
+
+use crate::synthesize::{SynthError, SynthOptions, SynthResult, Synthesizer};
+use lasre::{LasDesign, LasSpec};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One probe of the depth search.
+#[derive(Debug)]
+pub struct DepthProbe {
+    /// The `max_k` tried.
+    pub max_k: usize,
+    /// `Some(true)` = SAT, `Some(false)` = UNSAT, `None` = budget expired.
+    pub sat: Option<bool>,
+    /// Wall-clock time of the solve.
+    pub time: Duration,
+}
+
+/// Result of [`find_min_depth`].
+#[derive(Debug)]
+pub struct DepthSearch {
+    /// Every probe performed, in order.
+    pub probes: Vec<DepthProbe>,
+    /// The best verified design found, if any.
+    pub best: Option<LasDesign>,
+}
+
+impl DepthSearch {
+    /// The minimal satisfiable `max_k` discovered.
+    pub fn best_depth(&self) -> Option<usize> {
+        self.best.as_ref().map(|d| d.spec().max_k)
+    }
+
+    /// Total solver time across probes.
+    pub fn total_time(&self) -> Duration {
+        self.probes.iter().map(|p| p.time).sum()
+    }
+}
+
+/// Finds the minimal time extent (`max_k`) at which `spec` is
+/// satisfiable, between `lo` and `hi` (inclusive), exactly as the
+/// paper's evaluation does: start somewhere, descend while SAT, ascend
+/// while UNSAT (Sec. V-B).
+///
+/// The spec's `-K` ports are relocated to each probed top layer via
+/// [`LasSpec::with_depth`].
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from any probe.
+pub fn find_min_depth(
+    spec: &LasSpec,
+    lo: usize,
+    hi: usize,
+    start: usize,
+    options: &SynthOptions,
+) -> Result<DepthSearch, SynthError> {
+    assert!(lo <= start && start <= hi, "start depth outside [lo, hi]");
+    let mut probes = Vec::new();
+    let mut best: Option<LasDesign> = None;
+    let mut probe = |k: usize, probes: &mut Vec<DepthProbe>| -> Result<Option<bool>, SynthError> {
+        let s = spec.with_depth(k);
+        let mut synth = Synthesizer::new(s)?.with_options(options.clone());
+        let result = synth.run()?;
+        let time = synth.last_solve_time().unwrap_or_default();
+        let sat = match result {
+            SynthResult::Sat(d) => {
+                if best.as_ref().map_or(true, |b| d.spec().max_k < b.spec().max_k) {
+                    best = Some(*d);
+                }
+                Some(true)
+            }
+            SynthResult::Unsat => Some(false),
+            SynthResult::Unknown => None,
+        };
+        probes.push(DepthProbe { max_k: k, sat, time });
+        Ok(sat)
+    };
+    let mut k = start;
+    match probe(k, &mut probes)? {
+        Some(true) => {
+            // Descend while SAT.
+            while k > lo {
+                k -= 1;
+                match probe(k, &mut probes)? {
+                    Some(true) => continue,
+                    _ => break,
+                }
+            }
+        }
+        Some(false) => {
+            // Ascend while UNSAT.
+            while k < hi {
+                k += 1;
+                match probe(k, &mut probes)? {
+                    Some(false) => continue,
+                    _ => break,
+                }
+            }
+        }
+        None => {}
+    }
+    Ok(DepthSearch { probes, best })
+}
+
+/// Runs one synthesis per port permutation in parallel (one thread per
+/// permutation, as the paper runs "many LaSsynth jobs in parallel"),
+/// returning the first verified design. All other workers are cancelled
+/// through the solver's stop flag.
+///
+/// # Errors
+///
+/// Propagates the first [`SynthError`] if *all* workers error.
+pub fn explore_port_orders(
+    spec: &LasSpec,
+    perms: &[Vec<usize>],
+    options: &SynthOptions,
+) -> Result<Option<LasDesign>, SynthError> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut first_error = None;
+    let mut found: Option<LasDesign> = None;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = perms
+            .iter()
+            .map(|perm| {
+                let spec = spec.with_port_order(perm);
+                let mut options = options.clone();
+                options.budget.stop = Some(stop.clone());
+                let stop = stop.clone();
+                scope.spawn(move |_| {
+                    let mut synth = match Synthesizer::new(spec) {
+                        Ok(s) => s.with_options(options),
+                        Err(e) => return Err(e),
+                    };
+                    let result = synth.run()?;
+                    if let SynthResult::Sat(d) = result {
+                        stop.store(true, Ordering::Relaxed);
+                        return Ok(Some(*d));
+                    }
+                    Ok(None)
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join().expect("worker panicked") {
+                Ok(Some(d)) => {
+                    if found.is_none() {
+                        found = Some(d);
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+    })
+    .expect("scope");
+    match (found, first_error) {
+        (Some(d), _) => Ok(Some(d)),
+        (None, Some(e)) => Err(e),
+        (None, None) => Ok(None),
+    }
+}
+
+/// Runs one synthesis per seed in parallel and returns the first
+/// definitive verdict (SAT **or** UNSAT), cancelling the rest — the
+/// portfolio the paper suggests after observing up to 26× seed
+/// variance (Sec. V-E, "Random seed: more is different").
+///
+/// # Errors
+///
+/// Propagates a [`SynthError`] only if every worker errors.
+pub fn solve_portfolio(
+    spec: &LasSpec,
+    seeds: &[u64],
+    options: &SynthOptions,
+) -> Result<SynthResult, SynthError> {
+    use std::sync::mpsc;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<Result<SynthResult, SynthError>>();
+    crossbeam::thread::scope(|scope| {
+        for &seed in seeds {
+            let mut options = options.clone().with_seed(seed);
+            options.budget.stop = Some(stop.clone());
+            let spec = spec.clone();
+            let stop = stop.clone();
+            let tx = tx.clone();
+            scope.spawn(move |_| {
+                let result = Synthesizer::new(spec).and_then(|s| {
+                    let mut s = s.with_options(options);
+                    s.run()
+                });
+                if matches!(result, Ok(SynthResult::Sat(_)) | Ok(SynthResult::Unsat)) {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                let _ = tx.send(result);
+            });
+        }
+        drop(tx);
+        let mut first_error = None;
+        let mut unknown_seen = false;
+        for result in rx {
+            match result {
+                Ok(SynthResult::Sat(d)) => return Ok(SynthResult::Sat(d)),
+                Ok(SynthResult::Unsat) => return Ok(SynthResult::Unsat),
+                Ok(SynthResult::Unknown) => unknown_seen = true,
+                Err(e) => first_error = Some(e),
+            }
+        }
+        match (unknown_seen, first_error) {
+            (true, _) => Ok(SynthResult::Unknown),
+            (false, Some(e)) => Err(e),
+            (false, None) => Ok(SynthResult::Unknown),
+        }
+    })
+    .expect("portfolio scope")
+}
+
+/// All permutations of `0..n` (for small `n`), a convenience for
+/// exhaustive port-order exploration.
+///
+/// # Panics
+///
+/// Panics if `n > 8` (40320 permutations is the sensible ceiling).
+pub fn all_permutations(n: usize) -> Vec<Vec<usize>> {
+    assert!(n <= 8, "too many permutations");
+    let mut out = Vec::new();
+    let mut current: Vec<usize> = (0..n).collect();
+    heap_permute(&mut current, n, &mut out);
+    out
+}
+
+fn heap_permute(arr: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k <= 1 {
+        out.push(arr.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permute(arr, k - 1, out);
+        if k % 2 == 0 {
+            arr.swap(i, k - 1);
+        } else {
+            arr.swap(0, k - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasre::fixtures::cnot_spec;
+
+    #[test]
+    fn permutation_count() {
+        assert_eq!(all_permutations(1).len(), 1);
+        assert_eq!(all_permutations(3).len(), 6);
+        assert_eq!(all_permutations(4).len(), 24);
+        // All distinct.
+        let mut p4 = all_permutations(4);
+        p4.sort();
+        p4.dedup();
+        assert_eq!(p4.len(), 24);
+    }
+
+    #[test]
+    fn depth_search_descends_to_minimum() {
+        // The CNOT needs two layers (max_k = 3 with the padding layer);
+        // starting at 4 must descend to 3 and stop at UNSAT for 2.
+        let spec = cnot_spec();
+        let search = find_min_depth(&spec, 2, 5, 4, &SynthOptions::default()).unwrap();
+        assert_eq!(search.best_depth(), Some(3));
+        let probed: Vec<usize> = search.probes.iter().map(|p| p.max_k).collect();
+        assert_eq!(probed, vec![4, 3, 2]);
+        assert_eq!(search.probes[2].sat, Some(false));
+        assert!(search.total_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn depth_search_ascends_from_unsat() {
+        let spec = cnot_spec();
+        let search = find_min_depth(&spec, 2, 5, 2, &SynthOptions::default()).unwrap();
+        assert_eq!(search.best_depth(), Some(3));
+        let probed: Vec<usize> = search.probes.iter().map(|p| p.max_k).collect();
+        assert_eq!(probed, vec![2, 3]);
+    }
+
+    #[test]
+    fn portfolio_returns_definitive_verdicts() {
+        let spec = cnot_spec();
+        let r = solve_portfolio(&spec, &[0, 1, 2, 3], &SynthOptions::default()).unwrap();
+        assert!(r.is_sat());
+        // And an unsatisfiable variant is proven UNSAT by some worker.
+        let r = solve_portfolio(&spec.with_depth(2), &[0, 1], &SynthOptions::default()).unwrap();
+        assert!(r.is_unsat());
+    }
+
+    #[test]
+    fn port_order_exploration_finds_a_design() {
+        let spec = cnot_spec();
+        // Identity and the control/target swap are both realizable.
+        let perms = vec![vec![0, 1, 2, 3], vec![1, 0, 3, 2]];
+        let d = explore_port_orders(&spec, &perms, &SynthOptions::default()).unwrap();
+        assert!(d.is_some());
+        assert!(d.unwrap().verified());
+    }
+}

@@ -1,0 +1,360 @@
+//! One-shot synthesis: encode → solve → decode → verify.
+
+use crate::decode::decode;
+use crate::encode::{encode, EncodeStats, Encoding};
+use crate::verify::{verify, VerifyError};
+use lasre::{LasDesign, LasSpec, SpecError};
+use sat::{Backend, Budget, CdclConfig, CdclSolver, SolveOutcome, VarisatBackend};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Which SAT backend to use.
+#[derive(Clone, Debug)]
+pub enum BackendChoice {
+    /// The in-tree CDCL solver with the given configuration.
+    Cdcl(CdclConfig),
+    /// The `varisat` crate (budgets are not enforced by it).
+    Varisat,
+}
+
+impl Default for BackendChoice {
+    fn default() -> Self {
+        BackendChoice::Cdcl(CdclConfig::default())
+    }
+}
+
+/// Options controlling a synthesis run.
+#[derive(Clone, Debug, Default)]
+pub struct SynthOptions {
+    /// Solver backend selection.
+    pub backend: BackendChoice,
+    /// Resource limits for the solve call.
+    pub budget: Budget,
+    /// Verify the decoded design through ZX flow derivation (on by
+    /// default; the formulation guarantees correctness, so this is a
+    /// self-check, exactly as in the paper).
+    pub skip_verify: bool,
+}
+
+impl SynthOptions {
+    /// Sets a wall-clock limit.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.budget.max_time = Some(limit);
+        self
+    }
+
+    /// Uses the CDCL backend with the given seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.backend = BackendChoice::Cdcl(CdclConfig::default().with_seed(seed));
+        self
+    }
+}
+
+/// Errors surfaced by [`Synthesizer`].
+#[derive(Debug)]
+pub enum SynthError {
+    /// The specification is malformed.
+    Spec(SpecError),
+    /// The solver produced a design that fails validity checking — a
+    /// bug in the encoder, reported rather than silently accepted.
+    InvalidDesign(Vec<lasre::ValidityError>),
+    /// The solver produced a design whose ZX flows miss spec
+    /// stabilizers — likewise an encoder bug if it ever fires.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Spec(e) => write!(f, "invalid specification: {e}"),
+            SynthError::InvalidDesign(errs) => {
+                write!(f, "solver returned an invalid design ({} violations)", errs.len())
+            }
+            SynthError::Verify(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+impl From<SpecError> for SynthError {
+    fn from(e: SpecError) -> Self {
+        SynthError::Spec(e)
+    }
+}
+
+/// Outcome of a synthesis run.
+#[derive(Debug)]
+pub enum SynthResult {
+    /// A verified design, with solve statistics.
+    Sat(Box<LasDesign>),
+    /// No design exists within the given volume/ports/stabilizers.
+    Unsat,
+    /// The budget expired first.
+    Unknown,
+}
+
+impl SynthResult {
+    /// Whether a design was found.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SynthResult::Sat(_))
+    }
+
+    /// Whether the instance was proven unsatisfiable.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SynthResult::Unsat)
+    }
+
+    /// Extracts the design.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the result is `Sat`.
+    pub fn expect_sat(self) -> LasDesign {
+        match self {
+            SynthResult::Sat(d) => *d,
+            other => panic!("expected SAT synthesis result, got {other:?}"),
+        }
+    }
+}
+
+/// The LaSsynth synthesizer (paper Fig. 12a): turns a [`LasSpec`] into
+/// a verified [`LasDesign`] or an unsatisfiability verdict.
+///
+/// ```no_run
+/// use synth::{Synthesizer, SynthOptions};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = lasre::fixtures::cnot_spec();
+/// let result = Synthesizer::new(spec)?.run()?;
+/// assert!(result.is_sat());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Synthesizer {
+    spec: LasSpec,
+    options: SynthOptions,
+    encoding: Encoding,
+    assumptions: Vec<sat::Lit>,
+    last_solve_time: Option<Duration>,
+}
+
+impl Synthesizer {
+    /// Validates and encodes the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::Spec`] if the spec is malformed.
+    pub fn new(spec: LasSpec) -> Result<Synthesizer, SynthError> {
+        let encoding = encode(&spec)?;
+        Ok(Synthesizer {
+            spec,
+            options: SynthOptions::default(),
+            encoding,
+            assumptions: Vec::new(),
+            last_solve_time: None,
+        })
+    }
+
+    /// Replaces the options.
+    pub fn with_options(mut self, options: SynthOptions) -> Synthesizer {
+        self.options = options;
+        self
+    }
+
+    /// The specification being synthesized.
+    pub fn spec(&self) -> &LasSpec {
+        &self.spec
+    }
+
+    /// Encoding statistics (Table I's size columns).
+    pub fn stats(&self) -> EncodeStats {
+        self.encoding.stats
+    }
+
+    /// The compiled CNF (e.g. for DIMACS export).
+    pub fn cnf(&self) -> &sat::Cnf {
+        &self.encoding.cnf
+    }
+
+    /// Wall-clock time of the most recent solve call.
+    pub fn last_solve_time(&self) -> Option<Duration> {
+        self.last_solve_time
+    }
+
+    /// Pins a structural variable to a value for subsequent solves (the
+    /// paper's "interface to set the values of an arbitrary variable in
+    /// the SMT model", Sec. IV). Pins are solver *assumptions*: they
+    /// restrict the search without re-encoding, and UNSAT then means
+    /// "unsatisfiable under the pins".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is out of range for the spec.
+    pub fn pin_struct(&mut self, var: lasre::StructVar, value: bool) -> &mut Self {
+        let lit = self.encoding.var_map[self.encoding.table.structural(var)];
+        self.assumptions.push(if value { lit } else { !lit });
+        self
+    }
+
+    /// Pins a correlation-surface variable (see [`Synthesizer::pin_struct`]).
+    pub fn pin_corr(
+        &mut self,
+        s: usize,
+        kind: lasre::CorrKind,
+        c: lasre::Coord,
+        value: bool,
+    ) -> &mut Self {
+        let lit = self.encoding.var_map[self.encoding.table.corr(s, kind, c)];
+        self.assumptions.push(if value { lit } else { !lit });
+        self
+    }
+
+    /// Forbids a cube by pinning all its incident pipes and Y flag off
+    /// (the paper's "forbid cubes" optimization interface, Fig. 12b).
+    pub fn forbid_cube(&mut self, c: lasre::Coord) -> &mut Self {
+        use lasre::{Axis, StructVar};
+        self.pin_struct(StructVar::YCube(c), false);
+        for axis in Axis::ALL {
+            self.pin_struct(StructVar::Exist(axis, c), false);
+            let prev = c.prev(axis);
+            if self.spec.bounds().contains(prev) {
+                self.pin_struct(StructVar::Exist(axis, prev), false);
+            }
+        }
+        self
+    }
+
+    /// Clears all pins.
+    pub fn clear_pins(&mut self) -> &mut Self {
+        self.assumptions.clear();
+        self
+    }
+
+    /// Runs the solver once and decodes/verifies the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError`] for spec problems or (would-be encoder
+    /// bugs) invalid/unverifiable designs.
+    pub fn run(&mut self) -> Result<SynthResult, SynthError> {
+        let outcome = self.solve_raw();
+        match outcome {
+            SolveOutcome::Sat(model) => {
+                let mut design = decode(&self.spec, &self.encoding, &model);
+                let violations = lasre::check_validity(&design);
+                if !violations.is_empty() {
+                    return Err(SynthError::InvalidDesign(violations));
+                }
+                if !self.options.skip_verify {
+                    verify(&design).map_err(SynthError::Verify)?;
+                    design.set_verified(true);
+                }
+                Ok(SynthResult::Sat(Box::new(design)))
+            }
+            SolveOutcome::Unsat => Ok(SynthResult::Unsat),
+            SolveOutcome::Unknown => Ok(SynthResult::Unknown),
+        }
+    }
+
+    fn solve_raw(&mut self) -> SolveOutcome {
+        let start = Instant::now();
+        let out = match &self.options.backend {
+            BackendChoice::Cdcl(config) => CdclSolver::with_config(config.clone()).solve_with(
+                &self.encoding.cnf,
+                &self.assumptions,
+                &self.options.budget,
+            ),
+            BackendChoice::Varisat => VarisatBackend.solve_with(
+                &self.encoding.cnf,
+                &self.assumptions,
+                &self.options.budget,
+            ),
+        };
+        self.last_solve_time = Some(start.elapsed());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasre::fixtures::cnot_spec;
+
+    #[test]
+    fn synthesizes_and_verifies_cnot() {
+        let result = Synthesizer::new(cnot_spec()).unwrap().run().unwrap();
+        let design = result.expect_sat();
+        assert!(design.verified());
+    }
+
+    #[test]
+    fn varisat_backend_agrees() {
+        let mut s = Synthesizer::new(cnot_spec())
+            .unwrap()
+            .with_options(SynthOptions { backend: BackendChoice::Varisat, ..Default::default() });
+        assert!(s.run().unwrap().is_sat());
+    }
+
+    #[test]
+    fn impossible_spec_is_unsat() {
+        // A CNOT needs at least one merge; with depth 1 above the port
+        // padding and all interior cubes of one column forbidden, the
+        // two qubits can never interact: the IZ→ZZ flow is impossible.
+        let mut spec = cnot_spec();
+        spec.name = "cnot-too-small".into();
+        // Forbid the whole (0,0) and (1,1) columns so no routing exists.
+        for k in 0..3 {
+            spec.forbidden_cubes.push(lasre::Coord::new(0, 0, k));
+            spec.forbidden_cubes.push(lasre::Coord::new(1, 1, k));
+        }
+        spec.forbidden_cubes.sort();
+        spec.forbidden_cubes.dedup();
+        let result = Synthesizer::new(spec).unwrap().run().unwrap();
+        assert!(result.is_unsat());
+    }
+
+    #[test]
+    fn budget_gives_unknown_on_tiny_limit() {
+        let mut spec = cnot_spec();
+        spec.name = "cnot-budgeted".into();
+        let mut s = Synthesizer::new(spec).unwrap().with_options(SynthOptions {
+            budget: sat::Budget::conflict_limit(0),
+            ..Default::default()
+        });
+        // A zero-conflict budget may still solve trivially-propagating
+        // instances; accept either Sat or Unknown but never a panic.
+        let r = s.run().unwrap();
+        assert!(!r.is_unsat());
+    }
+
+    #[test]
+    fn pins_restrict_the_search() {
+        use lasre::{Axis, Coord, StructVar};
+        // Forbid both free columns: the control and target can then
+        // never interact, so the CNOT flows are unrealizable.
+        let mut s = Synthesizer::new(cnot_spec()).unwrap();
+        for k in 1..3 {
+            s.forbid_cube(Coord::new(1, 1, k));
+            s.forbid_cube(Coord::new(0, 0, k));
+        }
+        assert!(s.run().unwrap().is_unsat());
+        // Clearing pins restores satisfiability.
+        s.clear_pins();
+        assert!(s.run().unwrap().is_sat());
+        // Pinning a variable the solver would choose anyway is harmless.
+        let mut s2 = Synthesizer::new(cnot_spec()).unwrap();
+        s2.pin_struct(StructVar::Exist(Axis::K, Coord::new(0, 1, 1)), true);
+        assert!(s2.run().unwrap().is_sat());
+    }
+
+    #[test]
+    fn seeds_change_search_not_verdict() {
+        for seed in [1, 7, 42] {
+            let mut s = Synthesizer::new(cnot_spec())
+                .unwrap()
+                .with_options(SynthOptions::default().with_seed(seed));
+            assert!(s.run().unwrap().is_sat(), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for GF(2) linear algebra invariants.
+
+use gf2::{BitMat, BitVec};
+use proptest::prelude::*;
+
+fn arb_bitvec(len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), len).prop_map(BitVec::from_bools)
+}
+
+fn arb_bitmat(rows: usize, cols: usize) -> impl Strategy<Value = BitMat> {
+    proptest::collection::vec(arb_bitvec(cols), rows).prop_map(BitMat::from_rows)
+}
+
+proptest! {
+    #[test]
+    fn xor_is_involution(a in arb_bitvec(97), b in arb_bitvec(97)) {
+        let mut c = a.clone();
+        c ^= &b;
+        c ^= &b;
+        prop_assert_eq!(c, a);
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in arb_bitvec(80), b in arb_bitvec(80), c in arb_bitvec(80)) {
+        let mut bc = b.clone();
+        bc ^= &c;
+        prop_assert_eq!(a.dot(&bc), a.dot(&b) ^ a.dot(&c));
+    }
+
+    #[test]
+    fn count_ones_matches_iter(a in arb_bitvec(130)) {
+        prop_assert_eq!(a.count_ones(), a.iter_ones().count());
+    }
+
+    #[test]
+    fn rank_le_dims(m in arb_bitmat(6, 9)) {
+        let r = m.rank();
+        prop_assert!(r <= 6 && r <= 9);
+    }
+
+    #[test]
+    fn row_reduce_preserves_row_space(m in arb_bitmat(5, 8)) {
+        let mut reduced = m.clone();
+        reduced.row_reduce();
+        // every original row is in the reduced row space and vice versa
+        for r in m.iter() {
+            prop_assert!(reduced.row_space_contains(r));
+        }
+        for r in reduced.iter() {
+            if !r.is_zero() {
+                prop_assert!(m.row_space_contains(r));
+            }
+        }
+    }
+
+    #[test]
+    fn rank_nullity(m in arb_bitmat(6, 8)) {
+        prop_assert_eq!(m.rank() + m.nullspace().len(), 8);
+    }
+
+    #[test]
+    fn solve_returns_solutions(m in arb_bitmat(5, 7), x in arb_bitvec(7)) {
+        // Construct a consistent rhs, then any returned solution must satisfy it.
+        let b = m.mul_vec(&x);
+        let sol = m.solve(&b).expect("constructed rhs must be consistent");
+        prop_assert_eq!(m.mul_vec(&sol), b);
+    }
+
+    #[test]
+    fn nullspace_vectors_are_in_kernel(m in arb_bitmat(7, 7)) {
+        for v in m.nullspace() {
+            prop_assert!(m.mul_vec(&v).is_zero());
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! The textual `.lasre` format: serialization of solved designs.
+//!
+//! The paper's synthesizer emits "all the variable assignments
+//! [constituting] our textual LaS representation, LaSre" (Sec. IV).
+//! Here that is a JSON document bundling the spec, the variable
+//! assignment (as a compact bit string), and the post-processing
+//! results (K colors and domain walls) so a design can be re-loaded,
+//! re-validated and re-verified without re-solving.
+
+use crate::design::LasDesign;
+use crate::geom::{Axis, Coord};
+use crate::spec::LasSpec;
+use crate::vars::VarTable;
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct LasreDoc {
+    spec: LasSpec,
+    /// One character per variable, `'0'`/`'1'`, in [`VarTable`] order.
+    values: String,
+    /// `[i, j, k, lower, upper]` per K pipe with inferred colors.
+    k_colors: Vec<(i32, i32, i32, bool, bool)>,
+    domain_walls: Vec<Coord>,
+    verified: bool,
+}
+
+/// Error when loading a `.lasre` document.
+#[derive(Debug)]
+pub enum LasreError {
+    /// Underlying JSON problem.
+    Json(serde_json::Error),
+    /// The value string length does not match the spec's variable count.
+    LengthMismatch { expected: usize, got: usize },
+    /// The value string contains a character other than `0`/`1`.
+    BadBit(char),
+    /// The embedded spec fails validation.
+    Spec(crate::spec::SpecError),
+}
+
+impl std::fmt::Display for LasreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LasreError::Json(e) => write!(f, "lasre json error: {e}"),
+            LasreError::LengthMismatch { expected, got } => {
+                write!(f, "lasre value string has {got} bits, expected {expected}")
+            }
+            LasreError::BadBit(c) => write!(f, "lasre value string contains {c:?}"),
+            LasreError::Spec(e) => write!(f, "lasre spec invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LasreError {}
+
+impl From<serde_json::Error> for LasreError {
+    fn from(e: serde_json::Error) -> Self {
+        LasreError::Json(e)
+    }
+}
+
+/// Serializes a design to the `.lasre` JSON format.
+pub fn to_lasre(design: &LasDesign) -> String {
+    let values: String =
+        design.values().iter().map(|&b| if b { '1' } else { '0' }).collect();
+    let mut k_colors: Vec<(i32, i32, i32, bool, bool)> = design
+        .pipes()
+        .into_iter()
+        .filter(|p| p.axis == Axis::K)
+        .filter_map(|p| design.k_color(p.base).map(|(lo, hi)| (p.base.i, p.base.j, p.base.k, lo, hi)))
+        .collect();
+    k_colors.sort();
+    let mut domain_walls: Vec<Coord> = design.domain_walls().iter().copied().collect();
+    domain_walls.sort();
+    let doc = LasreDoc {
+        spec: design.spec().clone(),
+        values,
+        k_colors,
+        domain_walls,
+        verified: design.verified(),
+    };
+    serde_json::to_string_pretty(&doc).expect("lasre serializes")
+}
+
+/// Loads a design from the `.lasre` JSON format, re-running the K-color
+/// inference (and cross-checking it against the stored one).
+///
+/// # Errors
+///
+/// Returns [`LasreError`] on malformed documents.
+pub fn from_lasre(text: &str) -> Result<LasDesign, LasreError> {
+    let doc: LasreDoc = serde_json::from_str(text)?;
+    doc.spec.validate().map_err(LasreError::Spec)?;
+    let table = VarTable::new(doc.spec.bounds(), doc.spec.nstab());
+    if doc.values.len() != table.num_total() {
+        return Err(LasreError::LengthMismatch {
+            expected: table.num_total(),
+            got: doc.values.len(),
+        });
+    }
+    let mut values = Vec::with_capacity(doc.values.len());
+    for c in doc.values.chars() {
+        match c {
+            '0' => values.push(false),
+            '1' => values.push(true),
+            other => return Err(LasreError::BadBit(other)),
+        }
+    }
+    let mut design = LasDesign::new(doc.spec, values);
+    design.infer_k_colors();
+    design.set_verified(doc.verified);
+    Ok(design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::cnot_design;
+
+    #[test]
+    fn lasre_roundtrip() {
+        let mut d = cnot_design();
+        d.infer_k_colors();
+        d.set_verified(true);
+        let text = to_lasre(&d);
+        let back = from_lasre(&text).unwrap();
+        assert_eq!(back.values(), d.values());
+        assert_eq!(back.spec(), d.spec());
+        assert_eq!(back.domain_walls(), d.domain_walls());
+        assert!(back.verified());
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let mut d = cnot_design();
+        d.infer_k_colors();
+        let text = to_lasre(&d);
+        let broken = text.replace(&"0".repeat(40), &"0".repeat(39));
+        assert!(matches!(
+            from_lasre(&broken),
+            Err(LasreError::LengthMismatch { .. }) | Err(LasreError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_bits() {
+        let mut d = cnot_design();
+        d.infer_k_colors();
+        let mut text = to_lasre(&d);
+        // Corrupt the first bit of the values string.
+        let idx = text.find("\"values\": \"").unwrap() + "\"values\": \"".len();
+        text.replace_range(idx..idx + 1, "x");
+        assert!(matches!(from_lasre(&text), Err(LasreError::BadBit('x'))));
+    }
+
+    #[test]
+    fn document_is_stable_json() {
+        let mut d = cnot_design();
+        d.infer_k_colors();
+        let a = to_lasre(&d);
+        let b = to_lasre(&from_lasre(&a).unwrap());
+        assert_eq!(a, b, "serialization must be deterministic");
+    }
+}

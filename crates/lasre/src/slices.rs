@@ -1,0 +1,112 @@
+//! ASCII time-slice rendering of solved designs.
+//!
+//! Before the paper's 3D visualization existed, researchers drew 2D
+//! time slices by hand (paper Fig. 5a); this module renders the same
+//! view in the terminal for quick inspection and for diffable test
+//! expectations. One block of text per `k` layer; within a layer, `i`
+//! grows to the right and `j` grows downward.
+//!
+//! Cell legend: `■` occupied cube, `Y` Y cube, `P` port cube (virtual),
+//! `·` empty; `─`/`│` horizontal pipes; `↕` marks are placed on cubes
+//! with pipes to the previous/next layer (`˄` up only, `˅` down only).
+
+use crate::design::LasDesign;
+use crate::geom::{Axis, Coord};
+use std::fmt::Write as _;
+
+/// Renders all time slices of a design.
+pub fn render(design: &LasDesign) -> String {
+    let bounds = design.bounds();
+    let mut out = String::new();
+    for k in 0..bounds.max_k as i32 {
+        let _ = writeln!(out, "k={k}:");
+        out.push_str(&render_layer(design, k));
+    }
+    out
+}
+
+/// Renders a single `k` layer.
+pub fn render_layer(design: &LasDesign, k: i32) -> String {
+    let bounds = design.bounds();
+    // Character grid: cubes at even (column, row), pipes between.
+    let cols = 2 * bounds.max_i - 1;
+    let rows = 2 * bounds.max_j - 1;
+    let mut grid = vec![vec![' '; cols]; rows];
+    for c in bounds.iter().filter(|c| c.k == k) {
+        let (col, row) = (2 * c.i as usize, 2 * c.j as usize);
+        grid[row][col] = cube_char(design, c);
+        if design.has_pipe(Axis::I, c) && c.i + 1 < bounds.max_i as i32 {
+            grid[row][col + 1] = '─';
+        }
+        if design.has_pipe(Axis::J, c) && c.j + 1 < bounds.max_j as i32 {
+            grid[row + 1][col] = '│';
+        }
+    }
+    let mut out = String::new();
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        let _ = writeln!(out, "  {}", line.trim_end());
+    }
+    out
+}
+
+fn cube_char(design: &LasDesign, c: Coord) -> char {
+    use crate::design::CubeKind;
+    let up = design.has_pipe(Axis::K, c);
+    let down = design.has_pipe(Axis::K, c.prev(Axis::K)) || {
+        // Bottom-layer port pipes exiting below are not representable;
+        // only in-array pipes are drawn.
+        false
+    };
+    match design.classify(c) {
+        CubeKind::Empty => '·',
+        CubeKind::Port(_) => 'P',
+        CubeKind::Y => 'Y',
+        CubeKind::Invalid => '!',
+        _ => match (up, down) {
+            (true, true) => '■',
+            (true, false) => '˄',
+            (false, true) => '˅',
+            (false, false) => '□',
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::cnot_design;
+
+    #[test]
+    fn renders_all_layers() {
+        let text = render(&cnot_design());
+        assert!(text.contains("k=0:"));
+        assert!(text.contains("k=1:"));
+        assert!(text.contains("k=2:"));
+    }
+
+    #[test]
+    fn bottom_layer_shows_ports_and_empties() {
+        let d = cnot_design();
+        let layer = render_layer(&d, 0);
+        // (0,0,0) and (1,1,0) are forbidden/empty; ports at (0,1,0), (1,0,0).
+        let lines: Vec<&str> = layer.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains('·'), "{layer}");
+        assert!(lines[0].contains('P') || lines[2].contains('P'), "{layer}");
+    }
+
+    #[test]
+    fn middle_layer_shows_j_pipe() {
+        let d = cnot_design();
+        let layer = render_layer(&d, 1);
+        assert!(layer.contains('│'), "expected J pipe in layer 1:\n{layer}");
+    }
+
+    #[test]
+    fn top_layer_shows_i_pipe() {
+        let d = cnot_design();
+        let layer = render_layer(&d, 2);
+        assert!(layer.contains('─'), "expected I pipe in layer 2:\n{layer}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Dense indexing of the LaSre variables.
+//!
+//! The paper's representation (Sec. III-A, III-C) uses five structural
+//! variable arrays — `YCube`, `ExistI/J/K`, `ColorI/J` — plus six
+//! correlation-surface arrays per stabilizer: `CorrIJ/IK` (pieces
+//! inside I-pipes), `CorrJI/JK` (J-pipes) and `CorrKI/KJ` (K-pipes).
+//! [`VarTable`] lays all of them out contiguously so the encoder, the
+//! decoder and serialization agree on variable numbers.
+
+use crate::geom::{Axis, Bounds, Coord};
+
+/// A structural variable of the representation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StructVar {
+    /// Whether the cube is a Y-basis initialization/measurement cube.
+    YCube(Coord),
+    /// Whether a pipe exists from the cube toward `+axis`.
+    Exist(Axis, Coord),
+    /// Color orientation of a horizontal pipe (`axis` ∈ {I, J}).
+    Color(Axis, Coord),
+}
+
+/// Identifies one of the two correlation-surface pieces inside a pipe:
+/// the piece lies in the plane spanned by the pipe axis and `plane`.
+///
+/// `CorrIJ` of the paper is `pipe_axis = I, plane = J`, and so on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CorrKind {
+    /// The axis of the pipe containing the piece.
+    pub pipe_axis: Axis,
+    /// The second axis spanning the piece's plane.
+    pub plane: Axis,
+}
+
+impl CorrKind {
+    /// Builds a kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane == pipe_axis`.
+    pub fn new(pipe_axis: Axis, plane: Axis) -> CorrKind {
+        assert_ne!(pipe_axis, plane, "correlation plane must differ from pipe axis");
+        CorrKind { pipe_axis, plane }
+    }
+
+    /// All six kinds in the paper's order: IJ, IK, JI, JK, KI, KJ.
+    pub fn all() -> [CorrKind; 6] {
+        [
+            CorrKind::new(Axis::I, Axis::J),
+            CorrKind::new(Axis::I, Axis::K),
+            CorrKind::new(Axis::J, Axis::I),
+            CorrKind::new(Axis::J, Axis::K),
+            CorrKind::new(Axis::K, Axis::I),
+            CorrKind::new(Axis::K, Axis::J),
+        ]
+    }
+
+    /// Dense index 0..6 in the order of [`CorrKind::all`].
+    pub fn index(self) -> usize {
+        let within = if self.plane == self.pipe_axis.others()[0] { 0 } else { 1 };
+        self.pipe_axis.index() * 2 + within
+    }
+}
+
+/// Maps every variable of a LaS instance to a dense index.
+///
+/// Layout: the structural block first (`YCube`, `ExistI`, `ExistJ`,
+/// `ExistK`, `ColorI`, `ColorJ`, each of `volume` entries), then one
+/// block of `6 · volume` correlation variables per stabilizer.
+///
+/// ```
+/// use lasre::{Bounds, VarTable};
+/// let t = VarTable::new(Bounds::new(2, 2, 3), 4);
+/// assert_eq!(t.num_struct(), 6 * 12);
+/// assert_eq!(t.num_total(), 6 * 12 + 4 * 6 * 12);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarTable {
+    bounds: Bounds,
+    nstab: usize,
+}
+
+impl VarTable {
+    /// Builds the table for the given array bounds and stabilizer count.
+    pub fn new(bounds: Bounds, nstab: usize) -> VarTable {
+        VarTable { bounds, nstab }
+    }
+
+    /// The array bounds.
+    pub fn bounds(&self) -> Bounds {
+        self.bounds
+    }
+
+    /// Number of stabilizers.
+    pub fn nstab(&self) -> usize {
+        self.nstab
+    }
+
+    /// Number of structural variables.
+    pub fn num_struct(&self) -> usize {
+        6 * self.bounds.volume()
+    }
+
+    /// Total number of variables.
+    pub fn num_total(&self) -> usize {
+        self.num_struct() + self.nstab * 6 * self.bounds.volume()
+    }
+
+    /// Index of a structural variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds, or a `Color`/`Exist`
+    /// variable names the wrong axis (`Color` has no K array).
+    pub fn structural(&self, v: StructVar) -> usize {
+        let vol = self.bounds.volume();
+        match v {
+            StructVar::YCube(c) => self.bounds.index(c),
+            StructVar::Exist(axis, c) => (1 + axis.index()) * vol + self.bounds.index(c),
+            StructVar::Color(axis, c) => {
+                assert_ne!(axis, Axis::K, "K pipes have no color variable");
+                (4 + axis.index()) * vol + self.bounds.index(c)
+            }
+        }
+    }
+
+    /// Index of a correlation-surface variable for stabilizer `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= nstab` or the coordinate is out of bounds.
+    pub fn corr(&self, s: usize, kind: CorrKind, c: Coord) -> usize {
+        assert!(s < self.nstab, "stabilizer index {s} out of range");
+        let vol = self.bounds.volume();
+        self.num_struct() + (s * 6 + kind.index()) * vol + self.bounds.index(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corr_kind_indices_are_a_permutation() {
+        let idxs: Vec<usize> = CorrKind::all().iter().map(|k| k.index()).collect();
+        assert_eq!(idxs, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn all_variables_distinct() {
+        let b = Bounds::new(2, 3, 2);
+        let t = VarTable::new(b, 2);
+        let mut seen = std::collections::HashSet::new();
+        for c in b.iter() {
+            assert!(seen.insert(t.structural(StructVar::YCube(c))));
+            for axis in Axis::ALL {
+                assert!(seen.insert(t.structural(StructVar::Exist(axis, c))));
+            }
+            for axis in [Axis::I, Axis::J] {
+                assert!(seen.insert(t.structural(StructVar::Color(axis, c))));
+            }
+            for s in 0..2 {
+                for kind in CorrKind::all() {
+                    assert!(seen.insert(t.corr(s, kind, c)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), t.num_total());
+        assert_eq!(*seen.iter().max().unwrap(), t.num_total() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no color variable")]
+    fn color_k_panics() {
+        let t = VarTable::new(Bounds::new(1, 1, 1), 0);
+        t.structural(StructVar::Color(Axis::K, Coord::new(0, 0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn stabilizer_range_checked() {
+        let t = VarTable::new(Bounds::new(1, 1, 1), 1);
+        t.corr(1, CorrKind::new(Axis::I, Axis::J), Coord::new(0, 0, 0));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the representation layer.
+
+use lasre::fixtures::{cnot_design, cnot_spec};
+use lasre::{check_validity, Axis, Coord, LasDesign, StructVar};
+use proptest::prelude::*;
+
+proptest! {
+    /// `with_depth` keeps specs valid and is idempotent at a fixed depth.
+    #[test]
+    fn with_depth_stays_valid(depth in 2usize..8) {
+        let spec = cnot_spec().with_depth(depth);
+        prop_assert!(spec.validate().is_ok());
+        prop_assert_eq!(spec.with_depth(depth), spec.clone());
+        // Top ports moved with the lid.
+        prop_assert_eq!(spec.ports[2].location.k, depth as i32);
+    }
+
+    /// Port permutations keep specs valid and permute stabilizer columns.
+    #[test]
+    fn port_permutations_stay_valid(seed in 0u64..64) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut perm: Vec<usize> = (0..4).collect();
+        perm.shuffle(&mut rng);
+        let spec = cnot_spec().with_port_order(&perm);
+        prop_assert!(spec.validate().is_ok());
+        for (s, orig) in spec.stabilizers.iter().zip(&cnot_spec().stabilizers) {
+            for (i, &p) in perm.iter().enumerate() {
+                prop_assert_eq!(s.get(i), orig.get(p));
+            }
+        }
+    }
+
+    /// Flipping random *unused* correlation bits (in non-existent pipes)
+    /// never invalidates the fixture: they are genuine don't-cares.
+    #[test]
+    fn dont_care_corr_bits(bits in proptest::collection::vec((0usize..4, 0usize..6), 1..8)) {
+        let d = cnot_design();
+        let table = d.table().clone();
+        let mut values = d.values().to_vec();
+        let kinds = lasre::CorrKind::all();
+        for (s, kind_idx) in bits {
+            // Pipe (0,0,1) along I does not exist in the CNOT fixture.
+            let kind = kinds[kind_idx];
+            let c = Coord::new(0, 0, 1);
+            if kind.pipe_axis == Axis::I {
+                values[table.corr(s, kind, c)] ^= true;
+            }
+        }
+        let d2 = LasDesign::new(d.spec().clone(), values);
+        prop_assert!(check_validity(&d2).is_empty());
+    }
+
+    /// Pruning is idempotent and never touches port-connected structure.
+    #[test]
+    fn prune_idempotent(extra in proptest::collection::vec((0i32..2, 0i32..2, 0i32..2), 0..4)) {
+        let d = cnot_design();
+        let mut values = d.values().to_vec();
+        // Sprinkle disconnected K pipes in the unused (0,0) column only
+        // (the (1,1) column hosts the CNOT's real ancilla).
+        for (i, j, k) in extra {
+            let _ = (i, j);
+            let c = Coord::new(0, 0, k + 1);
+            if c.k < 2 {
+                values[d.table().structural(StructVar::Exist(Axis::K, c))] = true;
+            }
+        }
+        let mut d2 = LasDesign::new(d.spec().clone(), values);
+        d2.prune();
+        let after_once = d2.values().to_vec();
+        d2.prune();
+        prop_assert_eq!(d2.values().to_vec(), after_once);
+        // Core structure intact.
+        prop_assert!(d2.has_pipe(Axis::I, Coord::new(0, 1, 2)));
+        prop_assert!(d2.has_pipe(Axis::J, Coord::new(1, 0, 1)));
+        // Disconnected additions removed; the real ancilla pipe stays.
+        prop_assert!(!d2.has_pipe(Axis::K, Coord::new(0, 0, 1)));
+        prop_assert!(d2.has_pipe(Axis::K, Coord::new(1, 1, 1)));
+    }
+}

@@ -1,0 +1,137 @@
+//! Quarter-turn phases `i^k`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Neg};
+
+/// A power of the imaginary unit, `i^k` with `k ∈ {0, 1, 2, 3}`.
+///
+/// Pauli-string products only ever pick up such phases, so this small
+/// group is all the phase tracking the workspace needs.
+///
+/// ```
+/// use pauli::Phase;
+/// assert_eq!(Phase::MINUS_ONE + Phase::MINUS_ONE, Phase::ONE);
+/// assert_eq!((Phase::I + Phase::I), Phase::MINUS_ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Phase(u8);
+
+impl Phase {
+    /// `i^0 = 1`.
+    pub const ONE: Phase = Phase(0);
+    /// `i^1 = i`.
+    pub const I: Phase = Phase(1);
+    /// `i^2 = -1`.
+    pub const MINUS_ONE: Phase = Phase(2);
+    /// `i^3 = -i`.
+    pub const MINUS_I: Phase = Phase(3);
+
+    /// Creates `i^k` (reduced modulo 4).
+    #[inline]
+    pub fn new(k: u8) -> Phase {
+        Phase(k % 4)
+    }
+
+    /// The exponent `k` of `i^k`, in `0..4`.
+    #[inline]
+    pub fn exponent(self) -> u8 {
+        self.0
+    }
+
+    /// Whether the phase is real (`±1`).
+    #[inline]
+    pub fn is_real(self) -> bool {
+        self.0 % 2 == 0
+    }
+
+    /// Multiplicative inverse (`i^-k`).
+    #[inline]
+    pub fn inverse(self) -> Phase {
+        Phase((4 - self.0) % 4)
+    }
+}
+
+impl Add for Phase {
+    type Output = Phase;
+
+    /// Multiplies the phases (adds exponents).
+    #[inline]
+    fn add(self, rhs: Phase) -> Phase {
+        Phase((self.0 + rhs.0) % 4)
+    }
+}
+
+impl AddAssign for Phase {
+    #[inline]
+    fn add_assign(&mut self, rhs: Phase) {
+        *self = *self + rhs;
+    }
+}
+
+impl Neg for Phase {
+    type Output = Phase;
+
+    /// Multiplies by `-1` (adds 2 to the exponent).
+    #[inline]
+    fn neg(self) -> Phase {
+        Phase((self.0 + 2) % 4)
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self.0 {
+            0 => "+",
+            1 => "+i",
+            2 => "-",
+            _ => "-i",
+        })
+    }
+}
+
+impl fmt::Debug for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Phase(i^{})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_law() {
+        assert_eq!(Phase::I + Phase::I, Phase::MINUS_ONE);
+        assert_eq!(Phase::I + Phase::MINUS_I, Phase::ONE);
+        assert_eq!(Phase::new(7), Phase::MINUS_I);
+    }
+
+    #[test]
+    fn inverse_cancels() {
+        for k in 0..4 {
+            let p = Phase::new(k);
+            assert_eq!(p + p.inverse(), Phase::ONE);
+        }
+    }
+
+    #[test]
+    fn neg_is_times_minus_one() {
+        assert_eq!(-Phase::ONE, Phase::MINUS_ONE);
+        assert_eq!(-Phase::I, Phase::MINUS_I);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Phase::ONE.to_string(), "+");
+        assert_eq!(Phase::MINUS_ONE.to_string(), "-");
+        assert_eq!(Phase::I.to_string(), "+i");
+        assert_eq!(Phase::MINUS_I.to_string(), "-i");
+    }
+
+    #[test]
+    fn realness() {
+        assert!(Phase::ONE.is_real());
+        assert!(Phase::MINUS_ONE.is_real());
+        assert!(!Phase::I.is_real());
+    }
+}

@@ -1,0 +1,122 @@
+//! CNF formulas.
+
+use crate::{Lit, Var};
+
+/// A formula in conjunctive normal form.
+///
+/// Clauses are stored verbatim (the [`crate::CnfBuilder`] performs
+/// simplification at emission time; the solver performs its own
+/// root-level propagation).
+///
+/// ```
+/// use sat::{Cnf, Lit, Var};
+/// let mut cnf = Cnf::new(2);
+/// cnf.add_clause([Lit::pos(Var(0)), Lit::neg(Var(1))]);
+/// assert_eq!(cnf.num_clauses(), 1);
+/// assert_eq!(cnf.num_vars(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates an empty formula over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Cnf {
+        Cnf { num_vars, clauses: Vec::new() }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Total number of literal occurrences.
+    pub fn num_lits(&self) -> usize {
+        self.clauses.iter().map(Vec::len).sum()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn add_var(&mut self) -> Var {
+        let v = Var(self.num_vars as u32);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn ensure_vars(&mut self, n: usize) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    /// Adds a clause. Variables are grown on demand.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        let clause: Vec<Lit> = lits.into_iter().collect();
+        for l in &clause {
+            self.ensure_vars(l.var().index() + 1);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Iterates over clauses.
+    pub fn iter(&self) -> std::slice::Iter<'_, Vec<Lit>> {
+        self.clauses.iter()
+    }
+
+    /// The clause list.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Evaluates the formula under a complete assignment.
+    ///
+    /// Used by tests and by debug assertions to check models.
+    pub fn eval(&self, model: &crate::Model) -> bool {
+        self.clauses.iter().all(|c| c.iter().any(|&l| model.lit_true(l)))
+    }
+}
+
+impl<'a> IntoIterator for &'a Cnf {
+    type Item = &'a Vec<Lit>;
+    type IntoIter = std::slice::Iter<'a, Vec<Lit>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Model;
+
+    #[test]
+    fn grows_vars_on_demand() {
+        let mut cnf = Cnf::new(0);
+        cnf.add_clause([Lit::pos(Var(4))]);
+        assert_eq!(cnf.num_vars(), 5);
+    }
+
+    #[test]
+    fn eval_checks_all_clauses() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([Lit::pos(Var(0))]);
+        cnf.add_clause([Lit::neg(Var(1))]);
+        assert!(cnf.eval(&Model::new(vec![true, false])));
+        assert!(!cnf.eval(&Model::new(vec![true, true])));
+    }
+
+    #[test]
+    fn counts() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause([Lit::pos(Var(0)), Lit::pos(Var(1))]);
+        cnf.add_clause([Lit::neg(Var(2))]);
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.num_lits(), 3);
+    }
+}

@@ -1,0 +1,44 @@
+//! SAT solving substrate: CNF construction, simplification, CDCL.
+//!
+//! The paper's toolchain is `Z3 (encode + simplify) → DIMACS → Kissat`.
+//! This crate replaces all three stages with from-scratch Rust:
+//!
+//! * [`CnfBuilder`] — clause emission with root-level constant
+//!   propagation and structural hashing of Tseitin gates (the role of
+//!   Z3's `simplify`/`propagate-values` tactics),
+//! * [`Cnf`] and [`dimacs`] — the standard interchange format,
+//! * [`CdclSolver`] — a conflict-driven clause-learning solver with
+//!   two-watched literals, 1UIP learning with minimization, VSIDS,
+//!   phase saving, Luby restarts, LBD-based clause-database reduction,
+//!   seeded randomization and time/conflict budgets,
+//! * [`VarisatBackend`] — an adapter to the `varisat` crate used for
+//!   cross-checking and portfolio runs.
+//!
+//! # Examples
+//!
+//! ```
+//! use sat::{Cnf, Lit, CdclSolver, Backend, Budget, SolveOutcome};
+//!
+//! let mut cnf = Cnf::new(2);
+//! let a = Lit::pos(sat::Var(0));
+//! let b = Lit::pos(sat::Var(1));
+//! cnf.add_clause([a, b]);
+//! cnf.add_clause([!a, b]);
+//! match CdclSolver::default().solve_with(&cnf, &[], &Budget::default()) {
+//!     SolveOutcome::Sat(model) => assert!(model.value(sat::Var(1))),
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+mod builder;
+mod cnf;
+pub mod dimacs;
+mod solver;
+mod types;
+mod varisat_backend;
+
+pub use builder::CnfBuilder;
+pub use cnf::Cnf;
+pub use solver::{CdclConfig, CdclSolver, SolverStats};
+pub use types::{Backend, Budget, Lit, Model, SolveOutcome, Var};
+pub use varisat_backend::VarisatBackend;

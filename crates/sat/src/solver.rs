@@ -1,0 +1,964 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! This is the workspace's substitute for Kissat: a MiniSat-family
+//! solver with two-watched-literal propagation, first-UIP conflict
+//! analysis with clause minimization, VSIDS decision ordering, phase
+//! saving, Luby restarts and LBD/activity-based learnt-clause deletion.
+//! Every heuristic can be disabled through [`CdclConfig`] — the
+//! ablation benches exercise exactly those switches — and the seed
+//! randomizes initial activities and polarities, reproducing the
+//! paper's "random seed: more is different" observation.
+
+use crate::{Backend, Budget, Cnf, Lit, Model, SolveOutcome, Var};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// Tuning knobs and feature switches for [`CdclSolver`].
+#[derive(Clone, Debug)]
+pub struct CdclConfig {
+    /// Seed for initial activities and random polarities.
+    pub seed: u64,
+    /// Multiplicative VSIDS decay applied after each conflict.
+    pub var_decay: f64,
+    /// Learnt-clause activity decay.
+    pub clause_decay: f64,
+    /// Luby restart unit, in conflicts.
+    pub restart_base: u64,
+    /// Enable restarts.
+    pub use_restarts: bool,
+    /// Enable phase saving (otherwise polarities default to `false`).
+    pub use_phase_saving: bool,
+    /// Enable learnt-clause database reduction.
+    pub use_clause_deletion: bool,
+    /// Enable learnt-clause minimization.
+    pub use_minimization: bool,
+    /// Probability of choosing a random decision variable.
+    pub random_var_freq: f64,
+    /// Probability of flipping the saved polarity on a decision.
+    pub random_polarity_freq: f64,
+}
+
+impl Default for CdclConfig {
+    fn default() -> Self {
+        CdclConfig {
+            seed: 0,
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart_base: 100,
+            use_restarts: true,
+            use_phase_saving: true,
+            use_clause_deletion: true,
+            use_minimization: true,
+            random_var_freq: 0.02,
+            random_polarity_freq: 0.0,
+        }
+    }
+}
+
+impl CdclConfig {
+    /// A configuration differing only in seed — used for portfolios.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Counters reported after each solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of literal propagations.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of clauses learnt.
+    pub learned: u64,
+    /// Number of learnt clauses deleted by DB reduction.
+    pub deleted: u64,
+    /// Literals removed by learnt-clause minimization.
+    pub minimized_lits: u64,
+}
+
+/// The CDCL solver. See the [module docs](self) for the feature list.
+///
+/// ```
+/// use sat::{Backend, Budget, CdclSolver, Cnf, Lit, Var};
+/// let mut cnf = Cnf::new(1);
+/// cnf.add_clause([Lit::pos(Var(0))]);
+/// let out = CdclSolver::default().solve_with(&cnf, &[], &Budget::default());
+/// assert!(out.is_sat());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CdclSolver {
+    /// Configuration used for subsequent solves.
+    pub config: CdclConfig,
+    /// Statistics of the most recent solve.
+    pub stats: SolverStats,
+}
+
+impl CdclSolver {
+    /// Creates a solver with the given configuration.
+    pub fn with_config(config: CdclConfig) -> Self {
+        CdclSolver { config, stats: SolverStats::default() }
+    }
+}
+
+impl Backend for CdclSolver {
+    fn name(&self) -> &str {
+        "cdcl"
+    }
+
+    fn solve_with(&mut self, cnf: &Cnf, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
+        let mut state = State::new(cnf, self.config.clone());
+        let outcome = state.solve(assumptions, budget);
+        self.stats = state.stats;
+        outcome
+    }
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+#[derive(Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    activity: f64,
+    lbd: u32,
+    learnt: bool,
+    deleted: bool,
+}
+
+#[derive(Clone, Copy)]
+struct Watcher {
+    cref: u32,
+    blocker: Lit,
+}
+
+/// Indexed max-heap ordered by VSIDS activity.
+struct VarOrder {
+    heap: Vec<u32>,
+    pos: Vec<i64>,
+    activity: Vec<f64>,
+}
+
+impl VarOrder {
+    fn new(n: usize) -> Self {
+        VarOrder { heap: Vec::with_capacity(n), pos: vec![-1; n], activity: vec![0.0; n] }
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] >= 0
+    }
+
+    fn insert(&mut self, v: u32) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len() as i64;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    fn pop_max(&mut self) -> Option<u32> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top as usize] = -1;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn bumped(&mut self, v: u32) {
+        if self.contains(v) {
+            self.sift_up(self.pos[v as usize] as usize);
+        }
+    }
+
+    fn better(&self, a: u32, b: u32) -> bool {
+        self.activity[a as usize] > self.activity[b as usize]
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.better(self.heap[i], self.heap[parent]) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.better(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.better(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a as i64;
+        self.pos[self.heap[b] as usize] = b as i64;
+    }
+}
+
+/// The i-th element (0-based) of the Luby sequence (1, 1, 2, 1, 1, 2, 4, …).
+fn luby(mut x: u64) -> u64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+struct State {
+    config: CdclConfig,
+    stats: SolverStats,
+    rng: SmallRng,
+    num_vars: usize,
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<i8>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    order: VarOrder,
+    polarity: Vec<bool>,
+    var_inc: f64,
+    cla_inc: f64,
+    max_learnts: f64,
+    learnt_count: usize,
+    seen: Vec<bool>,
+    root_unsat: bool,
+}
+
+impl State {
+    fn new(cnf: &Cnf, config: CdclConfig) -> State {
+        let n = cnf.num_vars();
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut order = VarOrder::new(n);
+        for v in 0..n {
+            // Tiny random jitter diversifies runs across seeds.
+            order.activity[v] = rng.random_range(0.0..1e-6);
+        }
+        for v in 0..n as u32 {
+            order.insert(v);
+        }
+        let mut st = State {
+            config,
+            stats: SolverStats::default(),
+            rng,
+            num_vars: n,
+            clauses: Vec::with_capacity(cnf.num_clauses()),
+            watches: vec![Vec::new(); 2 * n],
+            assigns: vec![0; n],
+            level: vec![0; n],
+            reason: vec![NO_REASON; n],
+            trail: Vec::with_capacity(n),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            order,
+            polarity: vec![false; n],
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            max_learnts: (cnf.num_clauses() as f64 / 3.0).max(1000.0),
+            learnt_count: 0,
+            seen: vec![false; n],
+            root_unsat: false,
+        };
+        for clause in cnf {
+            if !st.add_original_clause(clause) {
+                st.root_unsat = true;
+                break;
+            }
+        }
+        st
+    }
+
+    #[inline]
+    fn value(&self, lit: Lit) -> i8 {
+        let v = self.assigns[lit.var().index()];
+        if lit.is_neg() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    fn add_original_clause(&mut self, lits: &[Lit]) -> bool {
+        // Root-level simplification: dedup, drop false lits, detect
+        // tautologies and satisfied clauses.
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            if self.value(l) == 1 {
+                return true; // already satisfied at root
+            }
+            if self.value(l) == -1 {
+                continue;
+            }
+            if c.contains(&!l) {
+                return true; // tautology
+            }
+            if !c.contains(&l) {
+                c.push(l);
+            }
+        }
+        match c.len() {
+            0 => false,
+            1 => {
+                if self.value(c[0]) == -1 {
+                    return false;
+                }
+                if self.value(c[0]) == 0 {
+                    self.enqueue(c[0], NO_REASON);
+                    // Propagate eagerly so later clauses simplify more.
+                    if self.propagate().is_some() {
+                        return false;
+                    }
+                }
+                true
+            }
+            _ => {
+                self.attach_clause(c, false, 0);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as u32;
+        // watches[l.code()] holds the clauses currently watching literal l;
+        // they are visited when l becomes false.
+        self.watches[lits[0].code()].push(Watcher { cref, blocker: lits[1] });
+        self.watches[lits[1].code()].push(Watcher { cref, blocker: lits[0] });
+        self.clauses.push(Clause { lits, activity: 0.0, lbd, learnt, deleted: false });
+        if learnt {
+            self.learnt_count += 1;
+            self.stats.learned += 1;
+        }
+        cref
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: u32) {
+        debug_assert_eq!(self.value(lit), 0);
+        let v = lit.var().index();
+        self.assigns[v] = if lit.is_neg() { -1 } else { 1 };
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(lit);
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            let mut j = 0;
+            let mut conflict = None;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.value(w.blocker) == 1 {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let cref = w.cref as usize;
+                if self.clauses[cref].deleted {
+                    continue; // drop watcher of deleted clause
+                }
+                // Make sure the false literal is at position 1.
+                {
+                    let lits = &mut self.clauses[cref].lits;
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.value(first) == 1 {
+                    ws[j] = Watcher { cref: w.cref, blocker: first };
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cref].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref].lits[k];
+                    if self.value(lk) != -1 {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[lk.code()].push(Watcher { cref: w.cref, blocker: first });
+                        continue 'watchers;
+                    }
+                }
+                // Unit or conflict.
+                ws[j] = Watcher { cref: w.cref, blocker: first };
+                j += 1;
+                if self.value(first) == -1 {
+                    conflict = Some(w.cref);
+                    // Copy remaining watchers back and stop.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                } else {
+                    self.enqueue(first, w.cref);
+                }
+            }
+            ws.truncate(j);
+            debug_assert!(self.watches[false_lit.code()].is_empty());
+            self.watches[false_lit.code()] = ws;
+            if let Some(c) = conflict {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.order.activity[v] += self.var_inc;
+        if self.order.activity[v] > 1e100 {
+            for a in &mut self.order.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bumped(v as u32);
+    }
+
+    fn bump_clause(&mut self, cref: u32) {
+        let c = &mut self.clauses[cref as usize];
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis; returns (learnt clause, backtrack level, lbd).
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var(0))]; // slot 0 = asserting lit
+        let mut counter = 0usize;
+        let mut to_clear: Vec<usize> = Vec::new();
+        let mut p: Option<Lit> = None;
+        let mut idx = self.trail.len();
+        loop {
+            self.bump_clause(confl);
+            let lits = self.clauses[confl as usize].lits.clone();
+            let start = usize::from(p.is_some());
+            for &q in &lits[start..] {
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    to_clear.push(v);
+                    self.bump_var(v);
+                    if self.level[v] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal to resolve on.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[idx];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            p = Some(pl);
+            confl = self.reason[pl.var().index()];
+            debug_assert_ne!(confl, NO_REASON);
+        }
+        // Minimize: drop literals whose reasons are covered by the clause.
+        if self.config.use_minimization {
+            let before = learnt.len();
+            let keep: Vec<bool> = learnt
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| i == 0 || !self.lit_redundant(l))
+                .collect();
+            let mut k = 0;
+            learnt.retain(|_| {
+                let keep_it = keep[k];
+                k += 1;
+                keep_it
+            });
+            self.stats.minimized_lits += (before - learnt.len()) as u64;
+        }
+        // Compute backtrack level and move that literal to slot 1.
+        let mut bt = 0;
+        if learnt.len() > 1 {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            bt = self.level[learnt[1].var().index()];
+        }
+        // LBD: number of distinct decision levels in the clause.
+        let mut levels: Vec<u32> = learnt.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        let lbd = levels.len() as u32;
+        // Clear every seen flag marked during this analysis (including
+        // literals dropped by minimization).
+        for v in to_clear {
+            self.seen[v] = false;
+        }
+        (learnt, bt, lbd)
+    }
+
+    /// A literal is redundant in the learnt clause if its reason's
+    /// literals are all already seen (or at level 0).
+    fn lit_redundant(&self, l: Lit) -> bool {
+        let r = self.reason[l.var().index()];
+        if r == NO_REASON {
+            return false;
+        }
+        self.clauses[r as usize].lits.iter().all(|&q| {
+            q.var() == l.var() || self.seen[q.var().index()] || self.level[q.var().index()] == 0
+        })
+    }
+
+    fn cancel_until(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let bound = self.trail_lim[target as usize];
+        while self.trail.len() > bound {
+            let l = self.trail.pop().expect("trail non-empty");
+            let v = l.var().index();
+            if self.config.use_phase_saving {
+                self.polarity[v] = !l.is_neg();
+            }
+            self.assigns[v] = 0;
+            self.reason[v] = NO_REASON;
+            self.order.insert(v as u32);
+        }
+        self.trail_lim.truncate(target as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        // Occasional random decisions diversify seeds.
+        if self.config.random_var_freq > 0.0
+            && self.rng.random_bool(self.config.random_var_freq)
+        {
+            let v = self.rng.random_range(0..self.num_vars);
+            if self.assigns[v] == 0 {
+                return Some(self.choose_polarity(v));
+            }
+        }
+        while let Some(v) = self.order.pop_max() {
+            if self.assigns[v as usize] == 0 {
+                return Some(self.choose_polarity(v as usize));
+            }
+        }
+        None
+    }
+
+    fn choose_polarity(&mut self, v: usize) -> Lit {
+        let mut pol = self.polarity[v];
+        if self.config.random_polarity_freq > 0.0
+            && self.rng.random_bool(self.config.random_polarity_freq)
+        {
+            pol = !pol;
+        }
+        Lit::new(Var(v as u32), !pol)
+    }
+
+    fn reduce_db(&mut self) {
+        let locked: Vec<u32> = self
+            .trail
+            .iter()
+            .filter_map(|l| {
+                let r = self.reason[l.var().index()];
+                (r != NO_REASON).then_some(r)
+            })
+            .collect();
+        let locked: std::collections::HashSet<u32> = locked.into_iter().collect();
+        let mut candidates: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&i| {
+                let c = &self.clauses[i as usize];
+                c.learnt && !c.deleted && c.lits.len() > 2 && c.lbd > 3 && !locked.contains(&i)
+            })
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            let (ca, cb) = (&self.clauses[a as usize], &self.clauses[b as usize]);
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal),
+            )
+        });
+        let remove = candidates.len() / 2;
+        for &i in &candidates[..remove] {
+            self.clauses[i as usize].deleted = true;
+            self.learnt_count -= 1;
+            self.stats.deleted += 1;
+        }
+        self.max_learnts *= 1.1;
+    }
+
+    fn solve(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
+        if self.root_unsat {
+            return SolveOutcome::Unsat;
+        }
+        if self.propagate().is_some() {
+            return SolveOutcome::Unsat;
+        }
+        let start = Instant::now();
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_budget = self.config.restart_base * luby(self.stats.restarts);
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    return SolveOutcome::Unsat;
+                }
+                let (learnt, bt, lbd) = self.analyze(confl);
+                self.cancel_until(bt);
+                if learnt.len() == 1 {
+                    self.enqueue(learnt[0], NO_REASON);
+                } else {
+                    let first = learnt[0];
+                    let cref = self.attach_clause(learnt, true, lbd);
+                    self.bump_clause(cref);
+                    self.enqueue(first, cref);
+                }
+                self.var_inc /= self.config.var_decay;
+                self.cla_inc /= self.config.clause_decay;
+                // Budget checks: conflicts every time (cheap), clock and
+                // stop flag amortized.
+                if let Some(max) = budget.max_conflicts {
+                    if self.stats.conflicts >= max {
+                        return SolveOutcome::Unknown;
+                    }
+                }
+                if self.stats.conflicts % 256 == 0 {
+                    if let Some(max) = budget.max_time {
+                        if start.elapsed() >= max {
+                            return SolveOutcome::Unknown;
+                        }
+                    }
+                    if let Some(stop) = &budget.stop {
+                        if stop.load(Ordering::Relaxed) {
+                            return SolveOutcome::Unknown;
+                        }
+                    }
+                }
+            } else {
+                if self.config.use_restarts && conflicts_since_restart >= restart_budget {
+                    self.stats.restarts += 1;
+                    conflicts_since_restart = 0;
+                    restart_budget = self.config.restart_base * luby(self.stats.restarts);
+                    self.cancel_until(0);
+                }
+                if self.config.use_clause_deletion
+                    && self.learnt_count as f64 >= self.max_learnts
+                {
+                    self.reduce_db();
+                }
+                // Re-apply assumptions as pseudo-decisions.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.value(a) {
+                        1 => {
+                            // Already satisfied: still open a level so the
+                            // indexing into `assumptions` stays aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        -1 => return SolveOutcome::Unsat,
+                        _ => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, NO_REASON);
+                        }
+                    }
+                    continue;
+                }
+                match self.decide() {
+                    Some(lit) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(lit, NO_REASON);
+                    }
+                    None => {
+                        let values = (0..self.num_vars).map(|v| self.assigns[v] == 1).collect();
+                        return SolveOutcome::Sat(Model::new(values));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: i64) -> Lit {
+        Lit::from_dimacs(i)
+    }
+
+    fn cnf(clauses: &[&[i64]]) -> Cnf {
+        let mut c = Cnf::new(0);
+        for cl in clauses {
+            c.add_clause(cl.iter().map(|&d| lit(d)));
+        }
+        c
+    }
+
+    fn solve(c: &Cnf) -> SolveOutcome {
+        CdclSolver::default().solve_with(c, &[], &Budget::default())
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let c = cnf(&[&[1], &[-2]]);
+        let m = solve(&c).expect_sat();
+        assert!(m.value(Var(0)));
+        assert!(!m.value(Var(1)));
+        assert!(c.eval(&m));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let c = cnf(&[&[1], &[-1]]);
+        assert!(solve(&c).is_unsat());
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        assert!(solve(&Cnf::new(0)).is_sat());
+        assert!(solve(&Cnf::new(5)).is_sat());
+    }
+
+    #[test]
+    fn chain_implication_unsat() {
+        // x1 ∧ (x1→x2) ∧ … ∧ (x9→x10) ∧ ¬x10
+        let mut clauses: Vec<Vec<i64>> = vec![vec![1]];
+        for i in 1..10 {
+            clauses.push(vec![-i, i + 1]);
+        }
+        clauses.push(vec![-10]);
+        let refs: Vec<&[i64]> = clauses.iter().map(|v| v.as_slice()).collect();
+        assert!(solve(&cnf(&refs)).is_unsat());
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_{i,j}: pigeon i in hole j; vars 1..=6 as (i-1)*2 + j.
+        let p = |i: i64, j: i64| (i - 1) * 2 + j;
+        let mut clauses: Vec<Vec<i64>> = Vec::new();
+        for i in 1..=3 {
+            clauses.push(vec![p(i, 1), p(i, 2)]);
+        }
+        for j in 1..=2 {
+            for a in 1..=3 {
+                for b in (a + 1)..=3 {
+                    clauses.push(vec![-p(a, j), -p(b, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i64]> = clauses.iter().map(|v| v.as_slice()).collect();
+        assert!(solve(&cnf(&refs)).is_unsat());
+    }
+
+    #[test]
+    fn random_3sat_models_check_out() {
+        use rand::rngs::SmallRng;
+        let mut rng = SmallRng::seed_from_u64(42);
+        for round in 0..20 {
+            let n = 30;
+            let m = 100; // below threshold → usually SAT
+            let mut c = Cnf::new(n);
+            for _ in 0..m {
+                let mut cl = Vec::new();
+                for _ in 0..3 {
+                    let v = rng.random_range(0..n as u32);
+                    cl.push(Lit::new(Var(v), rng.random_bool(0.5)));
+                }
+                c.add_clause(cl);
+            }
+            if let SolveOutcome::Sat(model) = solve(&c) {
+                assert!(c.eval(&model), "bogus model in round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn assumptions_restrict_models() {
+        let c = cnf(&[&[1, 2]]);
+        let m = CdclSolver::default()
+            .solve_with(&c, &[lit(-1)], &Budget::default())
+            .expect_sat();
+        assert!(!m.value(Var(0)));
+        assert!(m.value(Var(1)));
+    }
+
+    #[test]
+    fn assumptions_can_make_unsat() {
+        let c = cnf(&[&[1, 2], &[-1, 2]]);
+        let out = CdclSolver::default().solve_with(&c, &[lit(-2)], &Budget::default());
+        assert!(out.is_unsat());
+    }
+
+    #[test]
+    fn conflict_budget_reports_unknown() {
+        // A hard instance: pigeonhole 6 into 5.
+        let holes = 5i64;
+        let p = |i: i64, j: i64| (i - 1) * holes + j;
+        let mut clauses: Vec<Vec<i64>> = Vec::new();
+        for i in 1..=6 {
+            clauses.push((1..=holes).map(|j| p(i, j)).collect());
+        }
+        for j in 1..=holes {
+            for a in 1..=6 {
+                for b in (a + 1)..=6 {
+                    clauses.push(vec![-p(a, j), -p(b, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i64]> = clauses.iter().map(|v| v.as_slice()).collect();
+        let c = cnf(&refs);
+        let out =
+            CdclSolver::default().solve_with(&c, &[], &Budget::conflict_limit(10));
+        assert!(matches!(out, SolveOutcome::Unknown));
+    }
+
+    #[test]
+    fn stats_populated() {
+        let c = cnf(&[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2, 3]]);
+        let mut s = CdclSolver::default();
+        let out = s.solve_with(&c, &[], &Budget::default());
+        assert!(out.is_sat());
+        assert!(s.stats.propagations > 0);
+    }
+
+    #[test]
+    fn seeds_yield_same_verdict() {
+        let c = cnf(&[&[1, 2, 3], &[-1, -2], &[-2, -3], &[-1, -3], &[2, 3]]);
+        let mut verdicts = Vec::new();
+        for seed in 0..5 {
+            let mut s = CdclSolver::with_config(CdclConfig::default().with_seed(seed));
+            verdicts.push(s.solve_with(&c, &[], &Budget::default()).is_sat());
+        }
+        assert!(verdicts.iter().all(|&v| v == verdicts[0]));
+    }
+
+    #[test]
+    fn ablated_configs_still_correct() {
+        let configs = [
+            CdclConfig { use_restarts: false, ..CdclConfig::default() },
+            CdclConfig { use_phase_saving: false, ..CdclConfig::default() },
+            CdclConfig { use_clause_deletion: false, ..CdclConfig::default() },
+            CdclConfig { use_minimization: false, ..CdclConfig::default() },
+            CdclConfig { random_var_freq: 0.0, ..CdclConfig::default() },
+        ];
+        let sat = cnf(&[&[1, 2], &[-1, 2], &[1, -2]]);
+        let unsat = cnf(&[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]);
+        for cfg in configs {
+            let mut s = CdclSolver::with_config(cfg.clone());
+            assert!(s.solve_with(&sat, &[], &Budget::default()).is_sat(), "{cfg:?}");
+            let mut s = CdclSolver::with_config(cfg);
+            assert!(s.solve_with(&unsat, &[], &Budget::default()).is_unsat());
+        }
+    }
+
+    #[test]
+    fn duplicate_and_satisfied_clauses_handled() {
+        let c = cnf(&[&[1, 1, 2], &[1, -1], &[2]]);
+        let m = solve(&c).expect_sat();
+        assert!(m.value(Var(1)));
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+
+    #[test]
+    fn php65_unsat() {
+        let holes = 5i64;
+        let p = |i: i64, j: i64| (i - 1) * holes + j;
+        let mut clauses: Vec<Vec<i64>> = Vec::new();
+        for i in 1..=6 {
+            clauses.push((1..=holes).map(|j| p(i, j)).collect());
+        }
+        for j in 1..=holes {
+            for a in 1..=6 {
+                for b in (a + 1)..=6 {
+                    clauses.push(vec![-p(a, j), -p(b, j)]);
+                }
+            }
+        }
+        let mut c = Cnf::new(0);
+        for cl in &clauses {
+            c.add_clause(cl.iter().map(|&d| Lit::from_dimacs(d)));
+        }
+        let out = CdclSolver::default().solve_with(&c, &[], &Budget::default());
+        assert!(out.is_unsat());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the SAT stack: solver soundness against
+//! brute force, builder gadget semantics, DIMACS round trips.
+
+use proptest::prelude::*;
+use sat::{Backend, Budget, CdclConfig, CdclSolver, Cnf, CnfBuilder, Lit, Var};
+
+fn arb_cnf(max_vars: u32, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    let clause = proptest::collection::vec((0..max_vars, any::<bool>()), 1..4);
+    proptest::collection::vec(clause, 0..max_clauses).prop_map(move |clauses| {
+        let mut cnf = Cnf::new(max_vars as usize);
+        for c in clauses {
+            cnf.add_clause(c.into_iter().map(|(v, neg)| Lit::new(Var(v), neg)));
+        }
+        cnf
+    })
+}
+
+/// Exhaustive SAT check for tiny variable counts.
+fn brute_force_sat(cnf: &Cnf) -> bool {
+    let n = cnf.num_vars();
+    assert!(n <= 16);
+    (0u32..1 << n).any(|mask| {
+        cnf.iter().all(|clause| {
+            clause.iter().any(|l| {
+                let val = mask >> l.var().0 & 1 == 1;
+                val ^ l.is_neg()
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The CDCL verdict matches brute force on every small instance,
+    /// and SAT models actually satisfy the formula.
+    #[test]
+    fn cdcl_matches_brute_force(cnf in arb_cnf(8, 24)) {
+        let expected = brute_force_sat(&cnf);
+        match CdclSolver::default().solve(&cnf) {
+            sat::SolveOutcome::Sat(model) => {
+                prop_assert!(expected);
+                prop_assert!(cnf.eval(&model));
+            }
+            sat::SolveOutcome::Unsat => prop_assert!(!expected),
+            sat::SolveOutcome::Unknown => prop_assert!(false, "unbounded solve returned unknown"),
+        }
+    }
+
+    /// Every ablated configuration stays sound.
+    #[test]
+    fn ablations_match_brute_force(cnf in arb_cnf(7, 18), which in 0usize..5) {
+        let config = match which {
+            0 => CdclConfig { use_restarts: false, ..CdclConfig::default() },
+            1 => CdclConfig { use_phase_saving: false, ..CdclConfig::default() },
+            2 => CdclConfig { use_clause_deletion: false, ..CdclConfig::default() },
+            3 => CdclConfig { use_minimization: false, ..CdclConfig::default() },
+            _ => CdclConfig { random_var_freq: 0.3, random_polarity_freq: 0.3,
+                              ..CdclConfig::default() },
+        };
+        let got = CdclSolver::with_config(config).solve(&cnf).is_sat();
+        prop_assert_eq!(got, brute_force_sat(&cnf));
+    }
+
+    /// Solving under assumptions equals solving with the assumptions
+    /// added as unit clauses.
+    #[test]
+    fn assumptions_equal_units(cnf in arb_cnf(6, 14), a in 0u32..6, neg in any::<bool>()) {
+        let lit = Lit::new(Var(a), neg);
+        let with_assumption =
+            CdclSolver::default().solve_with(&cnf, &[lit], &Budget::default()).is_sat();
+        let mut with_unit = cnf.clone();
+        with_unit.add_clause([lit]);
+        let expected = brute_force_sat(&with_unit);
+        prop_assert_eq!(with_assumption, expected);
+    }
+
+    /// DIMACS round trips preserve the formula exactly.
+    #[test]
+    fn dimacs_roundtrip(cnf in arb_cnf(10, 20)) {
+        let text = sat::dimacs::to_string(&cnf);
+        let back = sat::dimacs::parse_str(&text).unwrap();
+        prop_assert_eq!(back, cnf);
+    }
+
+    /// Builder XOR gadget: brute-force equivalence of the emitted CNF
+    /// with the parity function.
+    #[test]
+    fn xor_gadget_is_parity(k in 1usize..5, parity in any::<bool>()) {
+        let mut b = CnfBuilder::new();
+        let terms = b.new_lits(k);
+        b.xor_under(&[], &terms, parity);
+        // Enumerate assignments of the k term variables; each must be
+        // extendable to a model iff it has the right parity.
+        for mask in 0u32..1 << k {
+            let assumptions: Vec<Lit> = terms
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| if mask >> i & 1 == 1 { t } else { !t })
+                .collect();
+            let ok = CdclSolver::default()
+                .solve_with(b.cnf(), &assumptions, &Budget::default())
+                .is_sat();
+            let want = (mask.count_ones() % 2 == 1) == parity;
+            prop_assert_eq!(ok, want, "mask {:b}", mask);
+        }
+    }
+
+    /// and_many is the conjunction.
+    #[test]
+    fn and_many_gadget(k in 1usize..5, mask in 0u32..32) {
+        let mut b = CnfBuilder::new();
+        let xs = b.new_lits(k);
+        let t = b.and_many(&xs);
+        let mut assumptions: Vec<Lit> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| if mask >> i & 1 == 1 { x } else { !x })
+            .collect();
+        let all_true = (0..k).all(|i| mask >> i & 1 == 1);
+        assumptions.push(if all_true { t } else { !t });
+        let ok = CdclSolver::default()
+            .solve_with(b.cnf(), &assumptions, &Budget::default())
+            .is_sat();
+        prop_assert!(ok);
+        // And the opposite value of t must be unsat.
+        *assumptions.last_mut().unwrap() = if all_true { !t } else { t };
+        let bad = CdclSolver::default()
+            .solve_with(b.cnf(), &assumptions, &Budget::default())
+            .is_sat();
+        prop_assert!(!bad);
+    }
+}

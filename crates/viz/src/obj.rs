@@ -1,0 +1,73 @@
+//! Wavefront OBJ export, for quick inspection and diffable tests.
+
+use crate::scene::Scene;
+use std::fmt::Write as _;
+
+/// Serializes a scene as OBJ text (one group per box, no materials).
+pub fn to_obj(scene: &Scene) -> String {
+    let mut out = String::from("# lattice-surgery subroutine (las-viz)\n");
+    let mut base = 1usize; // OBJ indices are 1-based
+    for (idx, b) in scene.boxes().iter().enumerate() {
+        let _ = writeln!(out, "g box{idx}");
+        let (lo, hi) = (b.min, b.max);
+        let corners = [
+            [lo[0], lo[1], lo[2]],
+            [hi[0], lo[1], lo[2]],
+            [hi[0], hi[1], lo[2]],
+            [lo[0], hi[1], lo[2]],
+            [lo[0], lo[1], hi[2]],
+            [hi[0], lo[1], hi[2]],
+            [hi[0], hi[1], hi[2]],
+            [lo[0], hi[1], hi[2]],
+        ];
+        for c in corners {
+            let _ = writeln!(out, "v {} {} {}", c[0], c[1], c[2]);
+        }
+        let quads = [[0, 3, 2, 1], [4, 5, 6, 7], [0, 1, 5, 4], [2, 3, 7, 6], [1, 2, 6, 5], [0, 4, 7, 3]];
+        for q in quads {
+            let _ = writeln!(
+                out,
+                "f {} {} {} {}",
+                base + q[0],
+                base + q[1],
+                base + q[2],
+                base + q[3]
+            );
+        }
+        base += 8;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{Scene, SceneOptions};
+
+    #[test]
+    fn obj_counts_match() {
+        let mut d = lasre::fixtures::cnot_design();
+        d.infer_k_colors();
+        let scene = Scene::from_design(&d, SceneOptions::default());
+        let text = to_obj(&scene);
+        let vertices = text.lines().filter(|l| l.starts_with("v ")).count();
+        let faces = text.lines().filter(|l| l.starts_with("f ")).count();
+        assert_eq!(vertices, scene.boxes().len() * 8);
+        assert_eq!(faces, scene.boxes().len() * 6);
+    }
+
+    #[test]
+    fn indices_are_one_based_and_in_range(){
+        let mut d = lasre::fixtures::cnot_design();
+        d.infer_k_colors();
+        let scene = Scene::from_design(&d, SceneOptions::default());
+        let text = to_obj(&scene);
+        let max_vertex = scene.boxes().len() * 8;
+        for line in text.lines().filter(|l| l.starts_with("f ")) {
+            for tok in line.split_whitespace().skip(1) {
+                let idx: usize = tok.parse().unwrap();
+                assert!(idx >= 1 && idx <= max_vertex);
+            }
+        }
+    }
+}

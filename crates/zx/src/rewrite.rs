@@ -1,0 +1,239 @@
+//! Basic ZX rewrite rules.
+//!
+//! The paper uses rewrite rules (spider merge, Hadamard inversion, Hopf)
+//! to *interpret* generated designs by hand (Fig. 15e). Here we provide
+//! the two workhorse rules — same-kind spider fusion and identity
+//! removal — mainly so tests can confirm that rewriting preserves the
+//! derived stabilizer flows, which is the whole point of the calculus.
+
+use crate::diagram::{Diagram, NodeId, SpiderKind};
+
+impl Diagram {
+    /// Fuses two same-kind spiders joined by a plain edge: phases add,
+    /// the edge disappears, all other edges of `b` move to `a`.
+    ///
+    /// Returns `false` (no change) unless `a` and `b` are distinct live
+    /// same-kind non-boundary spiders joined by at least one plain edge.
+    pub fn fuse(&mut self, a: NodeId, b: NodeId) -> bool {
+        if a == b || self.is_deleted(a) || self.is_deleted(b) {
+            return false;
+        }
+        if self.kind(a) == SpiderKind::Boundary
+            || self.kind(a) != self.kind(b)
+        {
+            return false;
+        }
+        let Some(joining) = self
+            .edges
+            .iter()
+            .position(|e| !e.deleted && !e.hadamard && ((e.a == a && e.b == b) || (e.a == b && e.b == a)))
+        else {
+            return false;
+        };
+        self.edges[joining].deleted = true;
+        for e in &mut self.edges {
+            if e.deleted {
+                continue;
+            }
+            if e.a == b {
+                e.a = a;
+            }
+            if e.b == b {
+                e.b = a;
+            }
+        }
+        self.nodes[a.0].quarters = (self.nodes[a.0].quarters + self.nodes[b.0].quarters) % 4;
+        self.nodes[b.0].deleted = true;
+        // A plain self-loop on a spider is trivial; remove them.
+        for e in &mut self.edges {
+            if !e.deleted && e.a == e.b && !e.hadamard {
+                e.deleted = true;
+            }
+        }
+        true
+    }
+
+    /// Removes a degree-2 phase-0 spider, splicing its two edges into
+    /// one (Hadamard flags combine by XOR).
+    ///
+    /// Returns `false` if `n` is not a removable identity.
+    pub fn remove_identity(&mut self, n: NodeId) -> bool {
+        if self.is_deleted(n)
+            || self.kind(n) == SpiderKind::Boundary
+            || self.phase_quarters(n) != 0
+        {
+            return false;
+        }
+        let inc = self.incident_edges(n);
+        if inc.len() != 2 || inc[0] == inc[1] {
+            return false; // degree ≠ 2 or a self-loop
+        }
+        let (e1, e2) = (inc[0], inc[1]);
+        let other = |eid: crate::diagram::EdgeId| {
+            let e = &self.edges[eid.0];
+            if e.a == n {
+                e.b
+            } else {
+                e.a
+            }
+        };
+        let (u, v) = (other(e1), other(e2));
+        let h = self.edges[e1.0].hadamard ^ self.edges[e2.0].hadamard;
+        self.edges[e1.0].deleted = true;
+        self.edges[e2.0].deleted = true;
+        self.nodes[n.0].deleted = true;
+        if h {
+            self.add_h_edge(u, v);
+        } else {
+            self.add_edge(u, v);
+        }
+        true
+    }
+
+    /// Repeatedly fuses plain-connected same-kind spiders and removes
+    /// identities until fixpoint. Returns the number of rewrites.
+    pub fn simplify(&mut self) -> usize {
+        let mut count = 0;
+        loop {
+            let mut progress = false;
+            // Fusion pass.
+            let pairs: Vec<(NodeId, NodeId)> = self
+                .edges
+                .iter()
+                .filter(|e| !e.deleted && !e.hadamard && e.a != e.b)
+                .map(|e| (e.a, e.b))
+                .collect();
+            for (a, b) in pairs {
+                if self.fuse(a, b) {
+                    count += 1;
+                    progress = true;
+                }
+            }
+            // Identity pass.
+            for n in self.spiders() {
+                if self.degree(n) == 2 && self.phase_quarters(n) == 0 {
+                    let inc = self.incident_edges(n);
+                    if inc[0] != inc[1] && self.remove_identity(n) {
+                        count += 1;
+                        progress = true;
+                    }
+                }
+            }
+            if !progress {
+                return count;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pauli::PauliString;
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    fn chain(kinds: &[(SpiderKind, u8)], h_edges: &[bool]) -> Diagram {
+        assert_eq!(h_edges.len(), kinds.len() + 1);
+        let mut d = Diagram::new();
+        let b_in = d.add_boundary();
+        let b_out = d.add_boundary();
+        let mut prev = b_in;
+        for (i, &(k, q)) in kinds.iter().enumerate() {
+            let s = d.add_spider(k, q);
+            if h_edges[i] {
+                d.add_h_edge(prev, s);
+            } else {
+                d.add_edge(prev, s);
+            }
+            prev = s;
+        }
+        if *h_edges.last().unwrap() {
+            d.add_h_edge(prev, b_out);
+        } else {
+            d.add_edge(prev, b_out);
+        }
+        d
+    }
+
+    #[test]
+    fn fusion_preserves_flows() {
+        // Z(π/2) — Z(π/2) chain = S·S = Z: flows X→-Y·... letters: X↦Y?
+        // S²=Z maps X→X with sign; letters XX and ZZ.
+        let mut d = chain(&[(SpiderKind::Z, 1), (SpiderKind::Z, 1)], &[false, false, false]);
+        let before = d.stabilizer_flows().unwrap();
+        let spiders = d.spiders();
+        assert!(d.fuse(spiders[0], spiders[1]));
+        let after = d.stabilizer_flows().unwrap();
+        for g in before.generators() {
+            assert!(after.contains_letters(g));
+        }
+        assert_eq!(d.phase_quarters(spiders[0]), 2);
+    }
+
+    #[test]
+    fn identity_removal_preserves_flows() {
+        let mut d = chain(
+            &[(SpiderKind::Z, 0), (SpiderKind::X, 1)],
+            &[false, false, false],
+        );
+        let before = d.stabilizer_flows().unwrap();
+        let id_spider = d.spiders()[0];
+        assert!(d.remove_identity(id_spider));
+        let after = d.stabilizer_flows().unwrap();
+        for g in before.generators() {
+            assert!(after.contains_letters(g), "lost {g}");
+        }
+    }
+
+    #[test]
+    fn identity_removal_combines_hadamards() {
+        // ∂ —H— Z(0) —H— ∂  reduces to a plain wire.
+        let mut d = chain(&[(SpiderKind::Z, 0)], &[true, true]);
+        let s = d.spiders()[0];
+        assert!(d.remove_identity(s));
+        let f = d.stabilizer_flows().unwrap();
+        assert!(f.contains_letters(&ps("XX")));
+        assert!(f.contains_letters(&ps("ZZ")));
+    }
+
+    #[test]
+    fn fuse_rejects_mismatched_kinds() {
+        let mut d = chain(&[(SpiderKind::Z, 0), (SpiderKind::X, 0)], &[false, false, false]);
+        let s = d.spiders();
+        assert!(!d.fuse(s[0], s[1]));
+    }
+
+    #[test]
+    fn fuse_rejects_hadamard_edge() {
+        let mut d = chain(&[(SpiderKind::Z, 0), (SpiderKind::Z, 0)], &[false, true, false]);
+        let s = d.spiders();
+        assert!(!d.fuse(s[0], s[1]));
+    }
+
+    #[test]
+    fn simplify_runs_to_fixpoint_and_preserves_flows() {
+        let mut d = chain(
+            &[
+                (SpiderKind::Z, 0),
+                (SpiderKind::Z, 1),
+                (SpiderKind::Z, 0),
+                (SpiderKind::X, 0),
+                (SpiderKind::X, 2),
+            ],
+            &[false, false, false, false, false, false],
+        );
+        let before = d.stabilizer_flows().unwrap();
+        let n = d.simplify();
+        assert!(n >= 3, "expected several rewrites, got {n}");
+        let after = d.stabilizer_flows().unwrap();
+        for g in before.generators() {
+            assert!(after.contains_letters(g), "lost {g}");
+        }
+        for g in after.generators() {
+            assert!(before.contains_letters(g), "gained {g}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Graph-state generation on the 2-lane architecture (paper Sec. V-B):
+//! pick a graph, find the optimal-depth LaS with the descending/
+//! ascending depth search, and compare against the baseline compiler.
+//!
+//! Run with: `cargo run --release --example graph_state [n]`
+
+use lassynth::synth::optimize::find_min_depth;
+use lassynth::synth::SynthOptions;
+use lassynth::workloads::baseline::compile_graph_state;
+use lassynth::workloads::graphs::Graph;
+use lassynth::workloads::specs::graph_state_spec;
+use lassynth::{lasre, viz};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let g = Graph::cycle(n);
+    println!("workload: {n}-qubit ring graph state");
+    for s in g.stabilizers() {
+        println!("  stabilizer {s}");
+    }
+
+    // Baseline: MIS initialization + interval-scheduled parity
+    // measurements on 2-tile patches (footprint 4n).
+    let base = compile_graph_state(&g);
+    println!(
+        "\nbaseline: footprint {} × depth {} = volume {} ({} parity measurements in {} layers)",
+        base.footprint,
+        base.depth,
+        base.volume,
+        base.measured.len(),
+        base.layers.len()
+    );
+
+    // LaSsynth: footprint 2n, optimal depth by SAT search.
+    let spec = graph_state_spec(&g, 3);
+    let search = find_min_depth(&spec, 1, 6, 3, &SynthOptions::default())?;
+    for probe in &search.probes {
+        println!(
+            "probe max_k = {}: {} in {:?}",
+            probe.max_k,
+            match probe.sat {
+                Some(true) => "SAT",
+                Some(false) => "UNSAT",
+                None => "timeout",
+            },
+            probe.time
+        );
+    }
+    let design = search.best.ok_or("no satisfiable depth in range")?;
+    let depth = design.spec().max_k;
+    let volume = 2 * n * depth;
+    println!("\nLaSsynth: footprint {} × depth {depth} = volume {volume}", 2 * n);
+    println!(
+        "reduction vs baseline: {:.0}%",
+        100.0 * (base.volume as f64 - volume as f64) / base.volume as f64
+    );
+    println!("\ntime slices:\n{}", lasre::slices::render(&design));
+
+    std::fs::create_dir_all("target/experiments")?;
+    let scene = viz::Scene::from_design(&design, viz::SceneOptions::default());
+    std::fs::write("target/experiments/graph_state.gltf", viz::gltf::to_gltf(&scene))?;
+    println!("wrote target/experiments/graph_state.gltf");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! The 15-to-1 T-state distillation factory (paper Figs. 16–18):
+//! print the [[15,1,3]] flow table, encode both factory flavors, and
+//! optionally attempt the full SAT synthesis (pass `--solve`).
+//!
+//! Run with: `cargo run --release --example t_factory [--solve]`
+
+use lassynth::synth::{SynthOptions, SynthResult, Synthesizer};
+use lassynth::workloads::specs::{
+    baselines, t_factory_flows, t_factory_nodelay_spec, t_factory_spec,
+};
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let solve = std::env::args().any(|a| a == "--solve");
+    println!("[[15,1,3]] stabilizer flows (ports 0..E = T injections, F = output):");
+    for f in t_factory_flows() {
+        println!("  {f}");
+    }
+
+    for (label, spec, paper_volume, baseline) in [
+        (
+            "no-delay factory (Fig. 18)",
+            t_factory_nodelay_spec(11),
+            baselines::PAPER_T_FACTORY_NODELAY_VOLUME,
+            baselines::T_FACTORY_NODELAY_VOLUME,
+        ),
+        (
+            "injection-aware factory (Fig. 17)",
+            t_factory_spec(4),
+            baselines::PAPER_T_FACTORY_VOLUME,
+            baselines::T_FACTORY_VOLUME,
+        ),
+    ] {
+        println!("\n== {label} ==");
+        let synth = Synthesizer::new(spec)?;
+        println!(
+            "encoding: V·nstab = {}, {} vars, {} clauses",
+            synth.stats().v_nstab,
+            synth.stats().num_vars,
+            synth.stats().num_clauses
+        );
+        println!("paper: volume {paper_volume} vs baseline {baseline}");
+        if solve {
+            let mut synth = synth
+                .with_options(SynthOptions::default().with_time_limit(Duration::from_secs(600)));
+            match synth.run()? {
+                SynthResult::Sat(d) => println!(
+                    "SAT in {:?}; verified = {}",
+                    synth.last_solve_time().unwrap_or_default(),
+                    d.verified()
+                ),
+                SynthResult::Unsat => println!("UNSAT (port layout too tight)"),
+                SynthResult::Unknown => println!("timed out (the paper's Kissat needed minutes)"),
+            }
+        }
+    }
+    if !solve {
+        println!("\n(pass --solve to attempt full synthesis)");
+    }
+    Ok(())
+}

@@ -1,0 +1,234 @@
+//! The `lassynth` command-line tool: the paper's workflow (Fig. 12a)
+//! from the shell.
+//!
+//! ```text
+//! lassynth synth  <spec.json>  [--out DIR] [--timeout SECS] [--seeds N] [--varisat]
+//! lassynth verify <design.lasre>
+//! lassynth render <design.lasre>
+//! lassynth dimacs <spec.json>
+//! lassynth depth  <spec.json> --lo L --hi H [--start S] [--timeout SECS]
+//! ```
+//!
+//! `synth` writes `<name>.lasre` and `<name>.gltf` into `--out`
+//! (default `.`); with `--seeds N` it runs a parallel seed portfolio.
+
+use lassynth::synth::{optimize, BackendChoice, SynthOptions, SynthResult, Synthesizer};
+use lassynth::{lasre, sat, viz};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("synth") => cmd_synth(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("render") => cmd_render(&args[1..]),
+        Some("dimacs") => cmd_dimacs(&args[1..]),
+        Some("depth") => cmd_depth(&args[1..]),
+        _ => {
+            eprintln!("usage: lassynth <synth|verify|render|dimacs|depth> <file> [flags]");
+            eprintln!("       see `src/main.rs` docs or README.md");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn load_spec(path: &str) -> Result<lasre::LasSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let spec: lasre::LasSpec =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    spec.validate().map_err(|e| format!("invalid spec: {e}"))?;
+    Ok(spec)
+}
+
+fn options_from(args: &[String]) -> SynthOptions {
+    let mut options = SynthOptions::default();
+    if let Some(t) = flag_value(args, "--timeout").and_then(|s| s.parse().ok()) {
+        options.budget.max_time = Some(Duration::from_secs(t));
+    }
+    if args.iter().any(|a| a == "--varisat") {
+        options.backend = BackendChoice::Varisat;
+    }
+    options
+}
+
+fn cmd_synth(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: lassynth synth <spec.json> [--out DIR] [--timeout SECS] [--seeds N]");
+        return 2;
+    };
+    let spec = match load_spec(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let out_dir = flag_value(args, "--out").unwrap_or_else(|| ".".into());
+    let options = options_from(args);
+    let name = spec.name.clone();
+    let seeds: usize = flag_value(args, "--seeds").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let start = std::time::Instant::now();
+    let result = if seeds > 1 {
+        let seed_list: Vec<u64> = (0..seeds as u64).collect();
+        optimize::solve_portfolio(&spec, &seed_list, &options)
+    } else {
+        Synthesizer::new(spec).map(|s| s.with_options(options)).and_then(|mut s| s.run())
+    };
+    match result {
+        Ok(SynthResult::Sat(design)) => {
+            println!("SAT in {:.2?} (verified: {})", start.elapsed(), design.verified());
+            println!("{}", lasre::slices::render(&design));
+            std::fs::create_dir_all(&out_dir).ok();
+            let lasre_path = format!("{out_dir}/{name}.lasre");
+            std::fs::write(&lasre_path, lasre::to_lasre(&design)).expect("write lasre");
+            let scene = viz::Scene::from_design(&design, viz::SceneOptions::default());
+            let gltf_path = format!("{out_dir}/{name}.gltf");
+            std::fs::write(&gltf_path, viz::gltf::to_gltf(&scene)).expect("write gltf");
+            println!("wrote {lasre_path} and {gltf_path}");
+            0
+        }
+        Ok(SynthResult::Unsat) => {
+            println!("UNSAT in {:.2?} — no design fits this volume", start.elapsed());
+            1
+        }
+        Ok(SynthResult::Unknown) => {
+            println!("UNKNOWN — budget expired after {:.2?}", start.elapsed());
+            1
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_verify(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: lassynth verify <design.lasre>");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("reading {path}: {e}");
+            return 1;
+        }
+    };
+    let design = match lasre::from_lasre(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let violations = lasre::check_validity(&design);
+    if !violations.is_empty() {
+        println!("INVALID: {} constraint violations", violations.len());
+        for v in violations.iter().take(10) {
+            println!("  {v}");
+        }
+        return 1;
+    }
+    match lassynth::synth::verify::verify(&design) {
+        Ok(flows) => {
+            println!("VERIFIED: all {} stabilizers realized ({} flows)",
+                     design.spec().nstab(), flows.rank());
+            0
+        }
+        Err(e) => {
+            println!("VERIFICATION FAILED: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_render(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: lassynth render <design.lasre>");
+        return 2;
+    };
+    match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(|t| {
+        lasre::from_lasre(&t).map_err(|e| e.to_string())
+    }) {
+        Ok(design) => {
+            println!("{}", lasre::slices::render(&design));
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+fn cmd_dimacs(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: lassynth dimacs <spec.json>");
+        return 2;
+    };
+    match load_spec(path).and_then(|spec| {
+        Synthesizer::new(spec).map_err(|e| e.to_string())
+    }) {
+        Ok(synth) => {
+            print!("{}", sat::dimacs::to_string(synth.cnf()));
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+fn cmd_depth(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: lassynth depth <spec.json> --lo L --hi H [--start S]");
+        return 2;
+    };
+    let spec = match load_spec(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let lo = flag_value(args, "--lo").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let hi = flag_value(args, "--hi").and_then(|s| s.parse().ok()).unwrap_or(spec.max_k + 2);
+    let start = flag_value(args, "--start").and_then(|s| s.parse().ok()).unwrap_or(spec.max_k);
+    let options = options_from(args);
+    match optimize::find_min_depth(&spec, lo, hi, start, &options) {
+        Ok(search) => {
+            for p in &search.probes {
+                println!(
+                    "max_k {}: {} ({:.2?})",
+                    p.max_k,
+                    match p.sat {
+                        Some(true) => "SAT",
+                        Some(false) => "UNSAT",
+                        None => "UNKNOWN",
+                    },
+                    p.time
+                );
+            }
+            match search.best_depth() {
+                Some(d) => {
+                    println!("optimal depth: {d}");
+                    0
+                }
+                None => {
+                    println!("no satisfiable depth in [{lo}, {hi}]");
+                    1
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}

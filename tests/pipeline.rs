@@ -1,0 +1,74 @@
+//! End-to-end integration: JSON spec → encode → solve → decode →
+//! validity → ZX verification → visualization, across all crates.
+
+use lassynth::synth::{optimize, verify, SynthOptions, SynthResult, Synthesizer};
+use lassynth::{lasre, sat, viz};
+
+#[test]
+fn cnot_full_pipeline_from_json() {
+    let spec: lasre::LasSpec =
+        serde_json::from_str(include_str!("../examples/specs/cnot.json")).unwrap();
+    assert_eq!(spec, lasre::fixtures::cnot_spec());
+    let mut synth = Synthesizer::new(spec).unwrap();
+    let design = synth.run().unwrap().expect_sat();
+    // Validity re-check (independent of the encoder).
+    assert!(lasre::check_validity(&design).is_empty());
+    // ZX flows contain all four CNOT stabilizers.
+    let flows = verify::verify(&design).unwrap();
+    assert_eq!(flows.rank(), 4);
+    // Visualization round trip.
+    let scene = viz::Scene::from_design(&design, viz::SceneOptions::default());
+    let gltf = viz::gltf::to_gltf(&scene);
+    assert!(serde_json::from_str::<serde_json::Value>(&gltf).is_ok());
+    // ASCII rendering mentions every layer.
+    let slices = lasre::slices::render(&design);
+    assert!(slices.contains("k=2"));
+}
+
+#[test]
+fn dimacs_export_solves_identically() {
+    // The paper's portability argument: the simplified instance can be
+    // exported as DIMACS and solved by any solver.
+    let spec = lasre::fixtures::cnot_spec();
+    let synth = Synthesizer::new(spec).unwrap();
+    let text = sat::dimacs::to_string(synth.cnf());
+    let reparsed = sat::dimacs::parse_str(&text).unwrap();
+    use sat::Backend;
+    let ours = sat::CdclSolver::default().solve(&reparsed);
+    let theirs = sat::VarisatBackend.solve(&reparsed);
+    assert!(ours.is_sat());
+    assert!(theirs.is_sat());
+}
+
+#[test]
+fn paper_fixture_round_trips_through_assumptions() {
+    // The hand-built Fig. 8/10 CNOT both validates and verifies.
+    let mut design = lasre::fixtures::cnot_design();
+    assert!(lasre::check_validity(&design).is_empty());
+    design.infer_k_colors();
+    assert!(verify::verify(&design).is_ok());
+}
+
+#[test]
+fn depth_search_and_port_orders_compose() {
+    let spec = lasre::fixtures::cnot_spec();
+    let search =
+        optimize::find_min_depth(&spec, 2, 4, 3, &SynthOptions::default()).unwrap();
+    assert_eq!(search.best_depth(), Some(3));
+    // Swapping control and target still synthesizes (CNOT reversed is
+    // still a valid Clifford with the permuted flows).
+    let perms = vec![vec![0, 1, 2, 3], vec![1, 0, 3, 2]];
+    let found = optimize::explore_port_orders(&spec, &perms, &SynthOptions::default()).unwrap();
+    assert!(found.is_some());
+}
+
+#[test]
+fn unknown_surfaced_not_panicked() {
+    let mut synth = Synthesizer::new(lasre::fixtures::cnot_spec())
+        .unwrap()
+        .with_options(SynthOptions::default().with_time_limit(std::time::Duration::ZERO));
+    match synth.run().unwrap() {
+        SynthResult::Unknown | SynthResult::Sat(_) => {}
+        SynthResult::Unsat => panic!("zero budget must not prove unsat"),
+    }
+}
