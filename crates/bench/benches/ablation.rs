@@ -13,10 +13,34 @@ fn bench_ablation(c: &mut Criterion) {
     let enc = encode(&spec).unwrap();
     let configs: Vec<(&str, CdclConfig)> = vec![
         ("full", CdclConfig::default()),
-        ("no_restarts", CdclConfig { use_restarts: false, ..CdclConfig::default() }),
-        ("no_phase_saving", CdclConfig { use_phase_saving: false, ..CdclConfig::default() }),
-        ("no_clause_deletion", CdclConfig { use_clause_deletion: false, ..CdclConfig::default() }),
-        ("no_minimization", CdclConfig { use_minimization: false, ..CdclConfig::default() }),
+        (
+            "no_restarts",
+            CdclConfig {
+                use_restarts: false,
+                ..CdclConfig::default()
+            },
+        ),
+        (
+            "no_phase_saving",
+            CdclConfig {
+                use_phase_saving: false,
+                ..CdclConfig::default()
+            },
+        ),
+        (
+            "no_clause_deletion",
+            CdclConfig {
+                use_clause_deletion: false,
+                ..CdclConfig::default()
+            },
+        ),
+        (
+            "no_minimization",
+            CdclConfig {
+                use_minimization: false,
+                ..CdclConfig::default()
+            },
+        ),
     ];
     let mut group = c.benchmark_group("ablation_graph_state_ring6");
     group.sample_size(10);

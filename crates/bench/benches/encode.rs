@@ -10,13 +10,21 @@ fn bench_encode(c: &mut Criterion) {
     let mut group = c.benchmark_group("encode");
     group.sample_size(20);
     let cnot = lasre::fixtures::cnot_spec();
-    group.bench_function("cnot_2x2x3", |b| b.iter(|| encode(black_box(&cnot)).unwrap()));
+    group.bench_function("cnot_2x2x3", |b| {
+        b.iter(|| encode(black_box(&cnot)).unwrap())
+    });
     let gs = graph_state_spec(&Graph::cycle(8), 2);
-    group.bench_function("graph_state_8q_d2", |b| b.iter(|| encode(black_box(&gs)).unwrap()));
+    group.bench_function("graph_state_8q_d2", |b| {
+        b.iter(|| encode(black_box(&gs)).unwrap())
+    });
     let maj = majority_gate_spec(3);
-    group.bench_function("majority_3x3x5", |b| b.iter(|| encode(black_box(&maj)).unwrap()));
+    group.bench_function("majority_3x3x5", |b| {
+        b.iter(|| encode(black_box(&maj)).unwrap())
+    });
     let tf = t_factory_nodelay_spec(11);
-    group.bench_function("t_factory_3x3x11", |b| b.iter(|| encode(black_box(&tf)).unwrap()));
+    group.bench_function("t_factory_3x3x11", |b| {
+        b.iter(|| encode(black_box(&tf)).unwrap())
+    });
     group.finish();
 }
 

@@ -11,7 +11,10 @@ fn bench_solve(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("cnot", |b| {
         b.iter(|| {
-            let r = Synthesizer::new(lasre::fixtures::cnot_spec()).unwrap().run().unwrap();
+            let r = Synthesizer::new(lasre::fixtures::cnot_spec())
+                .unwrap()
+                .run()
+                .unwrap();
             assert!(r.is_sat());
         })
     });
@@ -19,7 +22,10 @@ fn bench_solve(c: &mut Criterion) {
         let g = Graph::cycle(n);
         group.bench_function(format!("graph_state_ring{n}_d2"), |b| {
             b.iter(|| {
-                let r = Synthesizer::new(graph_state_spec(&g, 2)).unwrap().run().unwrap();
+                let r = Synthesizer::new(graph_state_spec(&g, 2))
+                    .unwrap()
+                    .run()
+                    .unwrap();
                 assert!(r.is_sat());
             })
         });

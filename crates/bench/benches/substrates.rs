@@ -21,7 +21,9 @@ fn bench_substrates(c: &mut Criterion) {
     // pauli: products of 64-qubit strings.
     let a: pauli::PauliString = "XZYX".repeat(16).parse().unwrap();
     let bb: pauli::PauliString = "ZZXY".repeat(16).parse().unwrap();
-    group.bench_function("pauli_mul_64q", |b| b.iter(|| black_box(&a).mul(black_box(&bb))));
+    group.bench_function("pauli_mul_64q", |b| {
+        b.iter(|| black_box(&a).mul(black_box(&bb)))
+    });
 
     // tableau: GHZ preparation + joint measurement on 64 qubits.
     group.bench_function("tableau_ghz64_measure", |b| {

@@ -22,7 +22,9 @@ fn main() {
     ];
     println!("== architecture exploration: optimal depth by lane count ({n}-qubit graphs) ==\n");
     let options = SynthOptions::default().with_time_limit(cli.timeout);
-    let mut table = Table::new(["graph", "1 lane", "2 lanes", "3 lanes", "vol@1", "vol@2", "vol@3"]);
+    let mut table = Table::new([
+        "graph", "1 lane", "2 lanes", "3 lanes", "vol@1", "vol@2", "vol@3",
+    ]);
     for (name, g) in &workloads {
         let mut depths = Vec::new();
         let mut volumes = Vec::new();

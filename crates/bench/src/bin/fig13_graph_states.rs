@@ -19,7 +19,13 @@ fn main() {
     let graphs = benchmark_set(n, count, 2024);
     let options = SynthOptions::default().with_time_limit(cli.timeout);
     let mut table = Table::new([
-        "graph", "edges", "las depth", "las vol", "baseline vol", "reduction", "time",
+        "graph",
+        "edges",
+        "las depth",
+        "las vol",
+        "baseline vol",
+        "reduction",
+        "time",
     ]);
     let mut reductions = Vec::new();
     let mut total_time = std::time::Duration::ZERO;
@@ -30,8 +36,15 @@ fn main() {
             time_it(|| find_min_depth(&spec, 1, 8, 3, &options).expect("synthesis"));
         total_time += time;
         let Some(depth) = search.best_depth() else {
-            table.row([format!("g{idx}"), g.num_edges().to_string(), "?".into(), "?".into(),
-                       base.volume.to_string(), "-".into(), format!("{time:.1?}")]);
+            table.row([
+                format!("g{idx}"),
+                g.num_edges().to_string(),
+                "?".into(),
+                "?".into(),
+                base.volume.to_string(),
+                "-".into(),
+                format!("{time:.1?}"),
+            ]);
             continue;
         };
         let las_vol = 2 * n * depth;

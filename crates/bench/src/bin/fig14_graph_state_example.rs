@@ -17,8 +17,10 @@ fn main() {
     }
     let base = compile_graph_state(&g);
     println!("\nbaseline (2-tile patches, MIS init + interval scheduling):");
-    println!("  footprint {} × depth {} = volume {}  (paper: 8×4×2 = 64)",
-             base.footprint, base.depth, base.volume);
+    println!(
+        "  footprint {} × depth {} = volume {}  (paper: 8×4×2 = 64)",
+        base.footprint, base.depth, base.volume
+    );
 
     let spec = graph_state_spec(&g, 2);
     let mut synth = Synthesizer::new(spec)
@@ -37,7 +39,9 @@ fn main() {
             std::fs::write(&path, viz::gltf::to_gltf(&scene)).expect("write gltf");
             println!("wrote {path}");
             let reduction = 100.0 * (base.volume as f64 - 32.0) / base.volume as f64;
-            println!("\nvolume reduction vs baseline: {reduction:.0}% (paper: 50% on this instance)");
+            println!(
+                "\nvolume reduction vs baseline: {reduction:.0}% (paper: 50% on this instance)"
+            );
         }
         other => println!("\nLaSsynth at depth 2: {other:?} (try a longer --timeout)"),
     }

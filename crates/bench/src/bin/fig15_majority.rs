@@ -9,14 +9,28 @@ use workloads::specs::{baselines, majority_gate_spec};
 fn main() {
     let cli = Cli::parse();
     println!("== Fig. 15: majority gate ==\n");
-    println!("paper baseline volume: {} (3×5×5, Ref. [20])", baselines::MAJORITY_VOLUME);
-    println!("paper result:          {} (3×3×5, −40%)\n", baselines::PAPER_MAJORITY_VOLUME);
-    let mut table = Table::new(["interior width", "volume", "V·nstab", "vars", "clauses", "verdict", "time"]);
+    println!(
+        "paper baseline volume: {} (3×5×5, Ref. [20])",
+        baselines::MAJORITY_VOLUME
+    );
+    println!(
+        "paper result:          {} (3×3×5, −40%)\n",
+        baselines::PAPER_MAJORITY_VOLUME
+    );
+    let mut table = Table::new([
+        "interior width",
+        "volume",
+        "V·nstab",
+        "vars",
+        "clauses",
+        "verdict",
+        "time",
+    ]);
     for width in [5usize, 4, 3] {
         let spec = majority_gate_spec(width);
-        let mut synth = Synthesizer::new(spec).expect("valid spec").with_options(
-            SynthOptions::default().with_time_limit(cli.timeout),
-        );
+        let mut synth = Synthesizer::new(spec)
+            .expect("valid spec")
+            .with_options(SynthOptions::default().with_time_limit(cli.timeout));
         let stats = synth.stats();
         let (result, time) = time_it(|| synth.run().expect("synthesis"));
         let verdict = match &result {

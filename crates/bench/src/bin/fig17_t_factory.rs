@@ -13,15 +13,23 @@ use workloads::specs::{baselines, t_factory_spec};
 fn main() {
     let cli = Cli::parse();
     println!("== Fig. 17: 15-to-1 T-factory with injection fixups ==\n");
-    println!("baseline volume: {} (8×4 footprint × 5.5 avg depth)", baselines::T_FACTORY_VOLUME);
-    println!("paper result:    {} (9×4×4.5, −8%)\n", baselines::PAPER_T_FACTORY_VOLUME);
-    let spec = t_factory_spec(4);
-    let mut synth = Synthesizer::new(spec).expect("valid spec").with_options(
-        SynthOptions::default().with_time_limit(cli.timeout),
+    println!(
+        "baseline volume: {} (8×4 footprint × 5.5 avg depth)",
+        baselines::T_FACTORY_VOLUME
     );
+    println!(
+        "paper result:    {} (9×4×4.5, −8%)\n",
+        baselines::PAPER_T_FACTORY_VOLUME
+    );
+    let spec = t_factory_spec(4);
+    let mut synth = Synthesizer::new(spec)
+        .expect("valid spec")
+        .with_options(SynthOptions::default().with_time_limit(cli.timeout));
     let stats = synth.stats();
-    println!("encoding: V·nstab = {} (paper: 2304), vars = {}, clauses = {}",
-             stats.v_nstab, stats.num_vars, stats.num_clauses);
+    println!(
+        "encoding: V·nstab = {} (paper: 2304), vars = {}, clauses = {}",
+        stats.v_nstab, stats.num_vars, stats.num_clauses
+    );
     if cli.solve {
         let (result, time) = time_it(|| synth.run().expect("synthesis"));
         match result {
@@ -29,8 +37,12 @@ fn main() {
                 println!("SAT in {time:.1?}; verified = {}", d.verified());
                 println!("reported volume: 9×4×(4 + 0.5 fixup layer) = 162");
             }
-            SynthResult::Unsat => println!("UNSAT in {time:.1?} (unexpected — check the port layout)"),
-            SynthResult::Unknown => println!("TIMEOUT after {time:.1?} (paper's Kissat: 469 s, seed SD 4e3)"),
+            SynthResult::Unsat => {
+                println!("UNSAT in {time:.1?} (unexpected — check the port layout)")
+            }
+            SynthResult::Unknown => {
+                println!("TIMEOUT after {time:.1?} (paper's Kissat: 469 s, seed SD 4e3)")
+            }
         }
     } else {
         println!("\n(encode-only; pass --solve to attempt the SAT query)");

@@ -10,16 +10,29 @@ use workloads::specs::{baselines, t_factory_nodelay_spec};
 fn main() {
     let cli = Cli::parse();
     println!("== Fig. 18: no-delay 15-to-1 T-factory ==\n");
-    println!("Litinski baseline: {} (11-patch floorplan × depth 11)",
-             baselines::T_FACTORY_NODELAY_VOLUME);
-    println!("paper result:      {} (3×3×11, 9-patch floorplan, −18%)\n",
-             baselines::PAPER_T_FACTORY_NODELAY_VOLUME);
-    let mut table = Table::new(["floorplan", "volume", "V·nstab", "vars", "clauses", "verdict", "time"]);
-    for depth in [11usize] {
+    println!(
+        "Litinski baseline: {} (11-patch floorplan × depth 11)",
+        baselines::T_FACTORY_NODELAY_VOLUME
+    );
+    println!(
+        "paper result:      {} (3×3×11, 9-patch floorplan, −18%)\n",
+        baselines::PAPER_T_FACTORY_NODELAY_VOLUME
+    );
+    let mut table = Table::new([
+        "floorplan",
+        "volume",
+        "V·nstab",
+        "vars",
+        "clauses",
+        "verdict",
+        "time",
+    ]);
+    {
+        let depth = 11usize;
         let spec = t_factory_nodelay_spec(depth);
-        let mut synth = Synthesizer::new(spec).expect("valid spec").with_options(
-            SynthOptions::default().with_time_limit(cli.timeout),
-        );
+        let mut synth = Synthesizer::new(spec)
+            .expect("valid spec")
+            .with_options(SynthOptions::default().with_time_limit(cli.timeout));
         let stats = synth.stats();
         let (verdict, time) = if cli.solve {
             let (result, time) = time_it(|| synth.run().expect("synthesis"));
@@ -27,8 +40,11 @@ fn main() {
                 SynthResult::Sat(d) => {
                     std::fs::create_dir_all(&cli.out).ok();
                     let scene = viz::Scene::from_design(&d, viz::SceneOptions::default());
-                    std::fs::write(format!("{}/fig18_t_factory.gltf", cli.out),
-                                   viz::gltf::to_gltf(&scene)).ok();
+                    std::fs::write(
+                        format!("{}/fig18_t_factory.gltf", cli.out),
+                        viz::gltf::to_gltf(&scene),
+                    )
+                    .ok();
                     "SAT (verified)"
                 }
                 SynthResult::Unsat => "UNSAT",

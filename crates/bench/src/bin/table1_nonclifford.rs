@@ -28,8 +28,9 @@ fn instances() -> Vec<(&'static str, LasSpec)> {
 fn main() {
     let cli = Cli::parse();
     println!("== Table I: size and runtime for non-Clifford designs ==\n");
-    let mut table =
-        Table::new(["name", "V·nstab", "vars", "clauses", "min time", "SD", "verdicts"]);
+    let mut table = Table::new([
+        "name", "V·nstab", "vars", "clauses", "min time", "SD", "verdicts",
+    ]);
     for (name, spec) in instances() {
         let stats = Synthesizer::new(spec.clone()).expect("valid spec").stats();
         let mut times = Vec::new();
@@ -38,8 +39,9 @@ fn main() {
             for seed in 0..cli.seeds as u64 {
                 let mut opts = SynthOptions::default().with_seed(seed);
                 opts.budget.max_time = Some(cli.timeout);
-                let mut s =
-                    Synthesizer::new(spec.clone()).expect("valid spec").with_options(opts);
+                let mut s = Synthesizer::new(spec.clone())
+                    .expect("valid spec")
+                    .with_options(opts);
                 let (result, time) = time_it(|| s.run().expect("synthesis"));
                 match result {
                     SynthResult::Sat(_) => {
@@ -65,7 +67,11 @@ fn main() {
             stats.num_clauses.to_string(),
             min,
             sd,
-            if cli.solve { verdicts } else { "(encode only)".into() },
+            if cli.solve {
+                verdicts
+            } else {
+                "(encode only)".into()
+            },
         ]);
     }
     table.print();

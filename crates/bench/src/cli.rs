@@ -41,9 +41,8 @@ impl Cli {
                 "--solve" => cli.solve = true,
                 "--timeout" => {
                     i += 1;
-                    cli.timeout = Duration::from_secs(
-                        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(30),
-                    );
+                    cli.timeout =
+                        Duration::from_secs(args.get(i).and_then(|s| s.parse().ok()).unwrap_or(30));
                 }
                 "--seeds" => {
                     i += 1;
@@ -51,7 +50,10 @@ impl Cli {
                 }
                 "--out" => {
                     i += 1;
-                    cli.out = args.get(i).cloned().unwrap_or_else(|| "target/experiments".into());
+                    cli.out = args
+                        .get(i)
+                        .cloned()
+                        .unwrap_or_else(|| "target/experiments".into());
                 }
                 other => eprintln!("(ignoring unknown flag {other:?})"),
             }

@@ -8,8 +8,11 @@ use sat::Model;
 /// variables off the model, prunes port-disconnected structure (the
 /// paper's "pipe donuts"), and infers K-pipe colors / domain walls.
 pub fn decode(spec: &LasSpec, encoding: &Encoding, model: &Model) -> LasDesign {
-    let values: Vec<bool> =
-        encoding.var_map.iter().map(|&lit| model.lit_true(lit)).collect();
+    let values: Vec<bool> = encoding
+        .var_map
+        .iter()
+        .map(|&lit| model.lit_true(lit))
+        .collect();
     let mut design = LasDesign::new(spec.clone(), values);
     design.prune();
     design.infer_k_colors();
@@ -30,7 +33,10 @@ mod tests {
         let model = out.expect_sat();
         let design = super::decode(&spec, &enc, &model);
         let errors = lasre::check_validity(&design);
-        assert!(errors.is_empty(), "decoded design violates constraints: {errors:?}");
+        assert!(
+            errors.is_empty(),
+            "decoded design violates constraints: {errors:?}"
+        );
         // All four port pipes present.
         for port in &design.spec().ports {
             let (base, axis) = port.pipe();

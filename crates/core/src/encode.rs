@@ -238,8 +238,11 @@ impl<'s> Encoder<'s> {
             }
 
             // Color matching (Fig. 9f–g) between horizontal pipes.
-            let horiz: Vec<(Axis, Coord, Lit)> =
-                slots.iter().copied().filter(|&(a, _, _)| a != Axis::K).collect();
+            let horiz: Vec<(Axis, Coord, Lit)> = slots
+                .iter()
+                .copied()
+                .filter(|&(a, _, _)| a != Axis::K)
+                .collect();
             for (ai, &(aa, ab, ae)) in horiz.iter().enumerate() {
                 for &(ba, bb, be) in &horiz[ai + 1..] {
                     // Skip unusable slots early (constant-false pipes).
@@ -286,8 +289,7 @@ impl<'s> Encoder<'s> {
                 continue;
             }
             let y = self.ycube(c);
-            let k_slots =
-                [(Axis::K, c.prev(Axis::K)), (Axis::K, c)];
+            let k_slots = [(Axis::K, c.prev(Axis::K)), (Axis::K, c)];
             for s in 0..self.spec.nstab() {
                 // (d) Both-or-none at Y cubes (Fig. 11d).
                 if self.spec.allow_y_cubes {
@@ -319,8 +321,7 @@ impl<'s> Encoder<'s> {
                                 continue;
                             }
                             let par = self.corr(s, CorrKind::new(axis, normal), base);
-                            let orth =
-                                self.corr(s, CorrKind::new(axis, axis.third(normal)), base);
+                            let orth = self.corr(s, CorrKind::new(axis, axis.third(normal)), base);
                             let t = self.builder.and(e, par);
                             parallel_terms.push(t);
                             orth_terms.push((e, orth));
@@ -340,7 +341,12 @@ impl<'s> Encoder<'s> {
             num_clauses: self.builder.cnf().num_clauses(),
             simplified_away: self.builder.simplified_away(),
         };
-        Encoding { cnf: self.builder.into_cnf(), var_map: self.var_map, table: self.table, stats }
+        Encoding {
+            cnf: self.builder.into_cnf(),
+            var_map: self.var_map,
+            table: self.table,
+            stats,
+        }
     }
 }
 
@@ -355,7 +361,10 @@ mod tests {
         assert_eq!(enc.stats.v_nstab, 48);
         assert!(enc.stats.num_vars > enc.table.num_total());
         assert!(enc.stats.num_clauses > 100);
-        assert!(enc.stats.simplified_away > 0, "ports should trigger simplification");
+        assert!(
+            enc.stats.simplified_away > 0,
+            "ports should trigger simplification"
+        );
     }
 
     #[test]
@@ -374,7 +383,8 @@ mod tests {
             .map(|(&lit, &v)| if v { lit } else { !lit })
             .collect();
         let mut solver = sat::CdclSolver::default();
-        let out = sat::Backend::solve_with(&mut solver, &enc.cnf, &assumptions, &sat::Budget::default());
+        let out =
+            sat::Backend::solve_with(&mut solver, &enc.cnf, &assumptions, &sat::Budget::default());
         assert!(out.is_sat(), "paper's CNOT must satisfy the encoding");
     }
 
@@ -385,7 +395,9 @@ mod tests {
         let spec = cnot_spec();
         let enc = encode(&spec).unwrap();
         let design = cnot_design();
-        let ipipe = enc.table.structural(StructVar::Exist(Axis::I, Coord::new(0, 1, 2)));
+        let ipipe = enc
+            .table
+            .structural(StructVar::Exist(Axis::I, Coord::new(0, 1, 2)));
         let assumptions: Vec<Lit> = enc
             .var_map
             .iter()
@@ -401,7 +413,8 @@ mod tests {
             })
             .collect();
         let mut solver = sat::CdclSolver::default();
-        let out = sat::Backend::solve_with(&mut solver, &enc.cnf, &assumptions, &sat::Budget::default());
+        let out =
+            sat::Backend::solve_with(&mut solver, &enc.cnf, &assumptions, &sat::Budget::default());
         assert!(out.is_unsat());
     }
 

@@ -28,10 +28,10 @@
 //! # }
 //! ```
 
-pub mod encode;
 pub mod decode;
+pub mod encode;
 pub mod optimize;
-pub mod verify;
 mod synthesize;
+pub mod verify;
 
 pub use synthesize::{BackendChoice, SynthError, SynthOptions, SynthResult, Synthesizer};

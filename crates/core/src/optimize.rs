@@ -71,7 +71,10 @@ pub fn find_min_depth(
         let time = synth.last_solve_time().unwrap_or_default();
         let sat = match result {
             SynthResult::Sat(d) => {
-                if best.as_ref().map_or(true, |b| d.spec().max_k < b.spec().max_k) {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| d.spec().max_k < b.spec().max_k)
+                {
                     best = Some(*d);
                 }
                 Some(true)
@@ -79,7 +82,11 @@ pub fn find_min_depth(
             SynthResult::Unsat => Some(false),
             SynthResult::Unknown => None,
         };
-        probes.push(DepthProbe { max_k: k, sat, time });
+        probes.push(DepthProbe {
+            max_k: k,
+            sat,
+            time,
+        });
         Ok(sat)
     };
     let mut k = start;
@@ -246,7 +253,7 @@ fn heap_permute(arr: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
     }
     for i in 0..k {
         heap_permute(arr, k - 1, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             arr.swap(i, k - 1);
         } else {
             arr.swap(0, k - 1);

@@ -4,7 +4,9 @@ use crate::decode::decode;
 use crate::encode::{encode, EncodeStats, Encoding};
 use crate::verify::{verify, VerifyError};
 use lasre::{LasDesign, LasSpec, SpecError};
-use sat::{Backend, Budget, CdclConfig, CdclSolver, SolveOutcome, VarisatBackend};
+#[cfg(feature = "varisat")]
+use sat::VarisatBackend;
+use sat::{Backend, Budget, CdclConfig, CdclSolver, SolveOutcome};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -61,6 +63,8 @@ pub enum SynthError {
     /// The solver produced a design whose ZX flows miss spec
     /// stabilizers — likewise an encoder bug if it ever fires.
     Verify(VerifyError),
+    /// The requested SAT backend was not compiled into this build.
+    BackendUnavailable(&'static str),
 }
 
 impl fmt::Display for SynthError {
@@ -68,9 +72,18 @@ impl fmt::Display for SynthError {
         match self {
             SynthError::Spec(e) => write!(f, "invalid specification: {e}"),
             SynthError::InvalidDesign(errs) => {
-                write!(f, "solver returned an invalid design ({} violations)", errs.len())
+                write!(
+                    f,
+                    "solver returned an invalid design ({} violations)",
+                    errs.len()
+                )
             }
             SynthError::Verify(e) => write!(f, "verification failed: {e}"),
+            SynthError::BackendUnavailable(name) => write!(
+                f,
+                "backend `{name}` is not compiled into this build; \
+                 rebuild with the `{name}` cargo feature (on by default)"
+            ),
         }
     }
 }
@@ -238,6 +251,10 @@ impl Synthesizer {
     /// Returns [`SynthError`] for spec problems or (would-be encoder
     /// bugs) invalid/unverifiable designs.
     pub fn run(&mut self) -> Result<SynthResult, SynthError> {
+        #[cfg(not(feature = "varisat"))]
+        if matches!(self.options.backend, BackendChoice::Varisat) {
+            return Err(SynthError::BackendUnavailable("varisat"));
+        }
         let outcome = self.solve_raw();
         match outcome {
             SolveOutcome::Sat(model) => {
@@ -265,11 +282,18 @@ impl Synthesizer {
                 &self.assumptions,
                 &self.options.budget,
             ),
-            BackendChoice::Varisat => VarisatBackend.solve_with(
-                &self.encoding.cnf,
-                &self.assumptions,
-                &self.options.budget,
-            ),
+            BackendChoice::Varisat => {
+                #[cfg(feature = "varisat")]
+                {
+                    VarisatBackend.solve_with(
+                        &self.encoding.cnf,
+                        &self.assumptions,
+                        &self.options.budget,
+                    )
+                }
+                #[cfg(not(feature = "varisat"))]
+                unreachable!("run() rejects the varisat backend when the feature is off")
+            }
         };
         self.last_solve_time = Some(start.elapsed());
         out
@@ -288,11 +312,15 @@ mod tests {
         assert!(design.verified());
     }
 
+    #[cfg(feature = "varisat")]
     #[test]
     fn varisat_backend_agrees() {
         let mut s = Synthesizer::new(cnot_spec())
             .unwrap()
-            .with_options(SynthOptions { backend: BackendChoice::Varisat, ..Default::default() });
+            .with_options(SynthOptions {
+                backend: BackendChoice::Varisat,
+                ..Default::default()
+            });
         assert!(s.run().unwrap().is_sat());
     }
 

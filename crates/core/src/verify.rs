@@ -55,10 +55,8 @@ impl From<ZxError> for VerifyError {
 /// missing K colors.
 pub fn extract_zx(design: &LasDesign) -> Result<Diagram, VerifyError> {
     let spec = design.spec();
-    let bounds = design.bounds();
     let mut diagram = Diagram::new();
-    let boundary_nodes: Vec<NodeId> =
-        spec.ports.iter().map(|_| diagram.add_boundary()).collect();
+    let boundary_nodes: Vec<NodeId> = spec.ports.iter().map(|_| diagram.add_boundary()).collect();
 
     // One spider per structural cube.
     let mut cube_nodes: HashMap<Coord, NodeId> = HashMap::new();
@@ -100,11 +98,7 @@ pub fn extract_zx(design: &LasDesign) -> Result<Diagram, VerifyError> {
             }
             Err(VerifyError::BadCube(c))
         };
-        let a = if bounds.contains(lo) && !spec.virtual_cubes().contains(&lo) {
-            endpoint(lo, Sign::Minus)?
-        } else {
-            endpoint(lo, Sign::Minus)?
-        };
+        let a = endpoint(lo, Sign::Minus)?;
         let b = endpoint(hi, Sign::Plus)?;
         if hadamard {
             diagram.add_h_edge(a, b);
@@ -154,8 +148,7 @@ mod tests {
         d.infer_k_colors();
         // Claim the design is a SWAP instead: must fail.
         let mut spec = d.spec().clone();
-        spec.stabilizers =
-            vec!["Z..Z".parse().unwrap(), ".ZZ.".parse().unwrap()];
+        spec.stabilizers = vec!["Z..Z".parse().unwrap(), ".ZZ.".parse().unwrap()];
         let values = d.values().to_vec();
         let mut d2 = lasre::LasDesign::new(spec, values[..6 * 12 + 2 * 6 * 12].to_vec());
         d2.infer_k_colors();

@@ -28,7 +28,11 @@ pub struct BitMat {
 impl BitMat {
     /// Creates an all-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        BitMat { rows, cols, data: vec![BitVec::zeros(cols); rows] }
+        BitMat {
+            rows,
+            cols,
+            data: vec![BitVec::zeros(cols); rows],
+        }
     }
 
     /// Creates the identity matrix of size `n`.
@@ -48,7 +52,11 @@ impl BitMat {
     pub fn from_rows(rows: Vec<BitVec>) -> Self {
         let cols = rows.first().map_or(0, BitVec::len);
         assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
-        BitMat { rows: rows.len(), cols, data: rows }
+        BitMat {
+            rows: rows.len(),
+            cols,
+            data: rows,
+        }
     }
 
     /// Number of rows.
@@ -266,7 +274,9 @@ mod tests {
 
     fn mat(rows: &[&str]) -> BitMat {
         BitMat::from_rows(
-            rows.iter().map(|r| BitVec::from_bools(r.chars().map(|ch| ch == '1'))).collect(),
+            rows.iter()
+                .map(|r| BitVec::from_bools(r.chars().map(|ch| ch == '1')))
+                .collect(),
         )
     }
 

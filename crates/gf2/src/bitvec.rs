@@ -30,7 +30,10 @@ pub struct BitVec {
 impl BitVec {
     /// Creates an all-zero vector of the given length.
     pub fn zeros(len: usize) -> Self {
-        BitVec { len, words: vec![0; words_for(len)] }
+        BitVec {
+            len,
+            words: vec![0; words_for(len)],
+        }
     }
 
     /// Creates a vector from an iterator of booleans.
@@ -79,7 +82,11 @@ impl BitVec {
     /// Panics if `idx >= len`.
     #[inline]
     pub fn get(&self, idx: usize) -> bool {
-        assert!(idx < self.len, "bit index {idx} out of range (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "bit index {idx} out of range (len {})",
+            self.len
+        );
         (self.words[idx / WORD_BITS] >> (idx % WORD_BITS)) & 1 != 0
     }
 
@@ -90,7 +97,11 @@ impl BitVec {
     /// Panics if `idx >= len`.
     #[inline]
     pub fn set(&mut self, idx: usize, value: bool) {
-        assert!(idx < self.len, "bit index {idx} out of range (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "bit index {idx} out of range (len {})",
+            self.len
+        );
         let mask = 1u64 << (idx % WORD_BITS);
         if value {
             self.words[idx / WORD_BITS] |= mask;
@@ -106,7 +117,11 @@ impl BitVec {
     /// Panics if `idx >= len`.
     #[inline]
     pub fn flip(&mut self, idx: usize) {
-        assert!(idx < self.len, "bit index {idx} out of range (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "bit index {idx} out of range (len {})",
+            self.len
+        );
         self.words[idx / WORD_BITS] ^= 1u64 << (idx % WORD_BITS);
     }
 
@@ -149,7 +164,11 @@ impl BitVec {
     /// assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![1, 3]);
     /// ```
     pub fn iter_ones(&self) -> IterOnes<'_> {
-        IterOnes { vec: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        IterOnes {
+            vec: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Index of the lowest set bit, if any.

@@ -35,7 +35,8 @@ proptest! {
     #[test]
     fn rank_le_dims(m in arb_bitmat(6, 9)) {
         let r = m.rank();
-        prop_assert!(r <= 6 && r <= 9);
+        prop_assert!(r <= 6);
+        prop_assert!(r <= 9);
     }
 
     #[test]

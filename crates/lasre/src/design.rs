@@ -87,7 +87,11 @@ impl LasDesign {
     /// Panics if `values.len()` differs from the spec's variable count.
     pub fn new(spec: LasSpec, values: Vec<bool>) -> LasDesign {
         let table = VarTable::new(spec.bounds(), spec.nstab());
-        assert_eq!(values.len(), table.num_total(), "assignment length mismatch");
+        assert_eq!(
+            values.len(),
+            table.num_total(),
+            "assignment length mismatch"
+        );
         LasDesign {
             spec,
             table,
@@ -205,15 +209,21 @@ impl LasDesign {
     /// and the inferred end color for K (end chosen by `at_upper_end`).
     fn pipe_orientation(&self, pipe: PipeRef, at_upper_end: bool) -> Option<bool> {
         match pipe.axis {
-            Axis::K => self.k_colors.get(&pipe.base).map(|&(lo, hi)| if at_upper_end { hi } else { lo }),
+            Axis::K => self
+                .k_colors
+                .get(&pipe.base)
+                .map(|&(lo, hi)| if at_upper_end { hi } else { lo }),
             axis => Some(self.color(axis, pipe.base)),
         }
     }
 
     /// Classifies the cube at `c` (see [`CubeKind`]).
     pub fn classify(&self, c: Coord) -> CubeKind {
-        if let Some(idx) =
-            self.spec.ports.iter().position(|p| p.is_virtual(self.bounds()) && p.location == c)
+        if let Some(idx) = self
+            .spec
+            .ports
+            .iter()
+            .position(|p| p.is_virtual(self.bounds()) && p.location == c)
         {
             return CubeKind::Port(idx);
         }
@@ -224,7 +234,10 @@ impl LasDesign {
         let degree = self.degree(c);
         match axes.len() {
             0 => CubeKind::Empty,
-            1 => CubeKind::Straight { axis: axes[0], degree },
+            1 => CubeKind::Straight {
+                axis: axes[0],
+                degree,
+            },
             2 => {
                 let normal = axes[0].third(axes[1]);
                 // Read the face color normal to `normal` from a
@@ -237,7 +250,11 @@ impl LasDesign {
                     .map(|(p, _)| red_normal_axis(p.axis, self.color(p.axis, p.base)) == normal)
                     .next()
                     .unwrap_or(false);
-                CubeKind::Junction { normal, red, degree }
+                CubeKind::Junction {
+                    normal,
+                    red,
+                    degree,
+                }
             }
             _ => CubeKind::Invalid,
         }
@@ -304,8 +321,10 @@ impl LasDesign {
             upper: bool,
         }
         let bounds = self.bounds();
-        let k_pipes: Vec<Coord> =
-            bounds.iter().filter(|&c| self.has_pipe(Axis::K, c)).collect();
+        let k_pipes: Vec<Coord> = bounds
+            .iter()
+            .filter(|&c| self.has_pipe(Axis::K, c))
+            .collect();
         // 1. Fixed constraints at each end.
         let mut fixed: HashMap<EndRef, bool> = HashMap::new();
         let port_pipes = self.spec.port_pipes();
@@ -338,7 +357,10 @@ impl LasDesign {
                         .find(|&o| (red_normal_axis(Axis::K, o) == n) == h_red_n)
                         .expect("one orientation matches");
                     if let Some(&prev) = fixed.get(&endref) {
-                        assert_eq!(prev, o, "conflicting K colors at {end_cube} (invalid design)");
+                        assert_eq!(
+                            prev, o,
+                            "conflicting K colors at {end_cube} (invalid design)"
+                        );
                     }
                     fixed.insert(endref, o);
                 }
@@ -355,7 +377,10 @@ impl LasDesign {
                 let only_k = self.occupied_axes(top_cube) == vec![Axis::K];
                 if only_k {
                     let a = EndRef { base, upper: true };
-                    let b = EndRef { base: above, upper: false };
+                    let b = EndRef {
+                        base: above,
+                        upper: false,
+                    };
                     adj.entry(a).or_default().push(b);
                     adj.entry(b).or_default().push(a);
                 }
@@ -414,8 +439,14 @@ impl LasDesign {
         self.k_colors.clear();
         self.domain_walls.clear();
         for &base in &k_pipes {
-            let lo = value.get(&EndRef { base, upper: false }).copied().unwrap_or(false);
-            let hi = value.get(&EndRef { base, upper: true }).copied().unwrap_or(lo);
+            let lo = value
+                .get(&EndRef { base, upper: false })
+                .copied()
+                .unwrap_or(false);
+            let hi = value
+                .get(&EndRef { base, upper: true })
+                .copied()
+                .unwrap_or(lo);
             self.k_colors.insert(base, (lo, hi));
             if lo != hi {
                 self.domain_walls.insert(base);
@@ -428,12 +459,16 @@ impl LasDesign {
     ///
     /// Returns `None` for K pipes before [`LasDesign::infer_k_colors`].
     pub fn red_normal(&self, pipe: PipeRef, upper: bool) -> Option<Axis> {
-        self.pipe_orientation(pipe, upper).map(|o| red_normal_axis(pipe.axis, o))
+        self.pipe_orientation(pipe, upper)
+            .map(|o| red_normal_axis(pipe.axis, o))
     }
 
     /// The cubes carrying any structure.
     pub fn used_cubes(&self) -> Vec<Coord> {
-        self.bounds().iter().filter(|&c| self.degree(c) > 0 || self.is_y(c)).collect()
+        self.bounds()
+            .iter()
+            .filter(|&c| self.degree(c) > 0 || self.is_y(c))
+            .collect()
     }
 
     /// Raw access to the assignment (for serialization).
@@ -468,7 +503,11 @@ mod tests {
         assert_eq!(
             d.classify(Coord::new(0, 1, 2)),
             // The ZZ merge junction is blue (a Z-spider).
-            CubeKind::Junction { normal: Axis::J, red: false, degree: 3 }
+            CubeKind::Junction {
+                normal: Axis::J,
+                red: false,
+                degree: 3
+            }
         );
         // (1,1,2) is a turn: I pipe from the left, K pipe below.
         assert_eq!(d.degree(Coord::new(1, 1, 2)), 2);
@@ -482,7 +521,9 @@ mod tests {
     fn prune_removes_disconnected_donut() {
         let mut d = cnot_design();
         // Manually add an isolated vertical pipe at (0,0,1)-(0,0,2).
-        let e = d.table.structural(StructVar::Exist(Axis::K, Coord::new(0, 0, 1)));
+        let e = d
+            .table
+            .structural(StructVar::Exist(Axis::K, Coord::new(0, 0, 1)));
         d.values[e] = true;
         assert_eq!(d.prune(), 1);
         assert!(!d.has_pipe(Axis::K, Coord::new(0, 0, 1)));
@@ -508,8 +549,12 @@ mod tests {
         let d = cnot_design();
         let inc = d.incident_pipes(Coord::new(1, 1, 2));
         assert_eq!(inc.len(), 2);
-        assert!(inc.iter().any(|(p, s)| p.axis == Axis::I && *s == Sign::Minus));
-        assert!(inc.iter().any(|(p, s)| p.axis == Axis::K && *s == Sign::Minus));
+        assert!(inc
+            .iter()
+            .any(|(p, s)| p.axis == Axis::I && *s == Sign::Minus));
+        assert!(inc
+            .iter()
+            .any(|(p, s)| p.axis == Axis::K && *s == Sign::Minus));
     }
 
     #[test]

@@ -91,7 +91,14 @@ pub fn cnot_design() -> LasDesign {
     set(table.corr(1, jk, c(1, 0, 1)));
     set(table.corr(1, ij, c(0, 1, 2)));
     // s2: X on control spreads to both outputs through the ZZ merge.
-    for p in [c(0, 1, 0), c(0, 1, 1), c(0, 1, 2), c(1, 1, 1), c(1, 0, 1), c(1, 0, 2)] {
+    for p in [
+        c(0, 1, 0),
+        c(0, 1, 1),
+        c(0, 1, 2),
+        c(1, 1, 1),
+        c(1, 0, 1),
+        c(1, 0, 2),
+    ] {
         set(table.corr(2, ki, p));
     }
     set(table.corr(2, ik, c(0, 1, 2)));

@@ -54,7 +54,10 @@ impl Axis {
     /// Panics if `self == other`.
     pub fn third(self, other: Axis) -> Axis {
         assert_ne!(self, other, "no third axis for equal axes");
-        *Axis::ALL.iter().find(|&&a| a != self && a != other).expect("three axes")
+        *Axis::ALL
+            .iter()
+            .find(|&&a| a != self && a != other)
+            .expect("three axes")
     }
 
     /// Parses `"I"`, `"J"` or `"K"` (case-insensitive).
@@ -145,12 +148,18 @@ impl Dir {
         } else {
             (Sign::Plus, s)
         };
-        Some(Dir { axis: Axis::parse(rest)?, sign })
+        Some(Dir {
+            axis: Axis::parse(rest)?,
+            sign,
+        })
     }
 
     /// The opposite direction.
     pub fn flip(self) -> Dir {
-        Dir { axis: self.axis, sign: self.sign.flip() }
+        Dir {
+            axis: self.axis,
+            sign: self.sign.flip(),
+        }
     }
 }
 
@@ -270,8 +279,15 @@ impl Bounds {
     ///
     /// Panics if any extent is zero.
     pub fn new(max_i: usize, max_j: usize, max_k: usize) -> Bounds {
-        assert!(max_i > 0 && max_j > 0 && max_k > 0, "bounds must be positive");
-        Bounds { max_i, max_j, max_k }
+        assert!(
+            max_i > 0 && max_j > 0 && max_k > 0,
+            "bounds must be positive"
+        );
+        Bounds {
+            max_i,
+            max_j,
+            max_k,
+        }
     }
 
     /// The extent along `axis`.
@@ -353,7 +369,10 @@ pub fn blue_normal_axis(pipe_axis: Axis, orientation: bool) -> Axis {
 /// Panics if `z_axis == pipe_axis` (a pipe has no faces normal to its
 /// own axis).
 pub fn orientation_for_blue_normal(pipe_axis: Axis, z_axis: Axis) -> bool {
-    assert_ne!(z_axis, pipe_axis, "z basis direction must be perpendicular to the pipe");
+    assert_ne!(
+        z_axis, pipe_axis,
+        "z basis direction must be perpendicular to the pipe"
+    );
     let o = blue_normal_axis(pipe_axis, false) == z_axis;
     // If blue-normal at orientation=false equals z_axis, orientation is false.
     !o
@@ -439,6 +458,9 @@ mod tests {
     fn turn_color_matching_example() {
         // An I-pipe with red on K-normal faces (o=false) meeting a J-pipe:
         // the J-pipe must also have red K-normal faces, i.e. o=false.
-        assert_eq!(red_normal_axis(Axis::I, false), red_normal_axis(Axis::J, false));
+        assert_eq!(
+            red_normal_axis(Axis::I, false),
+            red_normal_axis(Axis::J, false)
+        );
     }
 }

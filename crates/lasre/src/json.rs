@@ -60,13 +60,20 @@ impl From<serde_json::Error> for LasreError {
 
 /// Serializes a design to the `.lasre` JSON format.
 pub fn to_lasre(design: &LasDesign) -> String {
-    let values: String =
-        design.values().iter().map(|&b| if b { '1' } else { '0' }).collect();
+    let values: String = design
+        .values()
+        .iter()
+        .map(|&b| if b { '1' } else { '0' })
+        .collect();
     let mut k_colors: Vec<(i32, i32, i32, bool, bool)> = design
         .pipes()
         .into_iter()
         .filter(|p| p.axis == Axis::K)
-        .filter_map(|p| design.k_color(p.base).map(|(lo, hi)| (p.base.i, p.base.j, p.base.k, lo, hi)))
+        .filter_map(|p| {
+            design
+                .k_color(p.base)
+                .map(|(lo, hi)| (p.base.i, p.base.j, p.base.k, lo, hi))
+        })
         .collect();
     k_colors.sort();
     let mut domain_walls: Vec<Coord> = design.domain_walls().iter().copied().collect();

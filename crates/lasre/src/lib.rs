@@ -15,10 +15,10 @@
 //! The synthesizer that fills in a `LasDesign` from a `LasSpec` lives in
 //! the `lassynth-core` crate; this crate is pure representation.
 
-pub mod geom;
-pub mod fixtures;
-pub mod json;
 mod design;
+pub mod fixtures;
+pub mod geom;
+pub mod json;
 mod port;
 pub mod slices;
 mod spec;
@@ -29,7 +29,7 @@ pub use design::{CubeKind, LasDesign, PipeRef};
 pub use geom::{Axis, Bounds, Coord, Dir, Sign};
 pub use json::{from_lasre, to_lasre, LasreError};
 pub use port::Port;
-pub use spec::{LasSpec, SpecError};
 pub use slices::{render, render_layer};
+pub use spec::{LasSpec, SpecError};
 pub use validate::{check_functionality, check_validity, ValidityError};
 pub use vars::{CorrKind, StructVar, VarTable};

@@ -27,7 +27,11 @@ pub struct Port {
 impl Port {
     /// Builds a port.
     pub fn new(location: Coord, direction: Dir, z_basis_direction: Axis) -> Port {
-        Port { location, direction, z_basis_direction }
+        Port {
+            location,
+            direction,
+            z_basis_direction,
+        }
     }
 
     /// Convenience constructor from raw parts, parsing the direction.
@@ -36,7 +40,11 @@ impl Port {
     ///
     /// Panics if `dir` does not parse.
     pub fn parse(i: i32, j: i32, k: i32, dir: &str, z: Axis) -> Port {
-        Port::new(Coord::new(i, j, k), Dir::parse(dir).expect("valid direction"), z)
+        Port::new(
+            Coord::new(i, j, k),
+            Dir::parse(dir).expect("valid direction"),
+            z,
+        )
     }
 
     /// The boundary cube inside the volume that this port attaches to.

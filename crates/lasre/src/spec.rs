@@ -128,13 +128,21 @@ impl LasSpec {
 
     /// Map from port pipe `(coord, axis)` to port index.
     pub fn port_pipes(&self) -> HashMap<(Coord, Axis), usize> {
-        self.ports.iter().enumerate().map(|(idx, p)| (p.pipe(), idx)).collect()
+        self.ports
+            .iter()
+            .enumerate()
+            .map(|(idx, p)| (p.pipe(), idx))
+            .collect()
     }
 
     /// The set of virtual port cubes (port locations inside the arrays).
     pub fn virtual_cubes(&self) -> HashSet<Coord> {
         let b = self.bounds();
-        self.ports.iter().filter(|p| p.is_virtual(b)).map(|p| p.location).collect()
+        self.ports
+            .iter()
+            .filter(|p| p.is_virtual(b))
+            .map(|p| p.location)
+            .collect()
     }
 
     /// Checks the specification for structural and functional
@@ -258,7 +266,10 @@ impl LasSpec {
         assert_eq!(perm.len(), self.ports.len(), "permutation length mismatch");
         let mut sorted: Vec<usize> = perm.to_vec();
         sorted.sort_unstable();
-        assert!(sorted.iter().enumerate().all(|(i, &p)| i == p), "not a permutation");
+        assert!(
+            sorted.iter().enumerate().all(|(i, &p)| i == p),
+            "not a permutation"
+        );
         let mut out = self.clone();
         // Port i of the new spec takes the *geometry* of port i but the
         // *stabilizer column* of perm[i]: i.e. we reassign which logical
@@ -352,7 +363,10 @@ mod tests {
     fn rejects_out_of_range_location() {
         let mut s = cnot();
         s.ports[2] = Port::new(Coord::new(0, 1, 4), Dir::parse("-K").unwrap(), Axis::J);
-        assert!(matches!(s.validate(), Err(SpecError::PortCubeOutOfBounds(2) | SpecError::PortLocationInvalid(2))));
+        assert!(matches!(
+            s.validate(),
+            Err(SpecError::PortCubeOutOfBounds(2) | SpecError::PortLocationInvalid(2))
+        ));
     }
 
     #[test]

@@ -43,9 +43,17 @@ pub enum ValidityError {
     /// A Y cube's surfaces are not both-or-none (Fig. 11d).
     YSurfaceMismatch { stabilizer: usize, cube: Coord },
     /// Odd parity of surfaces parallel to a cube's normal (Fig. 11b).
-    ParallelParity { stabilizer: usize, cube: Coord, normal: Axis },
+    ParallelParity {
+        stabilizer: usize,
+        cube: Coord,
+        normal: Axis,
+    },
     /// Mixed presence of surfaces orthogonal to a normal (Fig. 11c).
-    OrthogonalMixed { stabilizer: usize, cube: Coord, normal: Axis },
+    OrthogonalMixed {
+        stabilizer: usize,
+        cube: Coord,
+        normal: Axis,
+    },
 }
 
 impl fmt::Display for ValidityError {
@@ -200,7 +208,10 @@ pub fn check_functionality(design: &LasDesign) -> Vec<ValidityError> {
                 Pauli::Y => (true, true),
             };
             if design.corr(s, z_kind, base) != want_z || design.corr(s, x_kind, base) != want_x {
-                errors.push(ValidityError::PortSurfaceMismatch { stabilizer: s, port: p_idx });
+                errors.push(ValidityError::PortSurfaceMismatch {
+                    stabilizer: s,
+                    port: p_idx,
+                });
             }
         }
         for c in bounds.iter() {
@@ -211,7 +222,10 @@ pub fn check_functionality(design: &LasDesign) -> Vec<ValidityError> {
                         let ki = design.corr(s, CorrKind::new(Axis::K, Axis::I), pipe.base);
                         let kj = design.corr(s, CorrKind::new(Axis::K, Axis::J), pipe.base);
                         if ki != kj {
-                            errors.push(ValidityError::YSurfaceMismatch { stabilizer: s, cube: c });
+                            errors.push(ValidityError::YSurfaceMismatch {
+                                stabilizer: s,
+                                cube: c,
+                            });
                         }
                     }
                 }
@@ -238,10 +252,18 @@ pub fn check_functionality(design: &LasDesign) -> Vec<ValidityError> {
                     orth_present.push(design.corr(s, orth, pipe.base));
                 }
                 if parity {
-                    errors.push(ValidityError::ParallelParity { stabilizer: s, cube: c, normal });
+                    errors.push(ValidityError::ParallelParity {
+                        stabilizer: s,
+                        cube: c,
+                        normal,
+                    });
                 }
                 if orth_present.iter().any(|&x| x) && !orth_present.iter().all(|&x| x) {
-                    errors.push(ValidityError::OrthogonalMixed { stabilizer: s, cube: c, normal });
+                    errors.push(ValidityError::OrthogonalMixed {
+                        stabilizer: s,
+                        cube: c,
+                        normal,
+                    });
                 }
             }
         }
@@ -273,13 +295,17 @@ mod tests {
     #[test]
     fn dangling_pipe_detected() {
         let mut d = cnot_design();
-        let idx = d.table().structural(StructVar::Exist(Axis::K, Coord::new(0, 0, 1)));
+        let idx = d
+            .table()
+            .structural(StructVar::Exist(Axis::K, Coord::new(0, 0, 1)));
         let mut values = d.values().to_vec();
         values[idx] = true;
         let d2 = LasDesign::new(d.spec().clone(), values);
         let errors = check_validity(&d2);
         assert!(
-            errors.iter().any(|e| matches!(e, ValidityError::DegreeOne(_))),
+            errors
+                .iter()
+                .any(|e| matches!(e, ValidityError::DegreeOne(_))),
             "{errors:?}"
         );
         let _ = &mut d;
@@ -290,7 +316,9 @@ mod tests {
         let mut values = cnot_design().values().to_vec();
         let d = cnot_design();
         // A pipe exiting at the top where no port exists: (0,0,2)→k=3.
-        let idx = d.table().structural(StructVar::Exist(Axis::K, Coord::new(0, 0, 2)));
+        let idx = d
+            .table()
+            .structural(StructVar::Exist(Axis::K, Coord::new(0, 0, 2)));
         values[idx] = true;
         let d2 = LasDesign::new(d.spec().clone(), values);
         let errors = check_validity(&d2);
@@ -308,19 +336,27 @@ mod tests {
         // with nothing at (0,1,2) since only one horizontal pipe meets
         // there. Instead add a second I pipe at (0,0,1)→(1,0,1) with a
         // clashing color against the J pipe at (1,0,1).
-        let e = d.table().structural(StructVar::Exist(Axis::I, Coord::new(0, 0, 1)));
+        let e = d
+            .table()
+            .structural(StructVar::Exist(Axis::I, Coord::new(0, 0, 1)));
         values[e] = true;
         // Also anchor its far end so no degree-1 violation hides the color error:
-        let e2 = d.table().structural(StructVar::Exist(Axis::K, Coord::new(0, 0, 1)));
+        let e2 = d
+            .table()
+            .structural(StructVar::Exist(Axis::K, Coord::new(0, 0, 1)));
         values[e2] = true;
-        let e3 = d.table().structural(StructVar::Exist(Axis::K, Coord::new(0, 0, 2)));
+        let e3 = d
+            .table()
+            .structural(StructVar::Exist(Axis::K, Coord::new(0, 0, 2)));
         values[e3] = true;
         // Color of new I pipe: red normal K (false). J pipe at (1,0,1) is
         // red normal I (true): shared normal K: I pipe red-K=true(red on K),
         // J pipe red_normal(J,true)=I ⇒ red-K=false: mismatch at (1,0,1).
         let errors = check_validity(&LasDesign::new(d.spec().clone(), values));
         assert!(
-            errors.iter().any(|e| matches!(e, ValidityError::ColorMismatch(c) if *c == Coord::new(1,0,1))),
+            errors
+                .iter()
+                .any(|e| matches!(e, ValidityError::ColorMismatch(c) if *c == Coord::new(1,0,1))),
             "{errors:?}"
         );
     }
@@ -340,12 +376,18 @@ mod tests {
         let d = cnot_design();
         let mut values = d.values().to_vec();
         // Remove the s0 surface at port 0's pipe.
-        let idx = d.table().corr(0, CorrKind::new(Axis::K, Axis::J), Coord::new(0, 1, 0));
+        let idx = d
+            .table()
+            .corr(0, CorrKind::new(Axis::K, Axis::J), Coord::new(0, 1, 0));
         values[idx] = false;
         let errors = check_functionality(&LasDesign::new(d.spec().clone(), values));
-        assert!(errors
-            .iter()
-            .any(|e| matches!(e, ValidityError::PortSurfaceMismatch { stabilizer: 0, port: 0 })));
+        assert!(errors.iter().any(|e| matches!(
+            e,
+            ValidityError::PortSurfaceMismatch {
+                stabilizer: 0,
+                port: 0
+            }
+        )));
     }
 
     #[test]
@@ -354,13 +396,19 @@ mod tests {
         let mut values = d.values().to_vec();
         // Drop the IJ piece of s1 at the ZZ junction: parity at (0,1,2)
         // w.r.t. normal J becomes odd.
-        let idx = d.table().corr(1, CorrKind::new(Axis::I, Axis::J), Coord::new(0, 1, 2));
+        let idx = d
+            .table()
+            .corr(1, CorrKind::new(Axis::I, Axis::J), Coord::new(0, 1, 2));
         values[idx] = false;
         let errors = check_functionality(&LasDesign::new(d.spec().clone(), values));
         assert!(
             errors.iter().any(|e| matches!(
                 e,
-                ValidityError::ParallelParity { stabilizer: 1, normal: Axis::J, .. }
+                ValidityError::ParallelParity {
+                    stabilizer: 1,
+                    normal: Axis::J,
+                    ..
+                }
             )),
             "{errors:?}"
         );
@@ -371,14 +419,15 @@ mod tests {
         let d = cnot_design();
         let mut values = d.values().to_vec();
         // Drop one of the three orthogonal X pieces of s2 at (0,1,2).
-        let idx = d.table().corr(2, CorrKind::new(Axis::I, Axis::K), Coord::new(0, 1, 2));
+        let idx = d
+            .table()
+            .corr(2, CorrKind::new(Axis::I, Axis::K), Coord::new(0, 1, 2));
         values[idx] = false;
         let errors = check_functionality(&LasDesign::new(d.spec().clone(), values));
         assert!(
-            errors.iter().any(|e| matches!(
-                e,
-                ValidityError::OrthogonalMixed { stabilizer: 2, .. }
-            )),
+            errors
+                .iter()
+                .any(|e| matches!(e, ValidityError::OrthogonalMixed { stabilizer: 2, .. })),
             "{errors:?}"
         );
     }

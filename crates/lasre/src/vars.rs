@@ -39,7 +39,10 @@ impl CorrKind {
     ///
     /// Panics if `plane == pipe_axis`.
     pub fn new(pipe_axis: Axis, plane: Axis) -> CorrKind {
-        assert_ne!(pipe_axis, plane, "correlation plane must differ from pipe axis");
+        assert_ne!(
+            pipe_axis, plane,
+            "correlation plane must differ from pipe axis"
+        );
         CorrKind { pipe_axis, plane }
     }
 
@@ -57,7 +60,11 @@ impl CorrKind {
 
     /// Dense index 0..6 in the order of [`CorrKind::all`].
     pub fn index(self) -> usize {
-        let within = if self.plane == self.pipe_axis.others()[0] { 0 } else { 1 };
+        let within = if self.plane == self.pipe_axis.others()[0] {
+            0
+        } else {
+            1
+        };
         self.pipe_axis.index() * 2 + within
     }
 }

@@ -84,6 +84,7 @@ impl Pauli {
     /// Multiplies two Paulis, returning the resulting Pauli and the
     /// phase `i^k` such that `self * other = i^k * result` with `result`
     /// Hermitian (I, X, Y or Z).
+    #[allow(clippy::should_implement_trait)] // returns (Pauli, Phase), not Self
     pub fn mul(self, other: Pauli) -> (Pauli, Phase) {
         let (x1, z1) = self.xz();
         let (x2, z2) = other.xz();
@@ -211,8 +212,10 @@ mod tests {
 
     #[test]
     fn cnot_flows_commute() {
-        let flows: Vec<PauliString> =
-            ["Z.Z.", ".ZZZ", "X.XX", ".X.X"].iter().map(|s| s.parse().unwrap()).collect();
+        let flows: Vec<PauliString> = ["Z.Z.", ".ZZZ", "X.XX", ".X.X"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
         assert!(all_commute(&flows));
         assert_eq!(independent_count(&flows), 4);
     }

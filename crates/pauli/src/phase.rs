@@ -41,7 +41,7 @@ impl Phase {
     /// Whether the phase is real (`±1`).
     #[inline]
     pub fn is_real(self) -> bool {
-        self.0 % 2 == 0
+        self.0.is_multiple_of(2)
     }
 
     /// Multiplicative inverse (`i^-k`).

@@ -46,7 +46,11 @@ impl std::error::Error for ParsePauliError {}
 impl PauliString {
     /// The identity string on `n` qubits.
     pub fn identity(n: usize) -> Self {
-        PauliString { xs: BitVec::zeros(n), zs: BitVec::zeros(n), phase: Phase::ONE }
+        PauliString {
+            xs: BitVec::zeros(n),
+            zs: BitVec::zeros(n),
+            phase: Phase::ONE,
+        }
     }
 
     /// A string with a single non-identity Pauli at `idx`.
@@ -159,7 +163,9 @@ impl PauliString {
 
     /// Indices of non-identity positions, in increasing order.
     pub fn support(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&q| self.get(q) != Pauli::I).collect()
+        (0..self.len())
+            .filter(|&q| self.get(q) != Pauli::I)
+            .collect()
     }
 
     /// Whether this string commutes with `other`.
@@ -246,7 +252,9 @@ impl FromStr for PauliString {
     type Err = ParsePauliError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || ParsePauliError { offending: s.to_string() };
+        let err = || ParsePauliError {
+            offending: s.to_string(),
+        };
         let (phase, body) = if let Some(rest) = s.strip_prefix("-i") {
             (Phase::MINUS_I, rest)
         } else if let Some(rest) = s.strip_prefix("+i") {
@@ -317,7 +325,10 @@ mod tests {
     fn parse_display_roundtrip() {
         for s in ["XYZ.", "-ZZ", "+iX.", "-iYYY", "...."] {
             let p = ps(s);
-            let expected = s.strip_prefix('+').filter(|r| !r.starts_with('i')).unwrap_or(s);
+            let expected = s
+                .strip_prefix('+')
+                .filter(|r| !r.starts_with('i'))
+                .unwrap_or(s);
             assert_eq!(p.to_string(), expected);
         }
     }

@@ -4,7 +4,12 @@ use pauli::{Pauli, PauliString, Phase};
 use proptest::prelude::*;
 
 fn arb_pauli() -> impl Strategy<Value = Pauli> {
-    prop_oneof![Just(Pauli::I), Just(Pauli::X), Just(Pauli::Y), Just(Pauli::Z)]
+    prop_oneof![
+        Just(Pauli::I),
+        Just(Pauli::X),
+        Just(Pauli::Y),
+        Just(Pauli::Z)
+    ]
 }
 
 fn arb_string(n: usize) -> impl Strategy<Value = PauliString> {

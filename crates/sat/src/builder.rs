@@ -147,8 +147,11 @@ impl CnfBuilder {
 
     /// Emits `(g₁ ∧ g₂ ∧ …) ⇒ (l₁ ∨ l₂ ∨ …)`.
     pub fn implies_clause(&mut self, guards: &[Lit], conclusion: &[Lit]) {
-        let lits: Vec<Lit> =
-            guards.iter().map(|&g| !g).chain(conclusion.iter().copied()).collect();
+        let lits: Vec<Lit> = guards
+            .iter()
+            .map(|&g| !g)
+            .chain(conclusion.iter().copied())
+            .collect();
         self.clause(lits);
     }
 
@@ -228,7 +231,11 @@ impl CnfBuilder {
                 None => free.push(t),
             }
         }
-        assert!(free.len() <= 8, "xor expansion too large ({} terms)", free.len());
+        assert!(
+            free.len() <= 8,
+            "xor expansion too large ({} terms)",
+            free.len()
+        );
         if free.is_empty() {
             if target {
                 // Constraint reduces to guards ⇒ false.
@@ -238,8 +245,8 @@ impl CnfBuilder {
         }
         // Forbid every assignment of the free terms with the wrong parity.
         for mask in 0u32..(1 << free.len()) {
-            let ones = mask.count_ones() as usize % 2 == 1;
-            if ones != !target {
+            let ones = mask.count_ones() & 1 == 1;
+            if ones == target {
                 continue; // this assignment has the correct parity
             }
             // The assignment sets term i true iff bit i of mask; forbid it.

@@ -24,7 +24,10 @@ pub struct Cnf {
 impl Cnf {
     /// Creates an empty formula over `num_vars` variables.
     pub fn new(num_vars: usize) -> Cnf {
-        Cnf { num_vars, clauses: Vec::new() }
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
     }
 
     /// Number of variables.
@@ -77,7 +80,9 @@ impl Cnf {
     ///
     /// Used by tests and by debug assertions to check models.
     pub fn eval(&self, model: &crate::Model) -> bool {
-        self.clauses.iter().all(|c| c.iter().any(|&l| model.lit_true(l)))
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|&l| model.lit_true(l)))
     }
 }
 

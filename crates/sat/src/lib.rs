@@ -35,10 +35,12 @@ mod cnf;
 pub mod dimacs;
 mod solver;
 mod types;
+#[cfg(feature = "varisat")]
 mod varisat_backend;
 
 pub use builder::CnfBuilder;
 pub use cnf::Cnf;
 pub use solver::{CdclConfig, CdclSolver, SolverStats};
 pub use types::{Backend, Budget, Lit, Model, SolveOutcome, Var};
+#[cfg(feature = "varisat")]
 pub use varisat_backend::VarisatBackend;

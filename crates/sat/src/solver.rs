@@ -104,7 +104,10 @@ pub struct CdclSolver {
 impl CdclSolver {
     /// Creates a solver with the given configuration.
     pub fn with_config(config: CdclConfig) -> Self {
-        CdclSolver { config, stats: SolverStats::default() }
+        CdclSolver {
+            config,
+            stats: SolverStats::default(),
+        }
     }
 }
 
@@ -147,7 +150,11 @@ struct VarOrder {
 
 impl VarOrder {
     fn new(n: usize) -> Self {
-        VarOrder { heap: Vec::with_capacity(n), pos: vec![-1; n], activity: vec![0.0; n] }
+        VarOrder {
+            heap: Vec::with_capacity(n),
+            pos: vec![-1; n],
+            activity: vec![0.0; n],
+        }
     }
 
     fn contains(&self, v: u32) -> bool {
@@ -360,9 +367,21 @@ impl State {
         let cref = self.clauses.len() as u32;
         // watches[l.code()] holds the clauses currently watching literal l;
         // they are visited when l becomes false.
-        self.watches[lits[0].code()].push(Watcher { cref, blocker: lits[1] });
-        self.watches[lits[1].code()].push(Watcher { cref, blocker: lits[0] });
-        self.clauses.push(Clause { lits, activity: 0.0, lbd, learnt, deleted: false });
+        self.watches[lits[0].code()].push(Watcher {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[lits[1].code()].push(Watcher {
+            cref,
+            blocker: lits[0],
+        });
+        self.clauses.push(Clause {
+            lits,
+            activity: 0.0,
+            lbd,
+            learnt,
+            deleted: false,
+        });
         if learnt {
             self.learnt_count += 1;
             self.stats.learned += 1;
@@ -415,7 +434,10 @@ impl State {
                 }
                 let first = self.clauses[cref].lits[0];
                 if first != w.blocker && self.value(first) == 1 {
-                    ws[j] = Watcher { cref: w.cref, blocker: first };
+                    ws[j] = Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    };
                     j += 1;
                     continue;
                 }
@@ -425,12 +447,18 @@ impl State {
                     let lk = self.clauses[cref].lits[k];
                     if self.value(lk) != -1 {
                         self.clauses[cref].lits.swap(1, k);
-                        self.watches[lk.code()].push(Watcher { cref: w.cref, blocker: first });
+                        self.watches[lk.code()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
                         continue 'watchers;
                     }
                 }
                 // Unit or conflict.
-                ws[j] = Watcher { cref: w.cref, blocker: first };
+                ws[j] = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
                 j += 1;
                 if self.value(first) == -1 {
                     conflict = Some(w.cref);
@@ -596,9 +624,7 @@ impl State {
 
     fn decide(&mut self) -> Option<Lit> {
         // Occasional random decisions diversify seeds.
-        if self.config.random_var_freq > 0.0
-            && self.rng.random_bool(self.config.random_var_freq)
-        {
+        if self.config.random_var_freq > 0.0 && self.rng.random_bool(self.config.random_var_freq) {
             let v = self.rng.random_range(0..self.num_vars);
             if self.assigns[v] == 0 {
                 return Some(self.choose_polarity(v));
@@ -641,7 +667,9 @@ impl State {
         candidates.sort_by(|&a, &b| {
             let (ca, cb) = (&self.clauses[a as usize], &self.clauses[b as usize]);
             cb.lbd.cmp(&ca.lbd).then(
-                ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal),
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
             )
         });
         let remove = candidates.len() / 2;
@@ -689,7 +717,7 @@ impl State {
                         return SolveOutcome::Unknown;
                     }
                 }
-                if self.stats.conflicts % 256 == 0 {
+                if self.stats.conflicts.is_multiple_of(256) {
                     if let Some(max) = budget.max_time {
                         if start.elapsed() >= max {
                             return SolveOutcome::Unknown;
@@ -708,9 +736,7 @@ impl State {
                     restart_budget = self.config.restart_base * luby(self.stats.restarts);
                     self.cancel_until(0);
                 }
-                if self.config.use_clause_deletion
-                    && self.learnt_count as f64 >= self.max_learnts
-                {
+                if self.config.use_clause_deletion && self.learnt_count as f64 >= self.max_learnts {
                     self.reduce_db();
                 }
                 // Re-apply assumptions as pseudo-decisions.
@@ -883,8 +909,7 @@ mod tests {
         }
         let refs: Vec<&[i64]> = clauses.iter().map(|v| v.as_slice()).collect();
         let c = cnf(&refs);
-        let out =
-            CdclSolver::default().solve_with(&c, &[], &Budget::conflict_limit(10));
+        let out = CdclSolver::default().solve_with(&c, &[], &Budget::conflict_limit(10));
         assert!(matches!(out, SolveOutcome::Unknown));
     }
 
@@ -911,17 +936,35 @@ mod tests {
     #[test]
     fn ablated_configs_still_correct() {
         let configs = [
-            CdclConfig { use_restarts: false, ..CdclConfig::default() },
-            CdclConfig { use_phase_saving: false, ..CdclConfig::default() },
-            CdclConfig { use_clause_deletion: false, ..CdclConfig::default() },
-            CdclConfig { use_minimization: false, ..CdclConfig::default() },
-            CdclConfig { random_var_freq: 0.0, ..CdclConfig::default() },
+            CdclConfig {
+                use_restarts: false,
+                ..CdclConfig::default()
+            },
+            CdclConfig {
+                use_phase_saving: false,
+                ..CdclConfig::default()
+            },
+            CdclConfig {
+                use_clause_deletion: false,
+                ..CdclConfig::default()
+            },
+            CdclConfig {
+                use_minimization: false,
+                ..CdclConfig::default()
+            },
+            CdclConfig {
+                random_var_freq: 0.0,
+                ..CdclConfig::default()
+            },
         ];
         let sat = cnf(&[&[1, 2], &[-1, 2], &[1, -2]]);
         let unsat = cnf(&[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]);
         for cfg in configs {
             let mut s = CdclSolver::with_config(cfg.clone());
-            assert!(s.solve_with(&sat, &[], &Budget::default()).is_sat(), "{cfg:?}");
+            assert!(
+                s.solve_with(&sat, &[], &Budget::default()).is_sat(),
+                "{cfg:?}"
+            );
             let mut s = CdclSolver::with_config(cfg);
             assert!(s.solve_with(&unsat, &[], &Budget::default()).is_unsat());
         }

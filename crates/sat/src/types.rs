@@ -221,12 +221,18 @@ impl Budget {
 
     /// A wall-clock budget.
     pub fn time_limit(limit: Duration) -> Budget {
-        Budget { max_time: Some(limit), ..Budget::default() }
+        Budget {
+            max_time: Some(limit),
+            ..Budget::default()
+        }
     }
 
     /// A conflict-count budget.
     pub fn conflict_limit(limit: u64) -> Budget {
-        Budget { max_conflicts: Some(limit), ..Budget::default() }
+        Budget {
+            max_conflicts: Some(limit),
+            ..Budget::default()
+        }
     }
 
     /// Attaches a cancellation flag.

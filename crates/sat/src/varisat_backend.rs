@@ -22,8 +22,10 @@ impl Backend for VarisatBackend {
         let mut solver = varisat::Solver::new();
         let mut formula = varisat::CnfFormula::new();
         for clause in cnf {
-            let lits: Vec<varisat::Lit> =
-                clause.iter().map(|l| varisat::Lit::from_dimacs(l.to_dimacs() as isize)).collect();
+            let lits: Vec<varisat::Lit> = clause
+                .iter()
+                .map(|l| varisat::Lit::from_dimacs(l.to_dimacs() as isize))
+                .collect();
             formula.add_clause(&lits);
         }
         solver.add_formula(&formula);
@@ -68,7 +70,10 @@ mod tests {
             for _ in 0..m {
                 let mut cl = Vec::new();
                 for _ in 0..3 {
-                    cl.push(Lit::new(Var(rng.random_range(0..n as u32)), rng.random_bool(0.5)));
+                    cl.push(Lit::new(
+                        Var(rng.random_range(0..n as u32)),
+                        rng.random_bool(0.5),
+                    ));
                 }
                 c.add_clause(cl);
             }

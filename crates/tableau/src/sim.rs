@@ -217,12 +217,14 @@ impl Tableau {
                         debug_assert!(row.phase().is_real());
                     }
                 }
-                let value =
-                    forced.unwrap_or_else(|| rng.is_some_and(|r| r.random_bool(0.5)));
+                let value = forced.unwrap_or_else(|| rng.is_some_and(|r| r.random_bool(0.5)));
                 self.rows[pivot - self.n] = pivot_row;
                 let sign = if value { Phase::MINUS_ONE } else { Phase::ONE };
                 self.rows[pivot] = p.clone().with_phase(p.phase() + sign);
-                MeasurementOutcome { value, deterministic: false }
+                MeasurementOutcome {
+                    value,
+                    deterministic: false,
+                }
             }
             None => {
                 // Deterministic: p is in the stabilizer group up to sign.
@@ -234,7 +236,10 @@ impl Tableau {
                 }
                 debug_assert!(scratch.same_letters(p), "commuting observable not in group");
                 let value = scratch.phase() != p.phase();
-                MeasurementOutcome { value, deterministic: true }
+                MeasurementOutcome {
+                    value,
+                    deterministic: true,
+                }
             }
         }
     }
@@ -416,8 +421,10 @@ mod tests {
         // Now 0 and 3 are a Bell pair.
         let flows = t.stabilizers_on(&[0, 3]);
         assert_eq!(flows.len(), 2);
-        let letters: Vec<String> =
-            flows.iter().map(|f| f.clone().with_phase(Phase::ONE).to_string()).collect();
+        let letters: Vec<String> = flows
+            .iter()
+            .map(|f| f.clone().with_phase(Phase::ONE).to_string())
+            .collect();
         assert!(letters.contains(&"XX".to_string()), "{letters:?}");
         assert!(letters.contains(&"ZZ".to_string()), "{letters:?}");
     }

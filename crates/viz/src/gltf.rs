@@ -103,21 +103,30 @@ fn box_corners(min: [f32; 3], max: [f32; 3]) -> [[f32; 3]; 8] {
 
 /// The 12 triangles of a box, CCW seen from outside.
 const BOX_TRIANGLES: [[u32; 3]; 12] = [
-    [0, 2, 1], [0, 3, 2], // bottom (z = min)
-    [4, 5, 6], [4, 6, 7], // top
-    [0, 1, 5], [0, 5, 4], // front (y = min)
-    [2, 3, 7], [2, 7, 6], // back
-    [1, 2, 6], [1, 6, 5], // right
-    [0, 4, 7], [0, 7, 3], // left
+    [0, 2, 1],
+    [0, 3, 2], // bottom (z = min)
+    [4, 5, 6],
+    [4, 6, 7], // top
+    [0, 1, 5],
+    [0, 5, 4], // front (y = min)
+    [2, 3, 7],
+    [2, 7, 6], // back
+    [1, 2, 6],
+    [1, 6, 5], // right
+    [0, 4, 7],
+    [0, 7, 3], // left
 ];
 
 /// Standard base64 (RFC 4648, with padding).
 pub fn base64(data: &[u8]) -> String {
-    const ALPHABET: &[u8; 64] =
-        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
     let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
     for chunk in data.chunks(3) {
-        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
         let n = (b[0] as u32) << 16 | (b[1] as u32) << 8 | b[2] as u32;
         let chars = [
             ALPHABET[(n >> 18 & 63) as usize],
@@ -158,7 +167,10 @@ mod tests {
         assert_eq!(doc["accessors"].as_array().unwrap().len(), 3);
         let count = doc["accessors"][0]["count"].as_u64().unwrap();
         assert_eq!(count % 8, 0, "8 vertices per box");
-        assert!(doc["buffers"][0]["uri"].as_str().unwrap().starts_with("data:"));
+        assert!(doc["buffers"][0]["uri"]
+            .as_str()
+            .unwrap()
+            .starts_with("data:"));
     }
 
     #[test]

@@ -23,7 +23,14 @@ pub fn to_obj(scene: &Scene) -> String {
         for c in corners {
             let _ = writeln!(out, "v {} {} {}", c[0], c[1], c[2]);
         }
-        let quads = [[0, 3, 2, 1], [4, 5, 6, 7], [0, 1, 5, 4], [2, 3, 7, 6], [1, 2, 6, 5], [0, 4, 7, 3]];
+        let quads = [
+            [0, 3, 2, 1],
+            [4, 5, 6, 7],
+            [0, 1, 5, 4],
+            [2, 3, 7, 6],
+            [1, 2, 6, 5],
+            [0, 4, 7, 3],
+        ];
         for q in quads {
             let _ = writeln!(
                 out,
@@ -57,7 +64,7 @@ mod tests {
     }
 
     #[test]
-    fn indices_are_one_based_and_in_range(){
+    fn indices_are_one_based_and_in_range() {
         let mut d = lasre::fixtures::cnot_design();
         d.infer_k_colors();
         let scene = Scene::from_design(&d, SceneOptions::default());

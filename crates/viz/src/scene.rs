@@ -26,7 +26,11 @@ pub struct SceneOptions {
 
 impl Default for SceneOptions {
     fn default() -> Self {
-        SceneOptions { cube_size: 0.5, pipe_width: 0.3, correlation: None }
+        SceneOptions {
+            cube_size: 0.5,
+            pipe_width: 0.3,
+            correlation: None,
+        }
     }
 }
 
@@ -116,8 +120,16 @@ impl Scene {
 
     fn push_centered(&mut self, center: [f32; 3], half: [f32; 3], color: [f32; 4]) {
         self.boxes.push(Box3 {
-            min: [center[0] - half[0], center[1] - half[1], center[2] - half[2]],
-            max: [center[0] + half[0], center[1] + half[1], center[2] + half[2]],
+            min: [
+                center[0] - half[0],
+                center[1] - half[1],
+                center[2] - half[2],
+            ],
+            max: [
+                center[0] + half[0],
+                center[1] + half[1],
+                center[2] + half[2],
+            ],
             color,
         });
     }
@@ -153,8 +165,16 @@ mod tests {
     #[test]
     fn junction_colors_present() {
         let s = scene();
-        let reds = s.boxes().iter().filter(|b| b.color == palette::RED_JUNCTION).count();
-        let blues = s.boxes().iter().filter(|b| b.color == palette::BLUE_JUNCTION).count();
+        let reds = s
+            .boxes()
+            .iter()
+            .filter(|b| b.color == palette::RED_JUNCTION)
+            .count();
+        let blues = s
+            .boxes()
+            .iter()
+            .filter(|b| b.color == palette::BLUE_JUNCTION)
+            .count();
         assert!(reds >= 1, "expected the XX junction");
         assert!(blues >= 1, "expected the ZZ junction");
     }
@@ -166,7 +186,10 @@ mod tests {
         let plain = Scene::from_design(&d, SceneOptions::default());
         let overlay = Scene::from_design(
             &d,
-            SceneOptions { correlation: Some(1), ..SceneOptions::default() },
+            SceneOptions {
+                correlation: Some(1),
+                ..SceneOptions::default()
+            },
         );
         assert!(overlay.boxes().len() > plain.boxes().len());
     }

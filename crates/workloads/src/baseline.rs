@@ -44,8 +44,9 @@ pub fn compile_graph_state(g: &Graph) -> BaselineResult {
     let n = g.num_vertices();
     let mis = max_independent_set(g);
     let in_mis = |v: usize| mis.contains(&v);
-    let init_basis: Vec<Basis> =
-        (0..n).map(|v| if in_mis(v) { Basis::Plus } else { Basis::Zero }).collect();
+    let init_basis: Vec<Basis> = (0..n)
+        .map(|v| if in_mis(v) { Basis::Plus } else { Basis::Zero })
+        .collect();
     // Stabilizer X_v Z_{N(v)} is satisfied at init iff v ∈ MIS (then v is
     // |+⟩ and all neighbors are |0⟩, MIS independence guarantees it).
     let measured: Vec<usize> = (0..n).filter(|&v| !in_mis(v)).collect();
@@ -80,7 +81,14 @@ pub fn compile_graph_state(g: &Graph) -> BaselineResult {
     }
     let depth = layers.len().max(1);
     let footprint = 4 * n;
-    BaselineResult { footprint, depth, volume: footprint * depth, init_basis, measured, layers }
+    BaselineResult {
+        footprint,
+        depth,
+        volume: footprint * depth,
+        init_basis,
+        measured,
+        layers,
+    }
 }
 
 #[cfg(test)]

@@ -30,7 +30,10 @@ pub struct Graph {
 impl Graph {
     /// The empty graph on `n` vertices.
     pub fn new(n: usize) -> Graph {
-        Graph { n, adj: vec![BitVec::zeros(n); n] }
+        Graph {
+            n,
+            adj: vec![BitVec::zeros(n); n],
+        }
     }
 
     /// Number of vertices.
@@ -138,9 +141,9 @@ impl Graph {
         degrees.sort_unstable();
         let mut triangles = vec![0usize; self.n];
         for (a, b) in self.edges() {
-            for v in 0..self.n {
+            for (v, count) in triangles.iter_mut().enumerate() {
                 if v != a && v != b && self.has_edge(v, a) && self.has_edge(v, b) {
-                    triangles[v] += 1;
+                    *count += 1;
                 }
             }
         }
@@ -310,7 +313,12 @@ mod tests {
 
     #[test]
     fn graph_state_stabilizers_commute() {
-        for g in [Graph::path(6), Graph::cycle(5), Graph::complete(4), fig14_graph()] {
+        for g in [
+            Graph::path(6),
+            Graph::cycle(5),
+            Graph::complete(4),
+            fig14_graph(),
+        ] {
             let stabs = g.stabilizers();
             assert!(all_commute(&stabs));
             assert_eq!(pauli::independent_count(&stabs), g.num_vertices());

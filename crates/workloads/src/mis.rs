@@ -41,7 +41,12 @@ fn solve(masks: &[u64], candidates: u64, chosen: u64, best: &mut u64) {
         .max_by_key(|&v| (masks[v as usize] & candidates).count_ones())
         .expect("candidates non-empty");
     // Include v.
-    solve(masks, candidates & !(1 << v) & !masks[v as usize], chosen | 1 << v, best);
+    solve(
+        masks,
+        candidates & !(1 << v) & !masks[v as usize],
+        chosen | 1 << v,
+        best,
+    );
     // Exclude v.
     solve(masks, candidates & !(1 << v), chosen, best);
 }
@@ -88,7 +93,10 @@ mod tests {
 
     #[test]
     fn bipartite_mis_is_bigger_part() {
-        assert_eq!(max_independent_set(&Graph::complete_bipartite(3, 5)).len(), 5);
+        assert_eq!(
+            max_independent_set(&Graph::complete_bipartite(3, 5)).len(),
+            5
+        );
     }
 
     #[test]

@@ -104,7 +104,10 @@ pub fn majority_flows() -> Vec<PauliString> {
     // Open legs in port order: inputs, outputs (resource wires), ccz legs.
     let flows = t.stabilizers_on(&[0, 1, 2, 9, 10, 11, 6, 7, 8]);
     // Drop signs: the spec is letters-only.
-    flows.into_iter().map(|f| f.with_phase(pauli::Phase::ONE)).collect()
+    flows
+        .into_iter()
+        .map(|f| f.with_phase(pauli::Phase::ONE))
+        .collect()
 }
 
 /// Spec for the majority gate (paper Fig. 15): the three data lines
@@ -123,9 +126,9 @@ pub fn majority_gate_spec(interior_i: usize) -> LasSpec {
         max_j: 3,
         max_k: 5,
         ports: vec![
-            Port::parse(0, 0, 1, "+I", Axis::K), // a in
-            Port::parse(0, 1, 2, "+I", Axis::K), // t in
-            Port::parse(0, 2, 3, "+I", Axis::K), // c in
+            Port::parse(0, 0, 1, "+I", Axis::K),   // a in
+            Port::parse(0, 1, 2, "+I", Axis::K),   // t in
+            Port::parse(0, 2, 3, "+I", Axis::K),   // c in
             Port::parse(out, 0, 1, "-I", Axis::K), // a out
             Port::parse(out, 1, 2, "-I", Axis::K), // t out
             Port::parse(out, 2, 3, "-I", Axis::K), // c out
@@ -161,7 +164,10 @@ pub fn t_factory_flows() -> Vec<PauliString> {
         "ZZ............ZZ",
         "........XXXXXXXX",
     ];
-    TABLE.iter().map(|s| s.parse().expect("valid table row")).collect()
+    TABLE
+        .iter()
+        .map(|s| s.parse().expect("valid table row"))
+        .collect()
 }
 
 /// The no-injection-delay 15-to-1 T-factory spec (paper Fig. 18): a
@@ -196,9 +202,21 @@ pub fn t_factory_nodelay_spec(depth: usize) -> LasSpec {
 /// the 0.5-layer fixup accounting applied outside the model).
 pub fn t_factory_spec(depth: usize) -> LasSpec {
     let injection_sites: [(i32, i32); 15] = [
-        (0, 0), (2, 0), (4, 0), (6, 0), (8, 0),
-        (0, 2), (2, 2), (4, 2), (6, 2), (8, 2),
-        (0, 3), (2, 3), (4, 3), (6, 3), (8, 3),
+        (0, 0),
+        (2, 0),
+        (4, 0),
+        (6, 0),
+        (8, 0),
+        (0, 2),
+        (2, 2),
+        (4, 2),
+        (6, 2),
+        (8, 2),
+        (0, 3),
+        (2, 3),
+        (4, 3),
+        (6, 3),
+        (8, 3),
     ];
     let mut ports: Vec<Port> = injection_sites
         .iter()
@@ -323,7 +341,10 @@ mod tests {
         use baselines::*;
         // −40% majority, −8% factory, −18% no-delay factory.
         assert_eq!(100 - 100 * PAPER_MAJORITY_VOLUME / MAJORITY_VOLUME, 40);
-        assert_eq!(100 * (T_FACTORY_VOLUME - PAPER_T_FACTORY_VOLUME) / T_FACTORY_VOLUME, 7);
+        assert_eq!(
+            100 * (T_FACTORY_VOLUME - PAPER_T_FACTORY_VOLUME) / T_FACTORY_VOLUME,
+            7
+        );
         assert_eq!(
             100 * (T_FACTORY_NODELAY_VOLUME - PAPER_T_FACTORY_NODELAY_VOLUME)
                 / T_FACTORY_NODELAY_VOLUME,

@@ -82,14 +82,21 @@ impl Diagram {
     /// Panics if asked for a `Boundary` (use [`Diagram::add_boundary`])
     /// or a phase outside `0..4`.
     pub fn add_spider(&mut self, kind: SpiderKind, quarters: u8) -> NodeId {
-        assert!(kind != SpiderKind::Boundary, "use add_boundary for boundaries");
+        assert!(
+            kind != SpiderKind::Boundary,
+            "use add_boundary for boundaries"
+        );
         assert!(quarters < 4, "phase must be in quarter turns 0..4");
         self.add_node(kind, quarters)
     }
 
     fn add_node(&mut self, kind: SpiderKind, quarters: u8) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { kind, quarters, deleted: false });
+        self.nodes.push(Node {
+            kind,
+            quarters,
+            deleted: false,
+        });
         id
     }
 
@@ -104,9 +111,17 @@ impl Diagram {
     }
 
     fn add_edge_inner(&mut self, a: NodeId, b: NodeId, hadamard: bool) -> EdgeId {
-        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len(), "edge endpoints must exist");
+        assert!(
+            a.0 < self.nodes.len() && b.0 < self.nodes.len(),
+            "edge endpoints must exist"
+        );
         let id = EdgeId(self.edges.len());
-        self.edges.push(Edge { a, b, hadamard, deleted: false });
+        self.edges.push(Edge {
+            a,
+            b,
+            hadamard,
+            deleted: false,
+        });
         id
     }
 
@@ -181,7 +196,12 @@ impl Diagram {
 
 impl fmt::Display for Diagram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "zx diagram: {} nodes, {} edges", self.num_nodes(), self.num_edges())?;
+        writeln!(
+            f,
+            "zx diagram: {} nodes, {} edges",
+            self.num_nodes(),
+            self.num_edges()
+        )?;
         for (i, n) in self.nodes.iter().enumerate() {
             if n.deleted {
                 continue;

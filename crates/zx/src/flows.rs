@@ -10,7 +10,7 @@
 
 use crate::diagram::{Diagram, SpiderKind};
 use gf2::BitMat;
-use pauli::{Phase, PauliString};
+use pauli::{PauliString, Phase};
 use std::collections::HashMap;
 use std::fmt;
 use tableau::Tableau;
@@ -203,8 +203,10 @@ impl Diagram {
             if e.hadamard {
                 t.h(qb);
             }
-            for obs in [pair_obs(next_qubit, qa, qb, pauli::Pauli::X),
-                        pair_obs(next_qubit, qa, qb, pauli::Pauli::Z)] {
+            for obs in [
+                pair_obs(next_qubit, qa, qb, pauli::Pauli::X),
+                pair_obs(next_qubit, qa, qb, pauli::Pauli::Z),
+            ] {
                 let m = t.measure_pauli(&obs, Some(false));
                 if m.deterministic && m.value {
                     sign_obstructions += 1;
@@ -216,10 +218,17 @@ impl Diagram {
         }
 
         // Read off the Choi-state stabilizers on the open legs.
-        let open: Vec<usize> =
-            self.boundaries().iter().map(|b| boundary_qubit[&b.0]).collect();
+        let open: Vec<usize> = self
+            .boundaries()
+            .iter()
+            .map(|b| boundary_qubit[&b.0])
+            .collect();
         let gens = t.stabilizers_on(&open);
-        Ok(FlowGroup { n: open.len(), gens, sign_obstructions })
+        Ok(FlowGroup {
+            n: open.len(),
+            gens,
+            sign_obstructions,
+        })
     }
 }
 
@@ -378,14 +387,20 @@ mod tests {
     fn boundary_degree_checked() {
         let mut d = Diagram::new();
         let _ = d.add_boundary();
-        assert_eq!(d.stabilizer_flows().unwrap_err(), ZxError::BoundaryDegree(0));
+        assert_eq!(
+            d.stabilizer_flows().unwrap_err(),
+            ZxError::BoundaryDegree(0)
+        );
     }
 
     #[test]
     fn degree_zero_spider_rejected() {
         let mut d = Diagram::new();
         d.add_spider(SpiderKind::Z, 0);
-        assert!(matches!(d.stabilizer_flows(), Err(ZxError::DegreeZeroSpider(_))));
+        assert!(matches!(
+            d.stabilizer_flows(),
+            Err(ZxError::DegreeZeroSpider(_))
+        ));
     }
 
     #[test]

@@ -18,16 +18,12 @@ impl Diagram {
         if a == b || self.is_deleted(a) || self.is_deleted(b) {
             return false;
         }
-        if self.kind(a) == SpiderKind::Boundary
-            || self.kind(a) != self.kind(b)
-        {
+        if self.kind(a) == SpiderKind::Boundary || self.kind(a) != self.kind(b) {
             return false;
         }
-        let Some(joining) = self
-            .edges
-            .iter()
-            .position(|e| !e.deleted && !e.hadamard && ((e.a == a && e.b == b) || (e.a == b && e.b == a)))
-        else {
+        let Some(joining) = self.edges.iter().position(|e| {
+            !e.deleted && !e.hadamard && ((e.a == a && e.b == b) || (e.a == b && e.b == a))
+        }) else {
             return false;
         };
         self.edges[joining].deleted = true;
@@ -58,9 +54,7 @@ impl Diagram {
     ///
     /// Returns `false` if `n` is not a removable identity.
     pub fn remove_identity(&mut self, n: NodeId) -> bool {
-        if self.is_deleted(n)
-            || self.kind(n) == SpiderKind::Boundary
-            || self.phase_quarters(n) != 0
+        if self.is_deleted(n) || self.kind(n) == SpiderKind::Boundary || self.phase_quarters(n) != 0
         {
             return false;
         }
@@ -162,7 +156,10 @@ mod tests {
     fn fusion_preserves_flows() {
         // Z(π/2) — Z(π/2) chain = S·S = Z: flows X→-Y·... letters: X↦Y?
         // S²=Z maps X→X with sign; letters XX and ZZ.
-        let mut d = chain(&[(SpiderKind::Z, 1), (SpiderKind::Z, 1)], &[false, false, false]);
+        let mut d = chain(
+            &[(SpiderKind::Z, 1), (SpiderKind::Z, 1)],
+            &[false, false, false],
+        );
         let before = d.stabilizer_flows().unwrap();
         let spiders = d.spiders();
         assert!(d.fuse(spiders[0], spiders[1]));
@@ -201,14 +198,20 @@ mod tests {
 
     #[test]
     fn fuse_rejects_mismatched_kinds() {
-        let mut d = chain(&[(SpiderKind::Z, 0), (SpiderKind::X, 0)], &[false, false, false]);
+        let mut d = chain(
+            &[(SpiderKind::Z, 0), (SpiderKind::X, 0)],
+            &[false, false, false],
+        );
         let s = d.spiders();
         assert!(!d.fuse(s[0], s[1]));
     }
 
     #[test]
     fn fuse_rejects_hadamard_edge() {
-        let mut d = chain(&[(SpiderKind::Z, 0), (SpiderKind::Z, 0)], &[false, true, false]);
+        let mut d = chain(
+            &[(SpiderKind::Z, 0), (SpiderKind::Z, 0)],
+            &[false, true, false],
+        );
         let s = d.spiders();
         assert!(!d.fuse(s[0], s[1]));
     }

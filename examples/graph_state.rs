@@ -12,7 +12,10 @@ use lassynth::workloads::specs::graph_state_spec;
 use lassynth::{lasre, viz};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
     let g = Graph::cycle(n);
     println!("workload: {n}-qubit ring graph state");
     for s in g.stabilizers() {
@@ -49,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let design = search.best.ok_or("no satisfiable depth in range")?;
     let depth = design.spec().max_k;
     let volume = 2 * n * depth;
-    println!("\nLaSsynth: footprint {} × depth {depth} = volume {volume}", 2 * n);
+    println!(
+        "\nLaSsynth: footprint {} × depth {depth} = volume {volume}",
+        2 * n
+    );
     println!(
         "reduction vs baseline: {:.0}%",
         100.0 * (base.volume as f64 - volume as f64) / base.volume as f64
@@ -58,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     std::fs::create_dir_all("target/experiments")?;
     let scene = viz::Scene::from_design(&design, viz::SceneOptions::default());
-    std::fs::write("target/experiments/graph_state.gltf", viz::gltf::to_gltf(&scene))?;
+    std::fs::write(
+        "target/experiments/graph_state.gltf",
+        viz::gltf::to_gltf(&scene),
+    )?;
     println!("wrote target/experiments/graph_state.gltf");
     Ok(())
 }

@@ -10,17 +10,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Load the specification (paper Fig. 2b format).
     let spec_json = include_str!("specs/cnot.json");
     let spec: lasre::LasSpec = serde_json_from(spec_json)?;
-    println!("spec: {} ({}×{}×{}, {} ports, {} stabilizers)",
-             spec.name, spec.max_i, spec.max_j, spec.max_k,
-             spec.ports.len(), spec.nstab());
+    println!(
+        "spec: {} ({}×{}×{}, {} ports, {} stabilizers)",
+        spec.name,
+        spec.max_i,
+        spec.max_j,
+        spec.max_k,
+        spec.ports.len(),
+        spec.nstab()
+    );
     for s in &spec.stabilizers {
         println!("  flow {s}");
     }
 
     // 2. Encode and solve.
     let mut synth = Synthesizer::new(spec)?;
-    println!("\nencoded: {} vars, {} clauses (V·nstab = {})",
-             synth.stats().num_vars, synth.stats().num_clauses, synth.stats().v_nstab);
+    println!(
+        "\nencoded: {} vars, {} clauses (V·nstab = {})",
+        synth.stats().num_vars,
+        synth.stats().num_clauses,
+        synth.stats().v_nstab
+    );
     let design = match synth.run()? {
         SynthResult::Sat(d) => *d,
         other => {
@@ -30,23 +40,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // 3. Inspect: ASCII time slices (paper Fig. 5a style).
-    println!("\nsolved in {:?}; time slices:\n{}",
-             synth.last_solve_time().unwrap_or_default(),
-             lasre::slices::render(&design));
+    println!(
+        "\nsolved in {:?}; time slices:\n{}",
+        synth.last_solve_time().unwrap_or_default(),
+        lasre::slices::render(&design)
+    );
 
     // 4. The design was verified by deriving its ZX diagram's
     //    stabilizer flows (paper's Stim ZX workflow) — do it again by
     //    hand to show the API.
     let diagram = lassynth::synth::verify::extract_zx(&design)?;
     let flows = diagram.stabilizer_flows()?;
-    println!("ZX diagram: {} spiders, {} edges; {} independent flows",
-             diagram.spiders().len(), diagram.num_edges(), flows.rank());
+    println!(
+        "ZX diagram: {} spiders, {} edges; {} independent flows",
+        diagram.spiders().len(),
+        diagram.num_edges(),
+        flows.rank()
+    );
     let _ = zx::SpiderKind::Z; // (see the `zx` crate for diagram APIs)
 
     // 5. Export a 3D model (paper contribution 5).
     let scene = viz::Scene::from_design(&design, viz::SceneOptions::default());
     std::fs::create_dir_all("target/experiments")?;
-    std::fs::write("target/experiments/quickstart_cnot.gltf", viz::gltf::to_gltf(&scene))?;
+    std::fs::write(
+        "target/experiments/quickstart_cnot.gltf",
+        viz::gltf::to_gltf(&scene),
+    )?;
     println!("wrote target/experiments/quickstart_cnot.gltf");
     Ok(())
 }

@@ -21,11 +21,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the view of paper Fig. 10.
     let overlay = viz::Scene::from_design(
         &design,
-        viz::SceneOptions { correlation: Some(1), ..Default::default() },
+        viz::SceneOptions {
+            correlation: Some(1),
+            ..Default::default()
+        },
     );
-    std::fs::write("target/experiments/cnot_surface.gltf", viz::gltf::to_gltf(&overlay))?;
+    std::fs::write(
+        "target/experiments/cnot_surface.gltf",
+        viz::gltf::to_gltf(&overlay),
+    )?;
 
-    println!("wrote target/experiments/cnot.gltf ({} boxes)", scene.boxes().len());
+    println!(
+        "wrote target/experiments/cnot.gltf ({} boxes)",
+        scene.boxes().len()
+    );
     println!("wrote target/experiments/cnot.obj");
     println!(
         "wrote target/experiments/cnot_surface.gltf ({} boxes incl. surface pieces)",

@@ -14,7 +14,9 @@
 //!
 //! # Quickstart
 //!
-//! Synthesize a CNOT lattice-surgery subroutine and verify it:
+//! Synthesize a CNOT lattice-surgery subroutine and verify it.
+//! (`workloads::specs::cnot_spec` is a re-export of the canonical
+//! [`lasre::fixtures::cnot_spec`]; both paths name the same fixture.)
 //!
 //! ```
 //! use lassynth::workloads::specs::cnot_spec;

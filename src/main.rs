@@ -34,7 +34,9 @@ fn main() {
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn load_spec(path: &str) -> Result<lasre::LasSpec, String> {
@@ -45,15 +47,22 @@ fn load_spec(path: &str) -> Result<lasre::LasSpec, String> {
     Ok(spec)
 }
 
-fn options_from(args: &[String]) -> SynthOptions {
+fn options_from(args: &[String]) -> Result<SynthOptions, String> {
     let mut options = SynthOptions::default();
     if let Some(t) = flag_value(args, "--timeout").and_then(|s| s.parse().ok()) {
         options.budget.max_time = Some(Duration::from_secs(t));
     }
     if args.iter().any(|a| a == "--varisat") {
+        if !cfg!(feature = "varisat") {
+            return Err(
+                "--varisat requested, but this binary was built without the \
+                        `varisat` feature (on by default); rebuild with it enabled"
+                    .into(),
+            );
+        }
         options.backend = BackendChoice::Varisat;
     }
-    options
+    Ok(options)
 }
 
 fn cmd_synth(args: &[String]) -> i32 {
@@ -69,19 +78,33 @@ fn cmd_synth(args: &[String]) -> i32 {
         }
     };
     let out_dir = flag_value(args, "--out").unwrap_or_else(|| ".".into());
-    let options = options_from(args);
+    let options = match options_from(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     let name = spec.name.clone();
-    let seeds: usize = flag_value(args, "--seeds").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let seeds: usize = flag_value(args, "--seeds")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let start = std::time::Instant::now();
     let result = if seeds > 1 {
         let seed_list: Vec<u64> = (0..seeds as u64).collect();
         optimize::solve_portfolio(&spec, &seed_list, &options)
     } else {
-        Synthesizer::new(spec).map(|s| s.with_options(options)).and_then(|mut s| s.run())
+        Synthesizer::new(spec)
+            .map(|s| s.with_options(options))
+            .and_then(|mut s| s.run())
     };
     match result {
         Ok(SynthResult::Sat(design)) => {
-            println!("SAT in {:.2?} (verified: {})", start.elapsed(), design.verified());
+            println!(
+                "SAT in {:.2?} (verified: {})",
+                start.elapsed(),
+                design.verified()
+            );
             println!("{}", lasre::slices::render(&design));
             std::fs::create_dir_all(&out_dir).ok();
             let lasre_path = format!("{out_dir}/{name}.lasre");
@@ -93,7 +116,10 @@ fn cmd_synth(args: &[String]) -> i32 {
             0
         }
         Ok(SynthResult::Unsat) => {
-            println!("UNSAT in {:.2?} — no design fits this volume", start.elapsed());
+            println!(
+                "UNSAT in {:.2?} — no design fits this volume",
+                start.elapsed()
+            );
             1
         }
         Ok(SynthResult::Unknown) => {
@@ -136,8 +162,11 @@ fn cmd_verify(args: &[String]) -> i32 {
     }
     match lassynth::synth::verify::verify(&design) {
         Ok(flows) => {
-            println!("VERIFIED: all {} stabilizers realized ({} flows)",
-                     design.spec().nstab(), flows.rank());
+            println!(
+                "VERIFIED: all {} stabilizers realized ({} flows)",
+                design.spec().nstab(),
+                flows.rank()
+            );
             0
         }
         Err(e) => {
@@ -152,9 +181,10 @@ fn cmd_render(args: &[String]) -> i32 {
         eprintln!("usage: lassynth render <design.lasre>");
         return 2;
     };
-    match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(|t| {
-        lasre::from_lasre(&t).map_err(|e| e.to_string())
-    }) {
+    match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| lasre::from_lasre(&t).map_err(|e| e.to_string()))
+    {
         Ok(design) => {
             println!("{}", lasre::slices::render(&design));
             0
@@ -171,9 +201,7 @@ fn cmd_dimacs(args: &[String]) -> i32 {
         eprintln!("usage: lassynth dimacs <spec.json>");
         return 2;
     };
-    match load_spec(path).and_then(|spec| {
-        Synthesizer::new(spec).map_err(|e| e.to_string())
-    }) {
+    match load_spec(path).and_then(|spec| Synthesizer::new(spec).map_err(|e| e.to_string())) {
         Ok(synth) => {
             print!("{}", sat::dimacs::to_string(synth.cnf()));
             0
@@ -197,10 +225,33 @@ fn cmd_depth(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let lo = flag_value(args, "--lo").and_then(|s| s.parse().ok()).unwrap_or(1);
-    let hi = flag_value(args, "--hi").and_then(|s| s.parse().ok()).unwrap_or(spec.max_k + 2);
-    let start = flag_value(args, "--start").and_then(|s| s.parse().ok()).unwrap_or(spec.max_k);
-    let options = options_from(args);
+    let lo = flag_value(args, "--lo")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    let hi = flag_value(args, "--hi")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(spec.max_k + 2);
+    if lo > hi {
+        eprintln!("--lo {lo} must not exceed --hi {hi}");
+        return 2;
+    }
+    // Default to the spec's depth; out-of-range starts are clamped
+    // into the probed range (with a notice when explicitly given).
+    let requested = flag_value(args, "--start").and_then(|s| s.parse().ok());
+    let start = requested.unwrap_or(spec.max_k).clamp(lo, hi);
+    if let Some(r) = requested {
+        if r != start {
+            eprintln!("note: --start {r} is outside [{lo}, {hi}]; starting at {start}");
+        }
+    }
+    let options = match options_from(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     match optimize::find_min_depth(&spec, lo, hi, start, &options) {
         Ok(search) => {
             for p in &search.probes {

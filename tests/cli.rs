@@ -1,0 +1,140 @@
+//! CLI smoke tests: drive the `lassynth` binary end to end, the way a
+//! user would (paper Fig. 12a workflow from the shell).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lassynth"))
+}
+
+fn cnot_spec_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/specs/cnot.json")
+}
+
+#[test]
+fn dimacs_emits_well_formed_cnf() {
+    let out = bin()
+        .arg("dimacs")
+        .arg(cnot_spec_path())
+        .output()
+        .expect("run lassynth");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf-8 dimacs");
+    let mut lines = text
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('c'));
+    let header: Vec<&str> = lines
+        .next()
+        .expect("header line")
+        .split_whitespace()
+        .collect();
+    assert_eq!(&header[..2], &["p", "cnf"], "DIMACS problem line");
+    let num_vars: i64 = header[2].parse().expect("var count");
+    let num_clauses: usize = header[3].parse().expect("clause count");
+    assert!(
+        num_vars > 0 && num_clauses > 0,
+        "CNOT encodes to a non-trivial CNF"
+    );
+    let mut clauses = 0;
+    for line in lines {
+        let lits: Vec<i64> = line
+            .split_whitespace()
+            .map(|t| t.parse().expect("integer literal"))
+            .collect();
+        assert_eq!(lits.last(), Some(&0), "clause terminated by 0: {line:?}");
+        for &lit in &lits[..lits.len() - 1] {
+            assert!(lit != 0 && lit.abs() <= num_vars, "literal in range: {lit}");
+        }
+        clauses += 1;
+    }
+    assert_eq!(
+        clauses, num_clauses,
+        "clause count matches the problem line"
+    );
+}
+
+#[test]
+fn synth_writes_artifacts_that_verify_and_render() {
+    let dir = std::env::temp_dir().join(format!("lassynth-cli-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let out = bin()
+        .arg("synth")
+        .arg(cnot_spec_path())
+        .arg("--out")
+        .arg(&dir)
+        .output()
+        .expect("run lassynth synth");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SAT"), "synth reports SAT: {stdout}");
+    assert!(
+        stdout.contains("verified: true"),
+        "synth self-verifies: {stdout}"
+    );
+
+    let lasre = dir.join("cnot.lasre");
+    let gltf = dir.join("cnot.gltf");
+    assert!(lasre.exists(), "wrote {}", lasre.display());
+    assert!(
+        std::fs::metadata(&gltf).expect("gltf written").len() > 0,
+        "non-empty glTF"
+    );
+
+    // `verify` accepts the synthesized design.
+    let v = bin()
+        .arg("verify")
+        .arg(&lasre)
+        .output()
+        .expect("run lassynth verify");
+    assert!(
+        v.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&v.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&v.stdout).contains("VERIFIED"),
+        "verify accepts the design"
+    );
+
+    // `render` reproduces the time slices.
+    let r = bin()
+        .arg("render")
+        .arg(&lasre)
+        .output()
+        .expect("run lassynth render");
+    assert!(r.status.success());
+    assert!(
+        String::from_utf8_lossy(&r.stdout).contains("k=2"),
+        "render shows every layer"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_errors_exit_nonzero() {
+    let out = bin().output().expect("run lassynth");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "no-args prints usage and exits 2"
+    );
+    let out = bin().arg("synth").output().expect("run lassynth synth");
+    assert_eq!(out.status.code(), Some(2), "missing spec path exits 2");
+    let out = bin()
+        .arg("synth")
+        .arg("/nonexistent/spec.json")
+        .output()
+        .expect("run lassynth synth");
+    assert_eq!(out.status.code(), Some(1), "unreadable spec exits 1");
+}

@@ -11,8 +11,11 @@ fn fig14_instance_halves_the_volume() {
     let g = fig14_graph();
     let base = compile_graph_state(&g);
     assert_eq!(base.volume, 64, "paper's baseline volume for Fig. 14");
-    let design =
-        Synthesizer::new(graph_state_spec(&g, 2)).unwrap().run().unwrap().expect_sat();
+    let design = Synthesizer::new(graph_state_spec(&g, 2))
+        .unwrap()
+        .run()
+        .unwrap()
+        .expect_sat();
     assert!(design.verified());
     let volume = 8 * 2 * 2;
     assert!(volume * 2 <= base.volume);
@@ -20,7 +23,12 @@ fn fig14_instance_halves_the_volume() {
 
 #[test]
 fn small_graphs_all_synthesize_and_verify() {
-    for g in [Graph::path(4), Graph::cycle(4), Graph::star(4), Graph::complete(3)] {
+    for g in [
+        Graph::path(4),
+        Graph::cycle(4),
+        Graph::star(4),
+        Graph::complete(3),
+    ] {
         let search =
             optimize::find_min_depth(&graph_state_spec(&g, 2), 1, 4, 2, &SynthOptions::default())
                 .unwrap();
@@ -58,12 +66,18 @@ fn bare_plus_initializations_are_inexpressible() {
     // connected pair synthesizes fine at depth 2.
     let isolated = Graph::new(1);
     for depth in [1, 2, 3] {
-        let r = Synthesizer::new(graph_state_spec(&isolated, depth)).unwrap().run().unwrap();
+        let r = Synthesizer::new(graph_state_spec(&isolated, depth))
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(r.is_unsat(), "depth {depth}");
     }
     let mut pair = Graph::new(2);
     pair.add_edge(0, 1);
-    let r = Synthesizer::new(graph_state_spec(&pair, 2)).unwrap().run().unwrap();
+    let r = Synthesizer::new(graph_state_spec(&pair, 2))
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(r.is_sat());
 }
 

@@ -1,10 +1,10 @@
 //! Integration of the `.lasre` output format with the synthesizer:
 //! solve → serialize → reload → re-validate → re-verify.
 
+use lassynth::lasre;
 use lassynth::synth::{verify, Synthesizer};
 use lassynth::workloads::graphs::fig14_graph;
 use lassynth::workloads::specs::graph_state_spec;
-use lassynth::lasre;
 
 #[test]
 fn solved_designs_roundtrip_through_lasre() {
@@ -49,7 +49,10 @@ fn tampered_lasre_fails_verification() {
     let mut tampered = text.clone();
     tampered.replace_range(one..one + 1, "0");
     let reloaded = lasre::from_lasre(&tampered).unwrap();
-    let invalid = !lasre::check_validity(&reloaded).is_empty()
-        || verify::verify(&reloaded).is_err();
-    assert!(invalid, "tampering must be caught by validity or flow checks");
+    let invalid =
+        !lasre::check_validity(&reloaded).is_empty() || verify::verify(&reloaded).is_err();
+    assert!(
+        invalid,
+        "tampering must be caught by validity or flow checks"
+    );
 }

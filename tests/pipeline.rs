@@ -52,8 +52,7 @@ fn paper_fixture_round_trips_through_assumptions() {
 #[test]
 fn depth_search_and_port_orders_compose() {
     let spec = lasre::fixtures::cnot_spec();
-    let search =
-        optimize::find_min_depth(&spec, 2, 4, 3, &SynthOptions::default()).unwrap();
+    let search = optimize::find_min_depth(&spec, 2, 4, 3, &SynthOptions::default()).unwrap();
     assert_eq!(search.best_depth(), Some(3));
     // Swapping control and target still synthesizes (CNOT reversed is
     // still a valid Clifford with the permuted flows).

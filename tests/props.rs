@@ -8,8 +8,9 @@ use proptest::prelude::*;
 
 /// Arbitrary small connected graph.
 fn arb_graph(n: usize) -> impl Strategy<Value = Graph> {
-    let pairs: Vec<(usize, usize)> =
-        (0..n).flat_map(|a| (a + 1..n).map(move |b| (a, b))).collect();
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
+        .collect();
     proptest::collection::vec(any::<bool>(), pairs.len()).prop_map(move |mask| {
         let mut g = Graph::new(n);
         // Spanning path keeps it connected; extra edges from the mask.

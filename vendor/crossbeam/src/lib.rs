@@ -1,0 +1,67 @@
+//! Minimal vendored stand-in for the `crossbeam` crate (offline build).
+//!
+//! Only [`thread::scope`] is provided, implemented on top of
+//! `std::thread::scope` (stable since 1.63, which makes crossbeam's
+//! scoped threads mostly redundant). API differences kept:
+//! crossbeam's `scope` returns a `Result` and its spawn closures take a
+//! scope argument (callers here ignore it with `|_|`).
+
+pub mod thread {
+    use std::thread::Result;
+
+    /// Handle for spawning scoped threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Owned handle to one scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (Err = panicked).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure's argument exists for
+        /// crossbeam signature compatibility and carries no data.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope whose spawned threads all join before
+    /// `scope` returns. Unlike crossbeam, a panic in an unjoined child
+    /// propagates as a panic rather than an `Err` (the difference is
+    /// immaterial to callers that `.expect()` the result).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1, 2, 3];
+        let sum = super::thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(sum, 12);
+    }
+}

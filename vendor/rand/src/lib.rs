@@ -1,0 +1,220 @@
+//! Minimal vendored stand-in for the `rand` crate (offline build).
+//!
+//! Provides seeded ([`rngs::SmallRng`], xoshiro256++) and ambient
+//! ([`rng`]) generators, the [`Rng`]/[`RngExt`] traits with
+//! `random_bool`/`random_range`, and [`seq::SliceRandom::shuffle`] —
+//! exactly the surface the solver, tableau and workloads use.
+
+use std::ops::Range;
+
+/// A source of random 64-bit words.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A type with a value range that can be sampled uniformly.
+pub trait SampleUniform: PartialOrd + Sized {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty,)*) => {
+        $(
+            impl SampleUniform for $ty {
+                fn sample<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    assert!(lo < hi, "empty sample range");
+                    let span = (hi as i128 - lo as i128) as u128;
+                    // Multiply-shift bounded sampling; the tiny modulo
+                    // bias is irrelevant for heuristics and tests.
+                    let r = rng.next_u64() as u128;
+                    (lo as i128 + (r * span >> 64) as i128) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_uniform_int! { i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, }
+
+impl SampleUniform for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        f64::sample(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+/// Convenience sampling methods, available on every [`Rng`].
+pub trait RngExt: Rng {
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
+        f64::sample(self, 0.0, 1.0) < p
+    }
+
+    /// Uniform sample from a half-open range.
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range.start, range.end)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// A type constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, seedable generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            // SplitMix64 expansion of the seed, as rand does.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// The ambient per-thread generator behind [`crate::rng`].
+    #[derive(Clone, Debug)]
+    pub struct ThreadRng {
+        inner: SmallRng,
+    }
+
+    impl ThreadRng {
+        pub(crate) fn new() -> ThreadRng {
+            use std::time::{SystemTime, UNIX_EPOCH};
+            let nanos = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+                .unwrap_or(0xDEADBEEF);
+            let tid = {
+                use std::collections::hash_map::DefaultHasher;
+                use std::hash::{Hash, Hasher};
+                let mut h = DefaultHasher::new();
+                std::thread::current().id().hash(&mut h);
+                h.finish()
+            };
+            ThreadRng {
+                inner: SmallRng::seed_from_u64(nanos ^ tid.rotate_left(32)),
+            }
+        }
+    }
+
+    impl Rng for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+/// A fresh ambient generator (non-deterministically seeded).
+pub fn rng() -> rngs::ThreadRng {
+    rngs::ThreadRng::new()
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngExt};
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = a.random_range(0..10u32);
+            assert_eq!(x, b.random_range(0..10u32));
+            assert!(x < 10);
+            let f = a.random_range(0.0..1.0f64);
+            assert!((0.0..1.0).contains(&f));
+            b.random_range(0.0..1.0f64);
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        use super::seq::SliceRandom;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..10).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,275 @@
+//! Deserialization half of the data model.
+//!
+//! Instead of serde's visitor machinery, deserializers here hand over
+//! an owned [`Content`] tree; `Deserialize` impls pattern-match on it.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+/// An owned, format-independent value tree (serde's data model).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Human-readable kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "a boolean",
+            Content::I64(_) | Content::U64(_) | Content::F64(_) => "a number",
+            Content::Str(_) => "a string",
+            Content::Seq(_) => "a sequence",
+            Content::Map(_) => "a map",
+        }
+    }
+}
+
+/// Error trait for deserializers.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data-format backend handing over parsed content.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Consumes the deserializer, yielding its content tree.
+    fn take_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A type that can be reconstructed from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Reads `Self` from the deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A [`Deserializer`] over an already-parsed [`Content`] tree.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    marker: PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wraps a content tree.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+    fn take_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+fn unexpected<E: Error>(expected: &str, got: &Content) -> E {
+    E::custom(format_args!(
+        "invalid type: expected {expected}, found {got}",
+        got = got.kind()
+    ))
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(unexpected("a boolean", &other)),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($ty:ty,)*) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    let content = deserializer.take_content()?;
+                    let out = match content {
+                        Content::I64(v) => <$ty>::try_from(v).ok(),
+                        Content::U64(v) => <$ty>::try_from(v).ok(),
+                        ref other => return Err(unexpected("an integer", other)),
+                    };
+                    out.ok_or_else(|| {
+                        D::Error::custom(format_args!(
+                            "integer out of range for {}", stringify!($ty)
+                        ))
+                    })
+                }
+            }
+        )*
+    };
+}
+
+impl_deserialize_int! { i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, }
+
+macro_rules! impl_deserialize_float {
+    ($($ty:ty,)*) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    match deserializer.take_content()? {
+                        Content::I64(v) => Ok(v as $ty),
+                        Content::U64(v) => Ok(v as $ty),
+                        Content::F64(v) => Ok(v as $ty),
+                        other => Err(unexpected("a number", &other)),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+impl_deserialize_float! { f32, f64, }
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(unexpected("a string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Str(s) => {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(D::Error::custom("expected a single character")),
+                }
+            }
+            other => Err(unexpected("a character", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Null => Ok(None),
+            other => T::deserialize(ContentDeserializer::<D::Error>::new(other)).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|c| T::deserialize(ContentDeserializer::<D::Error>::new(c)))
+                .collect(),
+            other => Err(unexpected("a sequence", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Vec::deserialize(deserializer)?;
+        let len = items.len();
+        items.try_into().map_err(|_| {
+            D::Error::custom(format_args!("expected an array of length {N}, found {len}"))
+        })
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($($name:ident),+) : $len:expr,)*) => {
+        $(
+            impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+                fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                    match deserializer.take_content()? {
+                        Content::Seq(items) => {
+                            if items.len() != $len {
+                                return Err(__D::Error::custom(format_args!(
+                                    "expected a tuple of length {}, found {}",
+                                    $len,
+                                    items.len()
+                                )));
+                            }
+                            let mut iter = items.into_iter();
+                            Ok(($(
+                                $name::deserialize(ContentDeserializer::<__D::Error>::new(
+                                    iter.next().expect("length checked"),
+                                ))?,
+                            )+))
+                        }
+                        other => Err(unexpected("a sequence", &other)),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+impl_deserialize_tuple! {
+    (A): 1,
+    (A, B): 2,
+    (A, B, C): 3,
+    (A, B, C, D): 4,
+    (A, B, C, D, E): 5,
+    (A, B, C, D, E, F): 6,
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the derive macro's generated code.
+
+/// Unwraps a map content for struct deserialization.
+pub fn content_into_map<E: Error>(
+    content: Content,
+    type_name: &'static str,
+) -> Result<Vec<(String, Content)>, E> {
+    match content {
+        Content::Map(entries) => Ok(entries),
+        other => Err(E::custom(format_args!(
+            "invalid type: expected a map for struct {type_name}, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Extracts and deserializes a required struct field.
+pub fn from_map_field<'de, T: Deserialize<'de>, E: Error>(
+    map: &mut Vec<(String, Content)>,
+    field: &'static str,
+) -> Result<T, E> {
+    match map.iter().position(|(k, _)| k == field) {
+        Some(i) => {
+            let (_, value) = map.remove(i);
+            T::deserialize(ContentDeserializer::<E>::new(value))
+        }
+        None => Err(E::custom(format_args!("missing field `{field}`"))),
+    }
+}
+
+/// Extracts a struct field, falling back to `default` when absent.
+pub fn from_map_field_or<'de, T: Deserialize<'de>, E: Error>(
+    map: &mut Vec<(String, Content)>,
+    field: &'static str,
+    default: impl FnOnce() -> T,
+) -> Result<T, E> {
+    match map.iter().position(|(k, _)| k == field) {
+        Some(i) => {
+            let (_, value) = map.remove(i);
+            T::deserialize(ContentDeserializer::<E>::new(value))
+        }
+        None => Ok(default()),
+    }
+}

@@ -1,0 +1,21 @@
+//! Minimal vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so this workspace
+//! vendors the *exact API subset* of serde it uses: the
+//! [`Serialize`]/[`Deserialize`] traits, struct/seq/primitive support,
+//! and a derive macro for plain named-field structs (including
+//! `#[serde(default)]` and `#[serde(default = "path")]`).
+//!
+//! Deserialization goes through an owned [`de::Content`] tree instead
+//! of serde's zero-copy visitor machinery: simpler, and plenty for the
+//! JSON documents this project reads (specs and `.lasre` files are
+//! small compared to the SAT solving around them).
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

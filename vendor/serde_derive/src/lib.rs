@@ -1,0 +1,219 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Supports exactly what this workspace derives on: non-generic structs
+//! with named fields, plus the `#[serde(default)]` and
+//! `#[serde(default = "path")]` field attributes. Anything else is a
+//! compile error with a pointed message, so silent drift is impossible.
+//!
+//! No `syn`/`quote` (offline build): the struct is parsed directly from
+//! the token stream and the impls are emitted as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// `None` = required, `Some(None)` = `Default::default()`,
+/// `Some(Some(path))` = `#[serde(default = "path")]`.
+struct Field {
+    name: String,
+    default: Option<Option<String>>,
+}
+
+struct StructDef {
+    name: String,
+    fields: Vec<Field>,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let mut body = String::new();
+    body.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+         let mut __state = ::serde::Serializer::serialize_struct(\
+         __serializer, \"{name}\", {len}usize)?;\n",
+        name = def.name,
+        len = def.fields.len(),
+    ));
+    for field in &def.fields {
+        body.push_str(&format!(
+            "::serde::ser::SerializeStruct::serialize_field(\
+             &mut __state, \"{f}\", &self.{f})?;\n",
+            f = field.name,
+        ));
+    }
+    body.push_str("::serde::ser::SerializeStruct::end(__state)\n}\n}\n");
+    body.parse()
+        .expect("serde_derive emitted invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let mut body = String::new();
+    body.push_str(&format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n\
+         let __content = ::serde::de::Deserializer::take_content(__deserializer)?;\n\
+         let mut __map = ::serde::de::content_into_map::<__D::Error>(__content, \"{name}\")?;\n\
+         ::std::result::Result::Ok({name} {{\n",
+        name = def.name,
+    ));
+    for field in &def.fields {
+        match &field.default {
+            None => body.push_str(&format!(
+                "{f}: ::serde::de::from_map_field::<_, __D::Error>(&mut __map, \"{f}\")?,\n",
+                f = field.name,
+            )),
+            Some(None) => body.push_str(&format!(
+                "{f}: ::serde::de::from_map_field_or::<_, __D::Error>(\
+                 &mut __map, \"{f}\", ::std::default::Default::default)?,\n",
+                f = field.name,
+            )),
+            Some(Some(path)) => body.push_str(&format!(
+                "{f}: ::serde::de::from_map_field_or::<_, __D::Error>(\
+                 &mut __map, \"{f}\", {path})?,\n",
+                f = field.name,
+            )),
+        }
+    }
+    body.push_str("})\n}\n}\n");
+    body.parse()
+        .expect("serde_derive emitted invalid Deserialize impl")
+}
+
+fn parse_struct(input: TokenStream) -> StructDef {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility, find `struct`.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let _bracket = iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                panic!("vendored serde_derive supports only structs with named fields")
+            }
+            Some(_) => {}
+            None => panic!("vendored serde_derive: no `struct` found in input"),
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde_derive: expected struct name, got {other:?}"),
+    };
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "vendored serde_derive supports only non-generic structs with \
+             named fields (struct {name}, got {other:?})"
+        ),
+    };
+    StructDef {
+        name,
+        fields: parse_fields(body),
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    'fields: loop {
+        // Field attributes.
+        let mut default = None;
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    let group = match iter.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                        other => panic!("vendored serde_derive: bad attribute: {other:?}"),
+                    };
+                    if let Some(d) = parse_serde_attr(group.stream()) {
+                        default = Some(d);
+                    }
+                }
+                Some(_) => break,
+                None => break 'fields,
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = iter.peek() {
+            if id.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+        }
+        // Field name and `:`.
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("vendored serde_derive: expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("vendored serde_derive: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type: consume tokens until a comma at angle-bracket
+        // depth zero (parens/brackets are whole groups, so only `<`/`>`
+        // need tracking).
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Parses the inside of one `#[...]` attribute; returns the default
+/// spec if it is a `#[serde(...)]` attribute.
+fn parse_serde_attr(stream: TokenStream) -> Option<Option<String>> {
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None, // doc comments and other attrs
+    }
+    let args = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        other => panic!("vendored serde_derive: malformed #[serde] attribute: {other:?}"),
+    };
+    let mut iter = args.into_iter().peekable();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        other => panic!(
+            "vendored serde_derive supports only #[serde(default)] and \
+             #[serde(default = \"path\")], got {other:?}"
+        ),
+    }
+    match iter.next() {
+        None => Some(None),
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+            let lit = match iter.next() {
+                Some(TokenTree::Literal(l)) => l.to_string(),
+                other => panic!("vendored serde_derive: bad #[serde(default = ...)]: {other:?}"),
+            };
+            let path = lit.trim_matches('"').to_string();
+            Some(Some(path))
+        }
+        other => panic!("vendored serde_derive: bad #[serde(default ...)]: {other:?}"),
+    }
+}

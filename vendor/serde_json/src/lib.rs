@@ -1,0 +1,118 @@
+//! Minimal vendored stand-in for the `serde_json` crate.
+//!
+//! Offline build: implements the subset this workspace uses —
+//! [`from_str`], [`to_string`], [`to_string_pretty`], [`Value`] with
+//! indexing/accessors, and the [`json!`] macro. Object keys preserve
+//! insertion order (like serde_json's `preserve_order` feature), which
+//! keeps `.lasre` documents byte-stable across round trips.
+
+mod macros;
+mod parse;
+mod print;
+mod value;
+
+pub use value::{Number, Value};
+
+use serde::de::{Content, ContentDeserializer};
+
+/// Error raised while parsing or printing JSON.
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::fmt::Debug for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Error({:?})", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<'de, T: serde::Deserialize<'de>>(s: &'de str) -> Result<T, Error> {
+    let content = parse::parse(s)?;
+    T::deserialize(ContentDeserializer::<Error>::new(content))
+}
+
+/// Serializes a value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] if the value's `Serialize` impl fails.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(value::ValueSerializer)
+}
+
+/// Serializes a value as compact JSON.
+///
+/// # Errors
+///
+/// Returns [`Error`] if the value's `Serialize` impl fails.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = to_value(value)?;
+    let mut out = String::new();
+    print::write_compact(&v, &mut out);
+    Ok(out)
+}
+
+/// Serializes a value as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Returns [`Error`] if the value's `Serialize` impl fails.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = to_value(value)?;
+    let mut out = String::new();
+    print::write_pretty(&v, &mut out, 0);
+    Ok(out)
+}
+
+fn content_to_value(content: Content) -> Value {
+    match content {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(b),
+        Content::I64(v) => Value::Number(if v < 0 {
+            Number::NegInt(v)
+        } else {
+            Number::PosInt(v as u64)
+        }),
+        Content::U64(v) => Value::Number(Number::PosInt(v)),
+        Content::F64(v) => Value::Number(Number::Float(v)),
+        Content::Str(s) => Value::String(s),
+        Content::Seq(items) => Value::Array(items.into_iter().map(content_to_value).collect()),
+        Content::Map(entries) => Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k, content_to_value(v)))
+                .collect(),
+        ),
+    }
+}

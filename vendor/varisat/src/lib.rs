@@ -1,0 +1,614 @@
+//! Minimal vendored stand-in for the `varisat` crate (offline build).
+//!
+//! The workspace uses varisat as an *independent* second SAT solver for
+//! cross-checking the in-tree CDCL. This shim keeps that property: it
+//! is a self-contained CDCL implementation (two watched literals, 1UIP
+//! learning, activity decay, phase saving, Luby restarts) sharing no
+//! code with the `sat` crate, behind varisat's `Solver`/`CnfFormula`
+//! API surface.
+
+/// A literal in DIMACS-compatible encoding (`code = 2*var + negated`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Lit {
+    code: u32,
+}
+
+impl Lit {
+    /// Builds a literal from a non-zero DIMACS integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    pub fn from_dimacs(d: isize) -> Lit {
+        assert!(d != 0, "DIMACS literals are non-zero");
+        let var = d.unsigned_abs() - 1;
+        Lit {
+            code: (var as u32) << 1 | u32::from(d < 0),
+        }
+    }
+
+    /// The literal as a DIMACS integer.
+    pub fn to_dimacs(self) -> isize {
+        let v = (self.code >> 1) as isize + 1;
+        if self.code & 1 == 1 {
+            -v
+        } else {
+            v
+        }
+    }
+
+    fn var(self) -> usize {
+        (self.code >> 1) as usize
+    }
+
+    fn is_neg(self) -> bool {
+        self.code & 1 == 1
+    }
+
+    fn negated(self) -> Lit {
+        Lit {
+            code: self.code ^ 1,
+        }
+    }
+
+    fn index(self) -> usize {
+        self.code as usize
+    }
+
+    fn from_parts(var: usize, neg: bool) -> Lit {
+        Lit {
+            code: (var as u32) << 1 | u32::from(neg),
+        }
+    }
+}
+
+/// Types accepting clauses.
+pub trait ExtendFormula {
+    /// Adds one clause (a disjunction of literals).
+    fn add_clause(&mut self, lits: &[Lit]);
+}
+
+/// A CNF formula under construction.
+#[derive(Clone, Debug, Default)]
+pub struct CnfFormula {
+    clauses: Vec<Vec<Lit>>,
+    num_vars: usize,
+}
+
+impl CnfFormula {
+    /// An empty formula.
+    pub fn new() -> CnfFormula {
+        CnfFormula::default()
+    }
+
+    /// Number of variables mentioned so far.
+    pub fn var_count(&self) -> usize {
+        self.num_vars
+    }
+}
+
+impl ExtendFormula for CnfFormula {
+    fn add_clause(&mut self, lits: &[Lit]) {
+        for l in lits {
+            self.num_vars = self.num_vars.max(l.var() + 1);
+        }
+        self.clauses.push(lits.to_vec());
+    }
+}
+
+/// Error type for [`Solver::solve`] (never produced by this shim; the
+/// `Result` mirrors varisat's fallible API).
+#[derive(Debug)]
+pub struct SolverError;
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("solver error")
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+const UNASSIGNED: u8 = 2;
+const NO_REASON: u32 = u32::MAX;
+
+fn lit_value_in(values: &[u8], lit: Lit) -> u8 {
+    let v = values[lit.var()];
+    if v == UNASSIGNED {
+        UNASSIGNED
+    } else {
+        v ^ u8::from(lit.is_neg())
+    }
+}
+
+/// An incremental CDCL SAT solver.
+#[derive(Default)]
+pub struct Solver {
+    clauses: Vec<Vec<Lit>>,
+    first_learnt: usize,
+    watches: Vec<Vec<u32>>,
+    /// 0 = true, 1 = false, 2 = unassigned; indexed by variable.
+    values: Vec<u8>,
+    phase: Vec<u8>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    act_inc: f64,
+    assumptions: Vec<Lit>,
+    model: Option<Vec<Lit>>,
+    /// Clauses that were already false/unit at level 0 when added.
+    unsat_at_add: bool,
+    pending_units: Vec<Lit>,
+    seen: Vec<bool>,
+}
+
+impl Solver {
+    /// A fresh solver.
+    pub fn new() -> Solver {
+        Solver {
+            act_inc: 1.0,
+            ..Solver::default()
+        }
+    }
+
+    /// Adds all clauses of a formula.
+    pub fn add_formula(&mut self, formula: &CnfFormula) {
+        for clause in &formula.clauses {
+            self.add_clause_internal(clause);
+        }
+    }
+
+    /// Sets the assumptions for subsequent [`Solver::solve`] calls.
+    pub fn assume(&mut self, assumptions: &[Lit]) {
+        self.assumptions = assumptions.to_vec();
+    }
+
+    /// Solves under the current assumptions.
+    ///
+    /// # Errors
+    ///
+    /// Infallible in this shim; `Result` mirrors varisat's API.
+    pub fn solve(&mut self) -> Result<bool, SolverError> {
+        Ok(self.search())
+    }
+
+    /// The satisfying assignment of the last successful solve.
+    pub fn model(&self) -> Option<Vec<Lit>> {
+        self.model.clone()
+    }
+
+    fn ensure_var(&mut self, var: usize) {
+        while self.values.len() <= var {
+            self.values.push(UNASSIGNED);
+            self.phase.push(1);
+            self.level.push(0);
+            self.reason.push(NO_REASON);
+            self.activity.push(0.0);
+            self.seen.push(false);
+            self.watches.push(Vec::new());
+            self.watches.push(Vec::new());
+        }
+    }
+
+    fn add_clause_internal(&mut self, lits: &[Lit]) {
+        let mut clause: Vec<Lit> = lits.to_vec();
+        clause.sort_unstable();
+        clause.dedup();
+        // Tautology?
+        if clause.windows(2).any(|w| w[0] == w[1].negated()) {
+            return;
+        }
+        for l in &clause {
+            self.ensure_var(l.var());
+        }
+        match clause.len() {
+            0 => self.unsat_at_add = true,
+            1 => self.pending_units.push(clause[0]),
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watch(clause[0], idx);
+                self.watch(clause[1], idx);
+                self.clauses.push(clause);
+                self.first_learnt = self.clauses.len();
+            }
+        }
+    }
+
+    fn watch(&mut self, lit: Lit, clause: u32) {
+        self.watches[lit.index()].push(clause);
+    }
+
+    fn lit_value(&self, lit: Lit) -> u8 {
+        lit_value_in(&self.values, lit)
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: u32) -> bool {
+        match self.lit_value(lit) {
+            0 => true,
+            1 => false,
+            _ => {
+                self.values[lit.var()] = u8::from(lit.is_neg());
+                self.level[lit.var()] = self.decision_level() as u32;
+                self.reason[lit.var()] = reason;
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns a conflicting clause index, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let lit = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = lit.negated();
+            let mut watch_list = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                let clause = &mut self.clauses[ci as usize];
+                // Normalize: watched literals at positions 0 and 1.
+                if clause[0] == false_lit {
+                    clause.swap(0, 1);
+                }
+                debug_assert_eq!(clause[1], false_lit);
+                let first = clause[0];
+                if lit_value_in(&self.values, first) == 0 {
+                    i += 1;
+                    continue; // already satisfied
+                }
+                // Find a new literal to watch.
+                let mut moved = false;
+                for k in 2..clause.len() {
+                    if lit_value_in(&self.values, clause[k]) != 1 {
+                        clause.swap(1, k);
+                        let new_watch = clause[1];
+                        self.watches[new_watch.index()].push(ci);
+                        watch_list.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Unit or conflicting.
+                if !self.enqueue(first, ci) {
+                    // Re-register the unprocessed rest of the watch list.
+                    self.watches[false_lit.index()].append(&mut watch_list);
+                    return Some(ci);
+                }
+                i += 1;
+            }
+            self.watches[false_lit.index()] = watch_list;
+        }
+        None
+    }
+
+    fn bump(&mut self, var: usize) {
+        self.activity[var] += self.act_inc;
+        if self.activity[var] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+    }
+
+    /// 1UIP conflict analysis; returns (learnt clause, backjump level).
+    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_parts(0, false)]; // placeholder slot
+        let mut counter = 0usize;
+        let mut trail_pos = self.trail.len();
+        let mut uip = None;
+        loop {
+            let start = if uip.is_none() { 0 } else { 1 };
+            let clause = self.clauses[conflict as usize].clone();
+            for &q in &clause[start..] {
+                let v = q.var();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump(v);
+                    if self.level[v] as usize == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                trail_pos -= 1;
+                let p = self.trail[trail_pos];
+                if self.seen[p.var()] {
+                    uip = Some(p);
+                    self.seen[p.var()] = false;
+                    counter -= 1;
+                    break;
+                }
+            }
+            if counter == 0 {
+                break;
+            }
+            let p = uip.expect("uip literal");
+            conflict = self.reason[p.var()];
+            debug_assert_ne!(conflict, NO_REASON);
+            // The reason clause has p at position 0 by construction; we
+            // re-find it defensively since watches may have reordered.
+            let rc = &mut self.clauses[conflict as usize];
+            if rc[0] != p {
+                let pos = rc
+                    .iter()
+                    .position(|&l| l == p)
+                    .expect("reason contains lit");
+                rc.swap(0, pos);
+            }
+        }
+        learnt[0] = uip.expect("conflict at level > 0").negated();
+        for l in &learnt[1..] {
+            self.seen[l.var()] = false;
+        }
+        // Backjump to the second-highest level in the learnt clause.
+        let backjump = learnt[1..]
+            .iter()
+            .map(|l| self.level[l.var()] as usize)
+            .max()
+            .unwrap_or(0);
+        (learnt, backjump)
+    }
+
+    fn backtrack(&mut self, target_level: usize) {
+        while self.decision_level() > target_level {
+            let lim = self.trail_lim.pop().expect("level to pop");
+            while self.trail.len() > lim {
+                let lit = self.trail.pop().expect("trail entry");
+                let v = lit.var();
+                self.phase[v] = self.values[v];
+                self.values[v] = UNASSIGNED;
+                self.reason[v] = NO_REASON;
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (v, &val) in self.values.iter().enumerate() {
+            if val == UNASSIGNED {
+                let a = self.activity[v];
+                if best.is_none_or(|(_, ba)| a > ba) {
+                    best = Some((v, a));
+                }
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+
+    /// The Luby restart sequence 1 1 2 1 1 2 4 ... (1-indexed).
+    fn luby(mut i: u64) -> u64 {
+        loop {
+            if (i + 1).is_power_of_two() {
+                return (i + 1) >> 1;
+            }
+            let k = 63 - (i + 1).leading_zeros() as u64; // floor(log2(i+1))
+            i -= (1 << k) - 1;
+        }
+    }
+
+    fn search(&mut self) -> bool {
+        self.model = None;
+        if self.unsat_at_add {
+            return false;
+        }
+        self.backtrack(0);
+        // Level-0 units from clause addition.
+        let units = std::mem::take(&mut self.pending_units);
+        for u in units {
+            if !self.enqueue(u, NO_REASON) {
+                self.unsat_at_add = true;
+                return false;
+            }
+        }
+        if self.propagate().is_some() {
+            self.unsat_at_add = true;
+            return false;
+        }
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_round = 0u64;
+        let mut restart_limit = 32 * Self::luby(restart_round + 1);
+        loop {
+            if let Some(conflict) = self.propagate() {
+                if self.decision_level() == 0 {
+                    return false;
+                }
+                conflicts_since_restart += 1;
+                self.act_inc /= 0.95;
+                let (learnt, backjump) = self.analyze(conflict);
+                self.backtrack(backjump);
+                if learnt.len() == 1 {
+                    if !self.enqueue(learnt[0], NO_REASON) {
+                        return false;
+                    }
+                } else {
+                    let idx = self.clauses.len() as u32;
+                    let asserting = learnt[0];
+                    self.watch(learnt[0], idx);
+                    self.watch(learnt[1], idx);
+                    self.clauses.push(learnt);
+                    let ok = self.enqueue(asserting, idx);
+                    debug_assert!(ok, "learnt clause must be asserting");
+                }
+            } else {
+                if conflicts_since_restart >= restart_limit {
+                    conflicts_since_restart = 0;
+                    restart_round += 1;
+                    restart_limit = 32 * Self::luby(restart_round + 1);
+                    self.backtrack(0);
+                    continue;
+                }
+                // Assumptions first, in order, one per decision level.
+                if self.decision_level() < self.assumptions.len() {
+                    let a = self.assumptions[self.decision_level()];
+                    self.ensure_var(a.var());
+                    match self.lit_value(a) {
+                        0 => {
+                            // Already true: open a dummy level to keep
+                            // the level ↔ assumption indexing aligned.
+                            self.trail_lim.push(self.trail.len());
+                            continue;
+                        }
+                        1 => return false, // conflicts with assumptions
+                        _ => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, NO_REASON);
+                            continue;
+                        }
+                    }
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        self.model = Some(
+                            self.values
+                                .iter()
+                                .enumerate()
+                                .map(|(v, &val)| Lit::from_parts(v, val == 1))
+                                .collect(),
+                        );
+                        self.backtrack(0);
+                        return true;
+                    }
+                    Some(v) => {
+                        self.trail_lim.push(self.trail.len());
+                        let lit = Lit::from_parts(v, self.phase[v] == 1);
+                        self.enqueue(lit, NO_REASON);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ExtendFormula for Solver {
+    fn add_clause(&mut self, lits: &[Lit]) {
+        self.add_clause_internal(lits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(d: isize) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    fn solve(clauses: &[&[isize]]) -> (bool, Option<Vec<Lit>>) {
+        let mut f = CnfFormula::new();
+        for c in clauses {
+            let lits: Vec<Lit> = c.iter().map(|&d| lit(d)).collect();
+            f.add_clause(&lits);
+        }
+        let mut s = Solver::new();
+        s.add_formula(&f);
+        let sat = s.solve().unwrap();
+        (sat, s.model())
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        assert!(solve(&[&[1, 2], &[-1, 2], &[1, -2]]).0);
+        assert!(!solve(&[&[1], &[-1]]).0);
+        assert!(!solve(&[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]).0);
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        let clauses: &[&[isize]] = &[&[1, 2, 3], &[-1, -2], &[-2, -3], &[2]];
+        let (sat, model) = solve(clauses);
+        assert!(sat);
+        let model = model.unwrap();
+        for c in clauses {
+            assert!(c.iter().any(|&d| model.contains(&lit(d))), "clause {c:?}");
+        }
+    }
+
+    #[test]
+    fn assumptions_flip_verdict() {
+        let mut f = CnfFormula::new();
+        f.add_clause(&[lit(1), lit(2)]);
+        let mut s = Solver::new();
+        s.add_formula(&f);
+        s.assume(&[lit(-1), lit(-2)]);
+        assert!(!s.solve().unwrap());
+        s.assume(&[lit(-1)]);
+        assert!(s.solve().unwrap());
+        s.assume(&[]);
+        assert!(s.solve().unwrap());
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // Pigeons p in 1..=3, holes h in 1..=2; var(p, h) = 2(p-1)+h.
+        let v = |p: isize, h: isize| 2 * (p - 1) + h;
+        let mut clauses: Vec<Vec<isize>> = Vec::new();
+        for p in 1..=3 {
+            clauses.push(vec![v(p, 1), v(p, 2)]);
+        }
+        for h in 1..=2 {
+            for p1 in 1..=3 {
+                for p2 in (p1 + 1)..=3 {
+                    clauses.push(vec![-v(p1, h), -v(p2, h)]);
+                }
+            }
+        }
+        let refs: Vec<&[isize]> = clauses.iter().map(|c| c.as_slice()).collect();
+        assert!(!solve(&refs).0);
+    }
+
+    #[test]
+    fn random_instances_match_brute_force() {
+        // Simple deterministic pseudo-random 3-SAT instances.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..60 {
+            let n = 8;
+            let m = 10 + (next() % 30) as usize;
+            let mut clauses: Vec<Vec<isize>> = Vec::new();
+            for _ in 0..m {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let var = (next() % n as u64) as isize + 1;
+                    c.push(if next() % 2 == 0 { var } else { -var });
+                }
+                clauses.push(c);
+            }
+            let brute = (0u32..1 << n).any(|mask| {
+                clauses.iter().all(|c| {
+                    c.iter().any(|&d| {
+                        let val = mask >> (d.unsigned_abs() - 1) & 1 == 1;
+                        if d > 0 {
+                            val
+                        } else {
+                            !val
+                        }
+                    })
+                })
+            });
+            let refs: Vec<&[isize]> = clauses.iter().map(|c| c.as_slice()).collect();
+            let (sat, _) = solve(&refs);
+            assert_eq!(sat, brute, "round {round}: {clauses:?}");
+        }
+    }
+}
