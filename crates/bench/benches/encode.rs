@@ -1,5 +1,8 @@
-//! Encoding throughput: spec → CNF, per evaluation subject.
+//! Encoding throughput: spec → CNF, per evaluation subject. The
+//! majority-gate encode time is tracked across commits via
+//! `BENCH_encode_majority_3x3x5.json`.
 
+use bench_support::report::BenchRecord;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use synth::encode::encode;
@@ -26,6 +29,28 @@ fn bench_encode(c: &mut Criterion) {
         b.iter(|| encode(black_box(&tf)).unwrap())
     });
     group.finish();
+    emit_majority_record(&maj);
+}
+
+/// Measures encoding alone and writes the tracked `BENCH_*.json`
+/// record (encode-only, so the solver counters are zero).
+fn emit_majority_record(spec: &lasre::LasSpec) {
+    const SAMPLES: u32 = 20;
+    let _ = encode(spec).unwrap(); // warm-up, unrecorded
+    let start = std::time::Instant::now();
+    for _ in 0..SAMPLES {
+        let _ = black_box(encode(black_box(spec)).unwrap());
+    }
+    let record = BenchRecord {
+        name: "encode_majority_3x3x5".into(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3 / f64::from(SAMPLES),
+        conflicts: 0,
+        propagations: 0,
+    };
+    match record.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench record: {e}"),
+    }
 }
 
 criterion_group!(benches, bench_encode);

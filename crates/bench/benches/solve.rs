@@ -1,7 +1,11 @@
 //! End-to-end synthesis of small subroutines (encode + solve + decode +
-//! verify), the per-instance cost behind Fig. 13.
+//! verify), the per-instance cost behind Fig. 13, plus the solver-only
+//! majority-gate measurement tracked across commits via
+//! `BENCH_solve_majority_3x3x5.json`.
 
+use bench_support::report::BenchRecord;
 use criterion::{criterion_group, criterion_main, Criterion};
+use sat::{Backend, Budget, CdclSolver};
 use synth::Synthesizer;
 use workloads::graphs::Graph;
 use workloads::specs::graph_state_spec;
@@ -38,6 +42,35 @@ fn bench_solve(c: &mut Criterion) {
         })
     });
     group.finish();
+    emit_majority_record();
+}
+
+/// Measures the solver (alone, on a pre-built encoding) on the
+/// majority-gate CNF and writes the tracked `BENCH_*.json` record.
+fn emit_majority_record() {
+    let spec = workloads::specs::majority_gate_spec(3);
+    let synth = Synthesizer::new(spec).expect("valid majority spec");
+    let cnf = synth.cnf();
+    const SAMPLES: u32 = 10;
+    let mut solver = CdclSolver::default();
+    // Warm-up, unrecorded.
+    assert!(solver.solve_with(cnf, &[], &Budget::default()).is_sat());
+    let start = std::time::Instant::now();
+    for _ in 0..SAMPLES {
+        let out = solver.solve_with(cnf, &[], &Budget::default());
+        assert!(out.is_sat(), "majority gate must stay SAT");
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(SAMPLES);
+    let record = BenchRecord {
+        name: "solve_majority_3x3x5".into(),
+        wall_ms,
+        conflicts: solver.stats.conflicts,
+        propagations: solver.stats.propagations,
+    };
+    match record.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench record: {e}"),
+    }
 }
 
 criterion_group!(benches, bench_solve);

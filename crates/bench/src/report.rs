@@ -1,4 +1,85 @@
-//! Aligned table printing for experiment reports.
+//! Aligned table printing and benchmark-record emission for experiment
+//! reports.
+//!
+//! [`BenchRecord`] is the cross-commit perf trail the ROADMAP asks for:
+//! each tracked benchmark serializes one record to `BENCH_<name>.json`
+//! at the workspace root, so `git log -p BENCH_*.json` (and the CI
+//! artifact of the bench-smoke job) shows how solver performance moves
+//! over time.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One benchmark measurement, serialized to `BENCH_<name>.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name (also names the output file; keep it
+    /// `[a-z0-9_]+`).
+    pub name: String,
+    /// Mean wall-clock time per iteration, in milliseconds.
+    pub wall_ms: f64,
+    /// Solver conflicts for one iteration (0 for encode-only benches).
+    pub conflicts: u64,
+    /// Solver propagations for one iteration (0 for encode-only benches).
+    pub propagations: u64,
+}
+
+impl BenchRecord {
+    /// Renders the record as a single JSON object. Keys are emitted in
+    /// a fixed order so committed records diff cleanly.
+    pub fn to_json(&self) -> String {
+        // Names are restricted to `[a-z0-9_]+`, but escape quotes and
+        // backslashes anyway so the output is always valid JSON.
+        let escaped: String = self
+            .name
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c if c.is_control() => vec![' '],
+                c => vec![c],
+            })
+            .collect();
+        format!(
+            "{{\n  \"name\": \"{}\",\n  \"wall_ms\": {:.3},\n  \"conflicts\": {},\n  \"propagations\": {}\n}}\n",
+            escaped, self.wall_ms, self.conflicts, self.propagations
+        )
+    }
+
+    /// Writes the record to `BENCH_<name>.json` in `dir`, returning the
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the write.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Writes the record at the workspace root (the directory
+    /// benchmarks and CI agree on), or `$BENCH_OUT_DIR` when set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the write.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        self.write_to(&bench_out_dir())
+    }
+}
+
+/// The directory benchmark records are written to: `$BENCH_OUT_DIR` if
+/// set, else the workspace root (two levels above this crate).
+pub fn bench_out_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("BENCH_OUT_DIR") {
+        return PathBuf::from(dir);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+        .to_path_buf()
+}
 
 /// A simple fixed-width table printer.
 #[derive(Debug, Default)]
@@ -59,6 +140,41 @@ impl Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_record_json_shape() {
+        let r = BenchRecord {
+            name: "solve_majority_3x3x5".into(),
+            wall_ms: 12.3456,
+            conflicts: 164,
+            propagations: 36698,
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"name\": \"solve_majority_3x3x5\""));
+        assert!(json.contains("\"wall_ms\": 12.346"));
+        assert!(json.contains("\"conflicts\": 164"));
+        assert!(json.contains("\"propagations\": 36698"));
+        // Valid JSON according to the vendored parser.
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(v["conflicts"], serde_json::json!(164));
+    }
+
+    #[test]
+    fn bench_record_writes_named_file() {
+        let dir = std::env::temp_dir().join(format!("lassynth-bench-rec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let r = BenchRecord {
+            name: "unit_test".into(),
+            wall_ms: 1.0,
+            conflicts: 0,
+            propagations: 0,
+        };
+        let path = r.write_to(&dir).expect("write record");
+        assert_eq!(path.file_name().unwrap(), "BENCH_unit_test.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"wall_ms\": 1.000"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     #[test]
     fn renders_aligned() {

@@ -178,10 +178,28 @@ pub fn explore_port_orders(
     }
 }
 
+/// Outcome of [`solve_portfolio_detailed`]: the verdict plus which
+/// worker produced it and that worker's solver statistics.
+#[derive(Debug)]
+pub struct PortfolioOutcome {
+    /// The first definitive verdict (or `Unknown` if none).
+    pub result: SynthResult,
+    /// Seed of the worker that produced the verdict.
+    pub winner_seed: Option<u64>,
+    /// Solver statistics of the winning worker, when its backend
+    /// reports them.
+    pub stats: Option<sat::SolverStats>,
+}
+
 /// Runs one synthesis per seed in parallel and returns the first
 /// definitive verdict (SAT **or** UNSAT), cancelling the rest — the
 /// portfolio the paper suggests after observing up to 26× seed
 /// variance (Sec. V-E, "Random seed: more is different").
+///
+/// Workers are *diversified*: each seed also selects a restart/decay/
+/// polarity ablation through [`sat::CdclConfig::diversified`], so the
+/// portfolio explores genuinely different trajectories rather than
+/// different tie-breaking only.
 ///
 /// # Errors
 ///
@@ -191,42 +209,72 @@ pub fn solve_portfolio(
     seeds: &[u64],
     options: &SynthOptions,
 ) -> Result<SynthResult, SynthError> {
+    solve_portfolio_detailed(spec, seeds, options).map(|o| o.result)
+}
+
+/// [`solve_portfolio`] with the winning seed and its solver statistics
+/// (what `lassynth synth --seeds … --stats` prints).
+///
+/// # Errors
+///
+/// Propagates a [`SynthError`] only if every worker errors.
+pub fn solve_portfolio_detailed(
+    spec: &LasSpec,
+    seeds: &[u64],
+    options: &SynthOptions,
+) -> Result<PortfolioOutcome, SynthError> {
     use std::sync::mpsc;
+    type WorkerReport = (
+        u64,
+        Option<sat::SolverStats>,
+        Result<SynthResult, SynthError>,
+    );
     let stop = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = mpsc::channel::<Result<SynthResult, SynthError>>();
+    let (tx, rx) = mpsc::channel::<WorkerReport>();
     crossbeam::thread::scope(|scope| {
         for &seed in seeds {
-            let mut options = options.clone().with_seed(seed);
+            let mut options = options.clone().with_diversified_seed(seed);
             options.budget.stop = Some(stop.clone());
             let spec = spec.clone();
             let stop = stop.clone();
             let tx = tx.clone();
             scope.spawn(move |_| {
+                let mut stats = None;
                 let result = Synthesizer::new(spec).and_then(|s| {
                     let mut s = s.with_options(options);
-                    s.run()
+                    let r = s.run();
+                    stats = s.last_solver_stats();
+                    r
                 });
                 if matches!(result, Ok(SynthResult::Sat(_)) | Ok(SynthResult::Unsat)) {
                     stop.store(true, Ordering::Relaxed);
                 }
-                let _ = tx.send(result);
+                let _ = tx.send((seed, stats, result));
             });
         }
         drop(tx);
         let mut first_error = None;
         let mut unknown_seen = false;
-        for result in rx {
+        for (seed, stats, result) in rx {
             match result {
-                Ok(SynthResult::Sat(d)) => return Ok(SynthResult::Sat(d)),
-                Ok(SynthResult::Unsat) => return Ok(SynthResult::Unsat),
+                Ok(r @ (SynthResult::Sat(_) | SynthResult::Unsat)) => {
+                    return Ok(PortfolioOutcome {
+                        result: r,
+                        winner_seed: Some(seed),
+                        stats,
+                    })
+                }
                 Ok(SynthResult::Unknown) => unknown_seen = true,
                 Err(e) => first_error = Some(e),
             }
         }
         match (unknown_seen, first_error) {
-            (true, _) => Ok(SynthResult::Unknown),
             (false, Some(e)) => Err(e),
-            (false, None) => Ok(SynthResult::Unknown),
+            _ => Ok(PortfolioOutcome {
+                result: SynthResult::Unknown,
+                winner_seed: None,
+                stats: None,
+            }),
         }
     })
     .expect("portfolio scope")
@@ -298,6 +346,16 @@ mod tests {
         assert_eq!(search.best_depth(), Some(3));
         let probed: Vec<usize> = search.probes.iter().map(|p| p.max_k).collect();
         assert_eq!(probed, vec![2, 3]);
+    }
+
+    #[test]
+    fn detailed_portfolio_reports_winner_and_stats() {
+        let spec = cnot_spec();
+        let o = solve_portfolio_detailed(&spec, &[0, 1, 2], &SynthOptions::default()).unwrap();
+        assert!(o.result.is_sat());
+        assert!(o.winner_seed.is_some(), "winning seed recorded");
+        let stats = o.stats.expect("CDCL workers report stats");
+        assert!(stats.propagations > 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::verify::{verify, VerifyError};
 use lasre::{LasDesign, LasSpec, SpecError};
 #[cfg(feature = "varisat")]
 use sat::VarisatBackend;
-use sat::{Backend, Budget, CdclConfig, CdclSolver, SolveOutcome};
+use sat::{Backend, Budget, CdclConfig, CdclSolver, SolveOutcome, SolverStats};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -48,6 +48,14 @@ impl SynthOptions {
     /// Uses the CDCL backend with the given seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.backend = BackendChoice::Cdcl(CdclConfig::default().with_seed(seed));
+        self
+    }
+
+    /// Uses the CDCL backend with a seed-diversified configuration
+    /// (varying restarts/decay/polarity, see [`CdclConfig::diversified`])
+    /// — the portfolio default.
+    pub fn with_diversified_seed(mut self, seed: u64) -> Self {
+        self.backend = BackendChoice::Cdcl(CdclConfig::diversified(seed));
         self
     }
 }
@@ -150,6 +158,7 @@ pub struct Synthesizer {
     encoding: Encoding,
     assumptions: Vec<sat::Lit>,
     last_solve_time: Option<Duration>,
+    last_solver_stats: Option<SolverStats>,
 }
 
 impl Synthesizer {
@@ -166,6 +175,7 @@ impl Synthesizer {
             encoding,
             assumptions: Vec::new(),
             last_solve_time: None,
+            last_solver_stats: None,
         })
     }
 
@@ -193,6 +203,14 @@ impl Synthesizer {
     /// Wall-clock time of the most recent solve call.
     pub fn last_solve_time(&self) -> Option<Duration> {
         self.last_solve_time
+    }
+
+    /// Search statistics of the most recent solve call
+    /// (decisions/conflicts/propagations/GC passes…). `None` before the
+    /// first solve or when the backend does not report statistics
+    /// (varisat).
+    pub fn last_solver_stats(&self) -> Option<SolverStats> {
+        self.last_solver_stats
     }
 
     /// Pins a structural variable to a value for subsequent solves (the
@@ -277,12 +295,15 @@ impl Synthesizer {
     fn solve_raw(&mut self) -> SolveOutcome {
         let start = Instant::now();
         let out = match &self.options.backend {
-            BackendChoice::Cdcl(config) => CdclSolver::with_config(config.clone()).solve_with(
-                &self.encoding.cnf,
-                &self.assumptions,
-                &self.options.budget,
-            ),
+            BackendChoice::Cdcl(config) => {
+                let mut solver = CdclSolver::with_config(config.clone());
+                let out =
+                    solver.solve_with(&self.encoding.cnf, &self.assumptions, &self.options.budget);
+                self.last_solver_stats = Some(solver.stats);
+                out
+            }
             BackendChoice::Varisat => {
+                self.last_solver_stats = None; // varisat reports none
                 #[cfg(feature = "varisat")]
                 {
                     VarisatBackend.solve_with(

@@ -7,10 +7,14 @@
 //!   propagation and structural hashing of Tseitin gates (the role of
 //!   Z3's `simplify`/`propagate-values` tactics),
 //! * [`Cnf`] and [`dimacs`] — the standard interchange format,
-//! * [`CdclSolver`] — a conflict-driven clause-learning solver with
-//!   two-watched literals, 1UIP learning with minimization, VSIDS,
-//!   phase saving, Luby restarts, LBD-based clause-database reduction,
-//!   seeded randomization and time/conflict budgets,
+//! * [`CdclSolver`] — a conflict-driven clause-learning solver over a
+//!   flat clause arena (contiguous `u32` buffer with packed headers and
+//!   a compacting garbage collector), with blocker-aware two-watched
+//!   literals, an allocation-free 1UIP analysis with recursive
+//!   minimization, VSIDS, phase saving, Luby restarts, LBD-based
+//!   clause-database reduction, seeded randomization and time/conflict
+//!   budgets (see the [`solver`-module docs](CdclSolver) for the arena
+//!   layout and GC protocol),
 //! * [`VarisatBackend`] — an adapter to the `varisat` crate used for
 //!   cross-checking and portfolio runs.
 //!

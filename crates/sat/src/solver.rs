@@ -1,4 +1,5 @@
-//! A conflict-driven clause-learning (CDCL) SAT solver.
+//! A conflict-driven clause-learning (CDCL) SAT solver over a flat
+//! clause arena.
 //!
 //! This is the workspace's substitute for Kissat: a MiniSat-family
 //! solver with two-watched-literal propagation, first-UIP conflict
@@ -8,6 +9,66 @@
 //! ablation benches exercise exactly those switches — and the seed
 //! randomizes initial activities and polarities, reproducing the
 //! paper's "random seed: more is different" observation.
+//!
+//! # Clause arena layout
+//!
+//! All clauses live in one contiguous `Vec<u32>` ([`ClauseArena`]), the
+//! layout industrial solvers use to keep propagation cache-friendly. A
+//! clause is addressed by a [`ClauseRef`]: the word offset of its
+//! header. Each clause occupies `HEADER_WORDS + len` words:
+//!
+//! ```text
+//! word 0   len << 2 | deleted << 1 | learnt      (packed header)
+//! word 1   LBD (literal block distance)
+//! word 2   activity (f32 bit pattern)
+//! word 3…  literal codes (Lit::code), the two watched lits in slots 0/1
+//! ```
+//!
+//! # Garbage collection protocol
+//!
+//! `reduce_db` first *marks* the doomed half of the learnt clauses
+//! (high LBD, low activity, not locked as a reason) by setting the
+//! `deleted` header bit, then immediately runs a compacting GC:
+//!
+//! 1. every live clause is copied front-to-back into a spare buffer and
+//!    its old header is overwritten with a forwarding address
+//!    (`RELOCATED` sentinel in word 0, new offset in word 1);
+//! 2. the `clauses`/`learnts` ref lists, every watcher list, and every
+//!    trail `reason` are rewritten through the forwarding addresses —
+//!    watchers of collected clauses are dropped here, so tombstones
+//!    never survive into `propagate`;
+//! 3. the buffers are swapped (the old arena becomes the next GC's
+//!    spare buffer, so steady-state GC allocates nothing).
+//!
+//! After GC the arena length equals the sum of live clause sizes —
+//! deleted clauses' memory is actually reclaimed, not tombstoned.
+//!
+//! # Watcher invariants
+//!
+//! * `watches[l.code()]` holds one [`Watcher`] per clause currently
+//!   watching `l`; it is visited when `l` becomes false.
+//! * The two watched literals of a clause are always in slots 0 and 1.
+//! * Every attached clause has exactly two watchers, and a clause that
+//!   is the reason for a trail literal keeps that asserting literal in
+//!   a watched slot (slot 0 for longer clauses, either slot for binary
+//!   ones), which is what lets `reduce_db` detect locked clauses
+//!   without a side table.
+//! * Watchers of binary clauses carry a tag bit and the other literal
+//!   as their blocker, so propagation over binary clauses never reads
+//!   the arena at all.
+//! * Watchers are updated *in place* by index compaction — `propagate`
+//!   never `mem::take`s or reallocates a watch list on the hot path.
+//!
+//! # Allocation discipline
+//!
+//! The steady-state search loop (propagate → analyze → backtrack) is
+//! heap-allocation-free: conflict analysis resolves directly over arena
+//! indices (no clause is ever cloned), the learnt-clause scratch buffer
+//! and the `seen`/`to_clear` marks are reused across conflicts, and the
+//! LBD of a learnt clause is computed with a generation-stamped level
+//! array instead of sort+dedup. Allocations happen only when a buffer's
+//! high-water mark grows (new deepest clause, widest watch list) and in
+//! the rare `reduce_db` pass.
 
 use crate::{Backend, Budget, Cnf, Lit, Model, SolveOutcome, Var};
 use rand::rngs::SmallRng;
@@ -34,10 +95,20 @@ pub struct CdclConfig {
     pub use_clause_deletion: bool,
     /// Enable learnt-clause minimization.
     pub use_minimization: bool,
-    /// Probability of choosing a random decision variable.
+    /// Probability of choosing a random decision variable. Defaults to
+    /// 0: seeded jitter in the initial activities already diversifies
+    /// runs, and portfolio members that want a true random walk opt in
+    /// via [`CdclConfig::diversified`]. (Non-zero rates are now honest:
+    /// `decide` retries assigned picks instead of silently falling
+    /// through to VSIDS, which used to erode the effective rate as the
+    /// trail filled.)
     pub random_var_freq: f64,
     /// Probability of flipping the saved polarity on a decision.
     pub random_polarity_freq: f64,
+    /// Lower bound on the learnt-clause budget before the first DB
+    /// reduction. The budget starts at `max(num_clauses / 3, floor)`;
+    /// tests lower the floor to force frequent GC passes.
+    pub max_learnts_floor: f64,
 }
 
 impl Default for CdclConfig {
@@ -51,8 +122,9 @@ impl Default for CdclConfig {
             use_phase_saving: true,
             use_clause_deletion: true,
             use_minimization: true,
-            random_var_freq: 0.02,
+            random_var_freq: 0.0,
             random_polarity_freq: 0.0,
+            max_learnts_floor: 1000.0,
         }
     }
 }
@@ -62,6 +134,33 @@ impl CdclConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// A diversified portfolio member: besides the activity seed, the
+    /// restart cadence, VSIDS decay and polarity randomization vary per
+    /// seed, so portfolio workers explore genuinely different search
+    /// trajectories (not just different tie-breaking).
+    pub fn diversified(seed: u64) -> Self {
+        let mut config = CdclConfig::default().with_seed(seed);
+        match seed % 4 {
+            0 => {} // the reference configuration
+            1 => {
+                // Rapid restarts with aggressive activity decay.
+                config.restart_base = 50;
+                config.var_decay = 0.85;
+            }
+            2 => {
+                // Long runs between restarts, occasionally flipped phases.
+                config.restart_base = 400;
+                config.random_polarity_freq = 0.02;
+            }
+            _ => {
+                // Slow decay with a strong random-walk component.
+                config.var_decay = 0.99;
+                config.random_var_freq = 0.1;
+            }
+        }
+        config
     }
 }
 
@@ -82,6 +181,10 @@ pub struct SolverStats {
     pub deleted: u64,
     /// Literals removed by learnt-clause minimization.
     pub minimized_lits: u64,
+    /// Number of clause-database garbage-collection passes.
+    pub gc_passes: u64,
+    /// Arena words reclaimed by garbage collection.
+    pub gc_reclaimed_words: u64,
 }
 
 /// The CDCL solver. See the [module docs](self) for the feature list.
@@ -124,21 +227,155 @@ impl Backend for CdclSolver {
     }
 }
 
-const NO_REASON: u32 = u32::MAX;
+/// Offset of a clause header in the arena. `ClauseRef::NONE` doubles as
+/// the "no reason" marker on the trail.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct ClauseRef(u32);
 
-#[derive(Clone)]
-struct Clause {
-    lits: Vec<Lit>,
-    activity: f64,
-    lbd: u32,
-    learnt: bool,
-    deleted: bool,
+impl ClauseRef {
+    const NONE: ClauseRef = ClauseRef(u32::MAX);
 }
+
+/// Words of metadata preceding a clause's literals: packed
+/// `len/deleted/learnt`, LBD, and activity (f32 bits).
+const HEADER_WORDS: usize = 3;
+const LEARNT_BIT: u32 = 1;
+const DELETED_BIT: u32 = 2;
+const LEN_SHIFT: u32 = 2;
+/// Written into header word 0 during GC once a clause has been copied
+/// out; word 1 then holds the new offset. Unreachable as a real header
+/// (it would imply a ~2³⁰-literal clause with both flags set).
+const RELOCATED: u32 = u32::MAX;
+
+/// The flat clause store. See the [module docs](self) for the layout.
+#[derive(Clone, Debug, Default)]
+struct ClauseArena {
+    data: Vec<u32>,
+}
+
+impl ClauseArena {
+    fn with_capacity(words: usize) -> ClauseArena {
+        ClauseArena {
+            data: Vec::with_capacity(words),
+        }
+    }
+
+    /// Appends a clause, returning its reference.
+    fn alloc(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
+        let off = self.data.len();
+        // 31-bit confinement leaves the top bit free for BINARY_FLAG.
+        assert!(
+            off + HEADER_WORDS + lits.len() < (1usize << 31),
+            "clause arena exceeds 31-bit addressing"
+        );
+        let header = ((lits.len() as u32) << LEN_SHIFT) | (learnt as u32 * LEARNT_BIT);
+        self.data.push(header);
+        self.data.push(lbd);
+        self.data.push(0f32.to_bits());
+        self.data.extend(lits.iter().map(|l| l.code() as u32));
+        ClauseRef(off as u32)
+    }
+
+    #[inline]
+    fn len(&self, c: ClauseRef) -> usize {
+        (self.data[c.0 as usize] >> LEN_SHIFT) as usize
+    }
+
+    #[inline]
+    fn is_learnt(&self, c: ClauseRef) -> bool {
+        self.data[c.0 as usize] & LEARNT_BIT != 0
+    }
+
+    #[inline]
+    fn is_deleted(&self, c: ClauseRef) -> bool {
+        self.data[c.0 as usize] & DELETED_BIT != 0
+    }
+
+    fn mark_deleted(&mut self, c: ClauseRef) {
+        self.data[c.0 as usize] |= DELETED_BIT;
+    }
+
+    #[inline]
+    fn lbd(&self, c: ClauseRef) -> u32 {
+        self.data[c.0 as usize + 1]
+    }
+
+    #[inline]
+    fn activity(&self, c: ClauseRef) -> f32 {
+        f32::from_bits(self.data[c.0 as usize + 2])
+    }
+
+    fn set_activity(&mut self, c: ClauseRef, a: f32) {
+        self.data[c.0 as usize + 2] = a.to_bits();
+    }
+
+    #[inline]
+    fn lit(&self, c: ClauseRef, i: usize) -> Lit {
+        Lit::from_code(self.data[c.0 as usize + HEADER_WORDS + i] as usize)
+    }
+
+    #[inline]
+    fn swap_lits(&mut self, c: ClauseRef, i: usize, j: usize) {
+        let base = c.0 as usize + HEADER_WORDS;
+        self.data.swap(base + i, base + j);
+    }
+
+    /// Copies a live clause into `dst` and leaves a forwarding address
+    /// in the old slot. Part of the GC protocol (see module docs).
+    fn relocate(&mut self, c: ClauseRef, dst: &mut Vec<u32>) -> ClauseRef {
+        debug_assert!(!self.is_deleted(c));
+        debug_assert_ne!(self.data[c.0 as usize], RELOCATED);
+        let new_off = dst.len() as u32;
+        let start = c.0 as usize;
+        let words = HEADER_WORDS + self.len(c);
+        dst.extend_from_slice(&self.data[start..start + words]);
+        self.data[start] = RELOCATED;
+        self.data[start + 1] = new_off;
+        ClauseRef(new_off)
+    }
+
+    /// The forwarding address of `c` after relocation, or `None` if the
+    /// clause was collected.
+    fn forwarded(&self, c: ClauseRef) -> Option<ClauseRef> {
+        if self.data[c.0 as usize] == RELOCATED {
+            Some(ClauseRef(self.data[c.0 as usize + 1]))
+        } else {
+            None
+        }
+    }
+}
+
+/// Tag bit marking a watcher of a binary clause (arena offsets are
+/// confined to 31 bits by `ClauseArena::alloc`). Binary clauses are
+/// resolved entirely from the watcher — blocker true ⇒ satisfied,
+/// blocker false ⇒ conflict, otherwise the blocker is the unit — so
+/// propagation over them never touches the arena at all.
+const BINARY_FLAG: u32 = 1 << 31;
 
 #[derive(Clone, Copy)]
 struct Watcher {
-    cref: u32,
+    /// Clause offset, with [`BINARY_FLAG`] folded into the top bit.
+    tagged: u32,
     blocker: Lit,
+}
+
+impl Watcher {
+    fn new(cref: ClauseRef, blocker: Lit, binary: bool) -> Watcher {
+        Watcher {
+            tagged: cref.0 | if binary { BINARY_FLAG } else { 0 },
+            blocker,
+        }
+    }
+
+    #[inline]
+    fn cref(self) -> ClauseRef {
+        ClauseRef(self.tagged & !BINARY_FLAG)
+    }
+
+    #[inline]
+    fn is_binary(self) -> bool {
+        self.tagged & BINARY_FLAG != 0
+    }
 }
 
 /// Indexed max-heap ordered by VSIDS activity.
@@ -251,11 +488,19 @@ struct State {
     stats: SolverStats,
     rng: SmallRng,
     num_vars: usize,
-    clauses: Vec<Clause>,
+    arena: ClauseArena,
+    /// Refs of the original (problem) clauses, in attach order.
+    clauses: Vec<ClauseRef>,
+    /// Refs of the live learnt clauses.
+    learnts: Vec<ClauseRef>,
     watches: Vec<Vec<Watcher>>,
-    assigns: Vec<i8>,
+    /// Assignment value per *literal* code (`1` true, `-1` false,
+    /// `0` unassigned): the blocker test in `propagate` is the hottest
+    /// load in the solver, and indexing by literal makes it a single
+    /// unconditional read with no sign fix-up.
+    lit_val: Vec<i8>,
     level: Vec<u32>,
-    reason: Vec<u32>,
+    reason: Vec<ClauseRef>,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
@@ -264,8 +509,18 @@ struct State {
     var_inc: f64,
     cla_inc: f64,
     max_learnts: f64,
-    learnt_count: usize,
     seen: Vec<bool>,
+    /// Variables whose `seen` flag is set during the current analysis.
+    to_clear: Vec<u32>,
+    /// DFS stack for the recursive redundancy check, reused.
+    analyze_stack: Vec<Lit>,
+    /// Learnt-clause scratch, reused across conflicts.
+    learnt_buf: Vec<Lit>,
+    /// Per-level generation stamps for LBD computation.
+    lbd_stamp: Vec<u32>,
+    lbd_gen: u32,
+    /// Spare arena buffer swapped in by each GC pass.
+    gc_buf: Vec<u32>,
     root_unsat: bool,
 }
 
@@ -281,16 +536,20 @@ impl State {
         for v in 0..n as u32 {
             order.insert(v);
         }
+        let arena_estimate: usize = cnf.iter().map(|c| c.len() + HEADER_WORDS).sum();
+        let max_learnts = (cnf.num_clauses() as f64 / 3.0).max(config.max_learnts_floor);
         let mut st = State {
             config,
             stats: SolverStats::default(),
             rng,
             num_vars: n,
+            arena: ClauseArena::with_capacity(arena_estimate),
             clauses: Vec::with_capacity(cnf.num_clauses()),
+            learnts: Vec::new(),
             watches: vec![Vec::new(); 2 * n],
-            assigns: vec![0; n],
+            lit_val: vec![0; 2 * n],
             level: vec![0; n],
-            reason: vec![NO_REASON; n],
+            reason: vec![ClauseRef::NONE; n],
             trail: Vec::with_capacity(n),
             trail_lim: Vec::new(),
             qhead: 0,
@@ -298,9 +557,14 @@ impl State {
             polarity: vec![false; n],
             var_inc: 1.0,
             cla_inc: 1.0,
-            max_learnts: (cnf.num_clauses() as f64 / 3.0).max(1000.0),
-            learnt_count: 0,
+            max_learnts,
             seen: vec![false; n],
+            to_clear: Vec::new(),
+            analyze_stack: Vec::new(),
+            learnt_buf: Vec::new(),
+            lbd_stamp: vec![0; n + 1],
+            lbd_gen: 0,
+            gc_buf: Vec::new(),
             root_unsat: false,
         };
         for clause in cnf {
@@ -314,12 +578,12 @@ impl State {
 
     #[inline]
     fn value(&self, lit: Lit) -> i8 {
-        let v = self.assigns[lit.var().index()];
-        if lit.is_neg() {
-            -v
-        } else {
-            v
-        }
+        self.lit_val[lit.code()]
+    }
+
+    #[inline]
+    fn is_unassigned(&self, v: usize) -> bool {
+        self.lit_val[2 * v] == 0
     }
 
     fn add_original_clause(&mut self, lits: &[Lit]) -> bool {
@@ -347,7 +611,7 @@ impl State {
                     return false;
                 }
                 if self.value(c[0]) == 0 {
-                    self.enqueue(c[0], NO_REASON);
+                    self.enqueue(c[0], ClauseRef::NONE);
                     // Propagate eagerly so later clauses simplify more.
                     if self.propagate().is_some() {
                         return false;
@@ -356,43 +620,32 @@ impl State {
                 true
             }
             _ => {
-                self.attach_clause(c, false, 0);
+                self.attach_clause(&c, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> u32 {
+    fn attach_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
-        let cref = self.clauses.len() as u32;
-        // watches[l.code()] holds the clauses currently watching literal l;
-        // they are visited when l becomes false.
-        self.watches[lits[0].code()].push(Watcher {
-            cref,
-            blocker: lits[1],
-        });
-        self.watches[lits[1].code()].push(Watcher {
-            cref,
-            blocker: lits[0],
-        });
-        self.clauses.push(Clause {
-            lits,
-            activity: 0.0,
-            lbd,
-            learnt,
-            deleted: false,
-        });
+        let cref = self.arena.alloc(lits, learnt, lbd);
+        let binary = lits.len() == 2;
+        self.watches[lits[0].code()].push(Watcher::new(cref, lits[1], binary));
+        self.watches[lits[1].code()].push(Watcher::new(cref, lits[0], binary));
         if learnt {
-            self.learnt_count += 1;
+            self.learnts.push(cref);
             self.stats.learned += 1;
+        } else {
+            self.clauses.push(cref);
         }
         cref
     }
 
-    fn enqueue(&mut self, lit: Lit, reason: u32) {
+    fn enqueue(&mut self, lit: Lit, reason: ClauseRef) {
         debug_assert_eq!(self.value(lit), 0);
         let v = lit.var().index();
-        self.assigns[v] = if lit.is_neg() { -1 } else { 1 };
+        self.lit_val[lit.code()] = 1;
+        self.lit_val[(!lit).code()] = -1;
         self.level[v] = self.decision_level();
         self.reason[v] = reason;
         self.trail.push(lit);
@@ -403,82 +656,90 @@ impl State {
         self.trail_lim.len() as u32
     }
 
-    fn propagate(&mut self) -> Option<u32> {
+    fn propagate(&mut self) -> Option<ClauseRef> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
             let false_lit = !p;
-            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let wl = false_lit.code();
+            // In-place compaction: surviving watchers slide down to `j`.
+            // Watchers migrating to a new literal are pushed onto that
+            // literal's list, which is never `wl` (the new watch is
+            // non-false while `false_lit` is false), so `n` is stable.
+            let n = self.watches[wl].len();
             let mut i = 0;
             let mut j = 0;
-            let mut conflict = None;
-            'watchers: while i < ws.len() {
-                let w = ws[i];
+            'watchers: while i < n {
+                let w = self.watches[wl][i];
                 i += 1;
-                if self.value(w.blocker) == 1 {
-                    ws[j] = w;
+                let blocker_val = self.value(w.blocker);
+                if blocker_val == 1 {
+                    self.watches[wl][j] = w;
                     j += 1;
                     continue;
                 }
-                let cref = w.cref as usize;
-                if self.clauses[cref].deleted {
-                    continue; // drop watcher of deleted clause
-                }
-                // Make sure the false literal is at position 1.
-                {
-                    let lits = &mut self.clauses[cref].lits;
-                    if lits[0] == false_lit {
-                        lits.swap(0, 1);
+                // Binary fast path: the blocker IS the other literal, so
+                // the clause resolves without touching the arena.
+                if w.is_binary() {
+                    self.watches[wl][j] = w;
+                    j += 1;
+                    if blocker_val == -1 {
+                        // Conflict: keep the remaining watchers and stop.
+                        while i < n {
+                            let rest = self.watches[wl][i];
+                            self.watches[wl][j] = rest;
+                            j += 1;
+                            i += 1;
+                        }
+                        self.watches[wl].truncate(j);
+                        self.qhead = self.trail.len();
+                        return Some(w.cref());
                     }
+                    self.enqueue(w.blocker, w.cref());
+                    continue;
                 }
-                let first = self.clauses[cref].lits[0];
+                let cref = w.cref();
+                debug_assert!(!self.arena.is_deleted(cref), "tombstone survived GC");
+                // Make sure the false literal is at position 1.
+                if self.arena.lit(cref, 0) == false_lit {
+                    self.arena.swap_lits(cref, 0, 1);
+                }
+                let first = self.arena.lit(cref, 0);
+                let w_new = Watcher::new(cref, first, false);
                 if first != w.blocker && self.value(first) == 1 {
-                    ws[j] = Watcher {
-                        cref: w.cref,
-                        blocker: first,
-                    };
+                    self.watches[wl][j] = w_new;
                     j += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
-                let len = self.clauses[cref].lits.len();
+                let len = self.arena.len(cref);
                 for k in 2..len {
-                    let lk = self.clauses[cref].lits[k];
+                    let lk = self.arena.lit(cref, k);
                     if self.value(lk) != -1 {
-                        self.clauses[cref].lits.swap(1, k);
-                        self.watches[lk.code()].push(Watcher {
-                            cref: w.cref,
-                            blocker: first,
-                        });
+                        self.arena.swap_lits(cref, 1, k);
+                        self.watches[lk.code()].push(w_new);
                         continue 'watchers;
                     }
                 }
                 // Unit or conflict.
-                ws[j] = Watcher {
-                    cref: w.cref,
-                    blocker: first,
-                };
+                self.watches[wl][j] = w_new;
                 j += 1;
                 if self.value(first) == -1 {
-                    conflict = Some(w.cref);
-                    // Copy remaining watchers back and stop.
-                    while i < ws.len() {
-                        ws[j] = ws[i];
+                    // Conflict: keep the remaining watchers and stop.
+                    while i < n {
+                        let rest = self.watches[wl][i];
+                        self.watches[wl][j] = rest;
                         j += 1;
                         i += 1;
                     }
+                    self.watches[wl].truncate(j);
                     self.qhead = self.trail.len();
-                } else {
-                    self.enqueue(first, w.cref);
+                    return Some(cref);
                 }
+                self.enqueue(first, cref);
             }
-            ws.truncate(j);
-            debug_assert!(self.watches[false_lit.code()].is_empty());
-            self.watches[false_lit.code()] = ws;
-            if let Some(c) = conflict {
-                return Some(c);
-            }
+            self.watches[wl].truncate(j);
         }
         None
     }
@@ -494,36 +755,49 @@ impl State {
         self.order.bumped(v as u32);
     }
 
-    fn bump_clause(&mut self, cref: u32) {
-        let c = &mut self.clauses[cref as usize];
-        if !c.learnt {
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        if !self.arena.is_learnt(cref) {
             return;
         }
-        c.activity += self.cla_inc;
-        if c.activity > 1e20 {
-            for cl in &mut self.clauses {
-                cl.activity *= 1e-20;
+        let a = self.arena.activity(cref) + self.cla_inc as f32;
+        self.arena.set_activity(cref, a);
+        if a > 1e20 {
+            for i in 0..self.learnts.len() {
+                let c = self.learnts[i];
+                let scaled = self.arena.activity(c) * 1e-20;
+                self.arena.set_activity(c, scaled);
             }
             self.cla_inc *= 1e-20;
         }
     }
 
-    /// First-UIP conflict analysis; returns (learnt clause, backtrack level, lbd).
-    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32, u32) {
-        let mut learnt: Vec<Lit> = vec![Lit::pos(Var(0))]; // slot 0 = asserting lit
+    /// First-UIP conflict analysis. The learnt clause is left in
+    /// `self.learnt_buf` (slot 0 = asserting literal); returns
+    /// (backtrack level, LBD). Resolution walks the arena by index —
+    /// no clause literals are copied, and all scratch is reused.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (u32, u32) {
+        let mut learnt = std::mem::take(&mut self.learnt_buf);
+        learnt.clear();
+        learnt.push(Lit::pos(Var(0))); // slot 0 = asserting lit
+        self.to_clear.clear();
         let mut counter = 0usize;
-        let mut to_clear: Vec<usize> = Vec::new();
         let mut p: Option<Lit> = None;
         let mut idx = self.trail.len();
         loop {
             self.bump_clause(confl);
-            let lits = self.clauses[confl as usize].lits.clone();
-            let start = usize::from(p.is_some());
-            for &q in &lits[start..] {
+            let len = self.arena.len(confl);
+            for k in 0..len {
+                let q = self.arena.lit(confl, k);
+                // Skip the pivot when resolving on a reason clause (its
+                // slot is not fixed: binary units assert from either
+                // watched position).
+                if p.is_some_and(|pl| q.var() == pl.var()) {
+                    continue;
+                }
                 let v = q.var().index();
                 if !self.seen[v] && self.level[v] > 0 {
                     self.seen[v] = true;
-                    to_clear.push(v);
+                    self.to_clear.push(v as u32);
                     self.bump_var(v);
                     if self.level[v] >= self.decision_level() {
                         counter += 1;
@@ -548,22 +822,27 @@ impl State {
             }
             p = Some(pl);
             confl = self.reason[pl.var().index()];
-            debug_assert_ne!(confl, NO_REASON);
+            debug_assert_ne!(confl, ClauseRef::NONE);
         }
-        // Minimize: drop literals whose reasons are covered by the clause.
+        // Minimize in place: drop literals recursively implied by the
+        // rest of the clause (MiniSat-style, with the abstract-level
+        // filter to cut hopeless DFS walks short).
         if self.config.use_minimization {
-            let before = learnt.len();
-            let keep: Vec<bool> = learnt
-                .iter()
-                .enumerate()
-                .map(|(i, &l)| i == 0 || !self.lit_redundant(l))
-                .collect();
-            let mut k = 0;
-            learnt.retain(|_| {
-                let keep_it = keep[k];
-                k += 1;
-                keep_it
+            let abstract_levels = learnt[1..].iter().fold(0u32, |acc, l| {
+                acc | (1 << (self.level[l.var().index()] & 31))
             });
+            let before = learnt.len();
+            let mut j = 1;
+            for i in 1..learnt.len() {
+                let l = learnt[i];
+                if self.reason[l.var().index()] == ClauseRef::NONE
+                    || !self.lit_redundant(l, abstract_levels)
+                {
+                    learnt[j] = l;
+                    j += 1;
+                }
+            }
+            learnt.truncate(j);
             self.stats.minimized_lits += (before - learnt.len()) as u64;
         }
         // Compute backtrack level and move that literal to slot 1.
@@ -578,29 +857,71 @@ impl State {
             learnt.swap(1, max_i);
             bt = self.level[learnt[1].var().index()];
         }
-        // LBD: number of distinct decision levels in the clause.
-        let mut levels: Vec<u32> = learnt.iter().map(|l| self.level[l.var().index()]).collect();
-        levels.sort_unstable();
-        levels.dedup();
-        let lbd = levels.len() as u32;
+        // LBD: distinct decision levels, counted with generation stamps.
+        self.lbd_gen = self.lbd_gen.wrapping_add(1);
+        if self.lbd_gen == 0 {
+            self.lbd_stamp.fill(0);
+            self.lbd_gen = 1;
+        }
+        let mut lbd = 0u32;
+        for &l in &learnt {
+            let lev = self.level[l.var().index()] as usize;
+            if self.lbd_stamp[lev] != self.lbd_gen {
+                self.lbd_stamp[lev] = self.lbd_gen;
+                lbd += 1;
+            }
+        }
         // Clear every seen flag marked during this analysis (including
         // literals dropped by minimization).
-        for v in to_clear {
-            self.seen[v] = false;
+        while let Some(v) = self.to_clear.pop() {
+            self.seen[v as usize] = false;
         }
-        (learnt, bt, lbd)
+        self.learnt_buf = learnt;
+        (bt, lbd)
     }
 
-    /// A literal is redundant in the learnt clause if its reason's
-    /// literals are all already seen (or at level 0).
-    fn lit_redundant(&self, l: Lit) -> bool {
-        let r = self.reason[l.var().index()];
-        if r == NO_REASON {
-            return false;
+    /// A literal is redundant in the learnt clause if, transitively,
+    /// every literal of its reason is seen, at level 0, or redundant
+    /// itself (iterative DFS over reasons). `abstract_levels` is a
+    /// 32-bit Bloom filter of the clause's decision levels: a reason
+    /// literal whose level is not even possibly in the clause ends the
+    /// search immediately. Marks made along a failed branch are rolled
+    /// back; marks on a successful branch stay (those literals are
+    /// implied, so later checks may treat them as seen).
+    fn lit_redundant(&mut self, l: Lit, abstract_levels: u32) -> bool {
+        debug_assert!(self.analyze_stack.is_empty());
+        self.analyze_stack.push(l);
+        let top = self.to_clear.len();
+        while let Some(pl) = self.analyze_stack.pop() {
+            let r = self.reason[pl.var().index()];
+            debug_assert_ne!(r, ClauseRef::NONE);
+            for k in 0..self.arena.len(r) {
+                let q = self.arena.lit(r, k);
+                if q.var() == pl.var() {
+                    continue;
+                }
+                let v = q.var().index();
+                if self.seen[v] || self.level[v] == 0 {
+                    continue;
+                }
+                if self.reason[v] != ClauseRef::NONE
+                    && (1u32 << (self.level[v] & 31)) & abstract_levels != 0
+                {
+                    self.seen[v] = true;
+                    self.to_clear.push(v as u32);
+                    self.analyze_stack.push(q);
+                } else {
+                    // Dead end: undo the marks of this check only.
+                    while self.to_clear.len() > top {
+                        let v = self.to_clear.pop().expect("non-empty") as usize;
+                        self.seen[v] = false;
+                    }
+                    self.analyze_stack.clear();
+                    return false;
+                }
+            }
         }
-        self.clauses[r as usize].lits.iter().all(|&q| {
-            q.var() == l.var() || self.seen[q.var().index()] || self.level[q.var().index()] == 0
-        })
+        true
     }
 
     fn cancel_until(&mut self, target: u32) {
@@ -614,8 +935,9 @@ impl State {
             if self.config.use_phase_saving {
                 self.polarity[v] = !l.is_neg();
             }
-            self.assigns[v] = 0;
-            self.reason[v] = NO_REASON;
+            self.lit_val[l.code()] = 0;
+            self.lit_val[(!l).code()] = 0;
+            self.reason[v] = ClauseRef::NONE;
             self.order.insert(v as u32);
         }
         self.trail_lim.truncate(target as usize);
@@ -623,15 +945,25 @@ impl State {
     }
 
     fn decide(&mut self) -> Option<Lit> {
-        // Occasional random decisions diversify seeds.
-        if self.config.random_var_freq > 0.0 && self.rng.random_bool(self.config.random_var_freq) {
-            let v = self.rng.random_range(0..self.num_vars);
-            if self.assigns[v] == 0 {
-                return Some(self.choose_polarity(v));
+        // Occasional random decisions diversify seeds. Retry a bounded
+        // number of times over assigned picks so the effective random
+        // rate stays near `random_var_freq` even on a deep trail
+        // (a single sample would silently fall through to VSIDS). The
+        // `num_vars > 0` guard keeps the empty sample range of a
+        // variable-free formula away from the rng.
+        if self.num_vars > 0
+            && self.config.random_var_freq > 0.0
+            && self.rng.random_bool(self.config.random_var_freq)
+        {
+            for _ in 0..8 {
+                let v = self.rng.random_range(0..self.num_vars);
+                if self.is_unassigned(v) {
+                    return Some(self.choose_polarity(v));
+                }
             }
         }
         while let Some(v) = self.order.pop_max() {
-            if self.assigns[v as usize] == 0 {
+            if self.is_unassigned(v as usize) {
                 return Some(self.choose_polarity(v as usize));
             }
         }
@@ -648,37 +980,143 @@ impl State {
         Lit::new(Var(v as u32), !pol)
     }
 
+    /// A clause is locked while it is the reason of a trail literal.
+    /// The asserting literal of a reason clause is always one of the
+    /// two watched slots (binary clauses assert from either), so no
+    /// side table is needed.
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        (0..2).any(|k| {
+            let l = self.arena.lit(cref, k);
+            self.value(l) == 1 && self.reason[l.var().index()] == cref
+        })
+    }
+
+    /// Halves the learnt database (worst LBD, then lowest activity) and
+    /// immediately garbage-collects the arena.
     fn reduce_db(&mut self) {
-        let locked: Vec<u32> = self
-            .trail
+        let mut candidates: Vec<ClauseRef> = self
+            .learnts
             .iter()
-            .filter_map(|l| {
-                let r = self.reason[l.var().index()];
-                (r != NO_REASON).then_some(r)
-            })
-            .collect();
-        let locked: std::collections::HashSet<u32> = locked.into_iter().collect();
-        let mut candidates: Vec<u32> = (0..self.clauses.len() as u32)
-            .filter(|&i| {
-                let c = &self.clauses[i as usize];
-                c.learnt && !c.deleted && c.lits.len() > 2 && c.lbd > 3 && !locked.contains(&i)
-            })
+            .copied()
+            .filter(|&c| self.arena.len(c) > 2 && self.arena.lbd(c) > 3 && !self.is_locked(c))
             .collect();
         candidates.sort_by(|&a, &b| {
-            let (ca, cb) = (&self.clauses[a as usize], &self.clauses[b as usize]);
-            cb.lbd.cmp(&ca.lbd).then(
-                ca.activity
-                    .partial_cmp(&cb.activity)
+            self.arena.lbd(b).cmp(&self.arena.lbd(a)).then(
+                self.arena
+                    .activity(a)
+                    .partial_cmp(&self.arena.activity(b))
                     .unwrap_or(std::cmp::Ordering::Equal),
             )
         });
         let remove = candidates.len() / 2;
-        for &i in &candidates[..remove] {
-            self.clauses[i as usize].deleted = true;
-            self.learnt_count -= 1;
+        for &c in &candidates[..remove] {
+            self.arena.mark_deleted(c);
             self.stats.deleted += 1;
         }
         self.max_learnts *= 1.1;
+        self.collect_garbage();
+    }
+
+    /// Compacts the arena, dropping marked clauses and rewriting every
+    /// clause reference (ref lists, watchers, trail reasons) through
+    /// forwarding addresses. See the GC protocol in the module docs.
+    fn collect_garbage(&mut self) {
+        let old_words = self.arena.data.len();
+        let mut dst = std::mem::take(&mut self.gc_buf);
+        dst.clear();
+        dst.reserve(old_words);
+        // 1. Copy live clauses, leaving forwarding addresses behind.
+        //    Originals are never marked, but the check keeps the pass
+        //    uniform (future preprocessing may delete originals too).
+        let mut clauses = std::mem::take(&mut self.clauses);
+        clauses.retain_mut(|c| {
+            if self.arena.is_deleted(*c) {
+                return false;
+            }
+            *c = self.arena.relocate(*c, &mut dst);
+            true
+        });
+        self.clauses = clauses;
+        let mut learnts = std::mem::take(&mut self.learnts);
+        learnts.retain_mut(|c| {
+            if self.arena.is_deleted(*c) {
+                return false;
+            }
+            *c = self.arena.relocate(*c, &mut dst);
+            true
+        });
+        self.learnts = learnts;
+        // 2a. Rewrite watchers; watchers of collected clauses drop here.
+        for list in &mut self.watches {
+            list.retain_mut(|w| match self.arena.forwarded(w.cref()) {
+                Some(nc) => {
+                    *w = Watcher::new(nc, w.blocker, w.is_binary());
+                    true
+                }
+                None => false,
+            });
+        }
+        // 2b. Rewrite trail reasons (always locked, hence always live).
+        for &l in &self.trail {
+            let r = &mut self.reason[l.var().index()];
+            if *r != ClauseRef::NONE {
+                *r = self
+                    .arena
+                    .forwarded(*r)
+                    .expect("reason clause collected by GC");
+            }
+        }
+        // 3. Swap buffers; the old arena becomes the next spare.
+        self.gc_buf = std::mem::replace(&mut self.arena.data, dst);
+        self.stats.gc_passes += 1;
+        self.stats.gc_reclaimed_words += (old_words - self.arena.data.len()) as u64;
+        #[cfg(debug_assertions)]
+        self.check_watcher_integrity();
+    }
+
+    /// Asserts the watcher invariants: every watcher references a live
+    /// clause that watches that literal in slot 0/1, and every attached
+    /// clause has exactly two watchers.
+    #[cfg(any(debug_assertions, test))]
+    fn check_watcher_integrity(&self) {
+        let live_words: usize = self
+            .clauses
+            .iter()
+            .chain(&self.learnts)
+            .map(|&c| HEADER_WORDS + self.arena.len(c))
+            .sum();
+        assert_eq!(
+            self.arena.data.len(),
+            live_words,
+            "arena holds exactly the live clauses"
+        );
+        let mut watcher_count = 0usize;
+        for (code, list) in self.watches.iter().enumerate() {
+            let lit = Lit::from_code(code);
+            for w in list {
+                watcher_count += 1;
+                let c = w.cref();
+                assert!(
+                    (c.0 as usize) < self.arena.data.len(),
+                    "watcher points into the arena"
+                );
+                assert!(!self.arena.is_deleted(c), "watcher on deleted clause");
+                assert_eq!(
+                    w.is_binary(),
+                    self.arena.len(c) == 2,
+                    "binary tag matches clause length"
+                );
+                assert!(
+                    self.arena.lit(c, 0) == lit || self.arena.lit(c, 1) == lit,
+                    "watched literal in slot 0/1"
+                );
+            }
+        }
+        assert_eq!(
+            watcher_count,
+            2 * (self.clauses.len() + self.learnts.len()),
+            "every attached clause has exactly two watchers"
+        );
     }
 
     fn solve(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
@@ -698,16 +1136,17 @@ impl State {
                 if self.decision_level() == 0 {
                     return SolveOutcome::Unsat;
                 }
-                let (learnt, bt, lbd) = self.analyze(confl);
+                let (bt, lbd) = self.analyze(confl);
                 self.cancel_until(bt);
+                let learnt = std::mem::take(&mut self.learnt_buf);
                 if learnt.len() == 1 {
-                    self.enqueue(learnt[0], NO_REASON);
+                    self.enqueue(learnt[0], ClauseRef::NONE);
                 } else {
-                    let first = learnt[0];
-                    let cref = self.attach_clause(learnt, true, lbd);
+                    let cref = self.attach_clause(&learnt, true, lbd);
                     self.bump_clause(cref);
-                    self.enqueue(first, cref);
+                    self.enqueue(learnt[0], cref);
                 }
+                self.learnt_buf = learnt; // hand the scratch back
                 self.var_inc /= self.config.var_decay;
                 self.cla_inc /= self.config.clause_decay;
                 // Budget checks: conflicts every time (cheap), clock and
@@ -736,7 +1175,8 @@ impl State {
                     restart_budget = self.config.restart_base * luby(self.stats.restarts);
                     self.cancel_until(0);
                 }
-                if self.config.use_clause_deletion && self.learnt_count as f64 >= self.max_learnts {
+                if self.config.use_clause_deletion && self.learnts.len() as f64 >= self.max_learnts
+                {
                     self.reduce_db();
                 }
                 // Re-apply assumptions as pseudo-decisions.
@@ -751,7 +1191,7 @@ impl State {
                         -1 => return SolveOutcome::Unsat,
                         _ => {
                             self.trail_lim.push(self.trail.len());
-                            self.enqueue(a, NO_REASON);
+                            self.enqueue(a, ClauseRef::NONE);
                         }
                     }
                     continue;
@@ -760,10 +1200,12 @@ impl State {
                     Some(lit) => {
                         self.stats.decisions += 1;
                         self.trail_lim.push(self.trail.len());
-                        self.enqueue(lit, NO_REASON);
+                        self.enqueue(lit, ClauseRef::NONE);
                     }
                     None => {
-                        let values = (0..self.num_vars).map(|v| self.assigns[v] == 1).collect();
+                        let values = (0..self.num_vars)
+                            .map(|v| self.lit_val[2 * v] == 1)
+                            .collect();
                         return SolveOutcome::Sat(Model::new(values));
                     }
                 }
@@ -792,12 +1234,73 @@ mod tests {
         CdclSolver::default().solve_with(c, &[], &Budget::default())
     }
 
+    /// Pigeonhole principle: `pigeons` into `pigeons - 1` holes, UNSAT.
+    fn pigeonhole(pigeons: i64) -> Cnf {
+        let holes = pigeons - 1;
+        let p = |i: i64, j: i64| (i - 1) * holes + j;
+        let mut c = Cnf::new(0);
+        for i in 1..=pigeons {
+            c.add_clause((1..=holes).map(|j| lit(p(i, j))));
+        }
+        for j in 1..=holes {
+            for a in 1..=pigeons {
+                for b in (a + 1)..=pigeons {
+                    c.add_clause([lit(-p(a, j)), lit(-p(b, j))]);
+                }
+            }
+        }
+        c
+    }
+
     #[test]
     fn luby_sequence_prefix() {
         let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
         for (i, &e) in expected.iter().enumerate() {
             assert_eq!(luby(i as u64), e, "luby({i})");
         }
+    }
+
+    #[test]
+    fn arena_roundtrips_clause_metadata() {
+        let mut arena = ClauseArena::default();
+        let a = arena.alloc(&[lit(1), lit(-2), lit(3)], false, 0);
+        let b = arena.alloc(&[lit(-1), lit(2)], true, 2);
+        assert_eq!(arena.len(a), 3);
+        assert_eq!(arena.len(b), 2);
+        assert!(!arena.is_learnt(a));
+        assert!(arena.is_learnt(b));
+        assert_eq!(arena.lbd(b), 2);
+        assert_eq!(arena.lit(a, 1), lit(-2));
+        arena.swap_lits(a, 0, 2);
+        assert_eq!(arena.lit(a, 0), lit(3));
+        assert_eq!(arena.lit(a, 2), lit(1));
+        arena.set_activity(b, 1.5);
+        assert_eq!(arena.activity(b), 1.5);
+        assert!(!arena.is_deleted(b));
+        arena.mark_deleted(b);
+        assert!(arena.is_deleted(b));
+        // Deletion does not disturb the neighbouring clause.
+        assert_eq!(arena.len(a), 3);
+        assert_eq!(arena.lit(b, 0), lit(-1));
+    }
+
+    #[test]
+    fn arena_relocation_forwards() {
+        let mut arena = ClauseArena::default();
+        let a = arena.alloc(&[lit(1), lit(2), lit(3)], false, 0);
+        let b = arena.alloc(&[lit(-1), lit(-2)], true, 1);
+        let mut dst = Vec::new();
+        // Collect `a`, keep `b`.
+        arena.mark_deleted(a);
+        let nb = arena.relocate(b, &mut dst);
+        assert_eq!(arena.forwarded(b), Some(nb));
+        assert_eq!(arena.forwarded(a), None);
+        arena.data = dst;
+        assert_eq!(nb.0, 0);
+        assert_eq!(arena.len(nb), 2);
+        assert!(arena.is_learnt(nb));
+        assert_eq!(arena.lit(nb, 0), lit(-1));
+        assert_eq!(arena.lit(nb, 1), lit(-2));
     }
 
     #[test]
@@ -819,6 +1322,12 @@ mod tests {
     fn empty_formula_is_sat() {
         assert!(solve(&Cnf::new(0)).is_sat());
         assert!(solve(&Cnf::new(5)).is_sat());
+        // Also with a random-walk config: the zero-variable formula
+        // must not feed an empty range to the rng (regression).
+        for seed in 0..4 {
+            let mut s = CdclSolver::with_config(CdclConfig::diversified(seed));
+            assert!(s.solve_with(&Cnf::new(0), &[], &Budget::default()).is_sat());
+        }
     }
 
     #[test]
@@ -835,21 +1344,7 @@ mod tests {
 
     #[test]
     fn pigeonhole_3_into_2_unsat() {
-        // p_{i,j}: pigeon i in hole j; vars 1..=6 as (i-1)*2 + j.
-        let p = |i: i64, j: i64| (i - 1) * 2 + j;
-        let mut clauses: Vec<Vec<i64>> = Vec::new();
-        for i in 1..=3 {
-            clauses.push(vec![p(i, 1), p(i, 2)]);
-        }
-        for j in 1..=2 {
-            for a in 1..=3 {
-                for b in (a + 1)..=3 {
-                    clauses.push(vec![-p(a, j), -p(b, j)]);
-                }
-            }
-        }
-        let refs: Vec<&[i64]> = clauses.iter().map(|v| v.as_slice()).collect();
-        assert!(solve(&cnf(&refs)).is_unsat());
+        assert!(solve(&pigeonhole(3)).is_unsat());
     }
 
     #[test]
@@ -893,22 +1388,7 @@ mod tests {
 
     #[test]
     fn conflict_budget_reports_unknown() {
-        // A hard instance: pigeonhole 6 into 5.
-        let holes = 5i64;
-        let p = |i: i64, j: i64| (i - 1) * holes + j;
-        let mut clauses: Vec<Vec<i64>> = Vec::new();
-        for i in 1..=6 {
-            clauses.push((1..=holes).map(|j| p(i, j)).collect());
-        }
-        for j in 1..=holes {
-            for a in 1..=6 {
-                for b in (a + 1)..=6 {
-                    clauses.push(vec![-p(a, j), -p(b, j)]);
-                }
-            }
-        }
-        let refs: Vec<&[i64]> = clauses.iter().map(|v| v.as_slice()).collect();
-        let c = cnf(&refs);
+        let c = pigeonhole(6);
         let out = CdclSolver::default().solve_with(&c, &[], &Budget::conflict_limit(10));
         assert!(matches!(out, SolveOutcome::Unknown));
     }
@@ -931,6 +1411,27 @@ mod tests {
             verdicts.push(s.solve_with(&c, &[], &Budget::default()).is_sat());
         }
         assert!(verdicts.iter().all(|&v| v == verdicts[0]));
+    }
+
+    #[test]
+    fn diversified_configs_differ_and_stay_correct() {
+        let configs: Vec<CdclConfig> = (0..4).map(CdclConfig::diversified).collect();
+        // The ablated knobs genuinely differ across portfolio members.
+        assert!(configs
+            .iter()
+            .any(|c| c.restart_base != configs[0].restart_base));
+        assert!(configs.iter().any(|c| c.var_decay != configs[0].var_decay));
+        let unsat = pigeonhole(4);
+        let sat = cnf(&[&[1, 2], &[-1, 2], &[1, -2]]);
+        for config in configs {
+            let mut s = CdclSolver::with_config(config.clone());
+            assert!(
+                s.solve_with(&unsat, &[], &Budget::default()).is_unsat(),
+                "{config:?}"
+            );
+            let mut s = CdclSolver::with_config(config);
+            assert!(s.solve_with(&sat, &[], &Budget::default()).is_sat());
+        }
     }
 
     #[test]
@@ -976,32 +1477,71 @@ mod tests {
         let m = solve(&c).expect_sat();
         assert!(m.value(Var(1)));
     }
-}
-
-#[cfg(test)]
-mod debug_tests {
-    use super::*;
 
     #[test]
     fn php65_unsat() {
-        let holes = 5i64;
-        let p = |i: i64, j: i64| (i - 1) * holes + j;
-        let mut clauses: Vec<Vec<i64>> = Vec::new();
-        for i in 1..=6 {
-            clauses.push((1..=holes).map(|j| p(i, j)).collect());
-        }
-        for j in 1..=holes {
-            for a in 1..=6 {
-                for b in (a + 1)..=6 {
-                    clauses.push(vec![-p(a, j), -p(b, j)]);
-                }
-            }
-        }
-        let mut c = Cnf::new(0);
-        for cl in &clauses {
-            c.add_clause(cl.iter().map(|&d| Lit::from_dimacs(d)));
-        }
-        let out = CdclSolver::default().solve_with(&c, &[], &Budget::default());
+        assert!(solve(&pigeonhole(6)).is_unsat());
+    }
+
+    /// A solve that triggers multiple GC passes still returns the right
+    /// verdict, actually reclaims arena memory, and leaves no watcher
+    /// pointing at a collected clause.
+    #[test]
+    fn gc_compacts_arena_and_keeps_watchers_valid() {
+        let c = pigeonhole(7);
+        // A tiny learnt budget forces reduce_db (and hence GC) early
+        // and often.
+        let config = CdclConfig {
+            max_learnts_floor: 20.0,
+            ..CdclConfig::default()
+        };
+        let mut st = State::new(&c, config);
+        let out = st.solve(&[], &Budget::default());
         assert!(out.is_unsat());
+        assert!(
+            st.stats.gc_passes >= 2,
+            "expected ≥2 GC passes, got {}",
+            st.stats.gc_passes
+        );
+        assert!(
+            st.stats.gc_reclaimed_words > 0,
+            "GC reclaimed no arena memory"
+        );
+        // The arena holds exactly the live clauses and every watcher
+        // references one of them (panics otherwise).
+        st.check_watcher_integrity();
+    }
+
+    /// SAT verdicts (with model validation) survive repeated GC too.
+    #[test]
+    fn gc_preserves_sat_models() {
+        use rand::rngs::SmallRng;
+        let mut rng = SmallRng::seed_from_u64(3);
+        for round in 0..5 {
+            let n = 40;
+            let mut c = Cnf::new(n);
+            for _ in 0..150 {
+                let mut cl = Vec::new();
+                for _ in 0..3 {
+                    let v = rng.random_range(0..n as u32);
+                    cl.push(Lit::new(Var(v), rng.random_bool(0.5)));
+                }
+                c.add_clause(cl);
+            }
+            let config = CdclConfig {
+                max_learnts_floor: 10.0,
+                ..CdclConfig::default()
+            };
+            let mut st = State::new(&c, config.clone());
+            match st.solve(&[], &Budget::default()) {
+                SolveOutcome::Sat(m) => assert!(c.eval(&m), "bogus model in round {round}"),
+                SolveOutcome::Unsat => {
+                    // Cross-check against the default configuration.
+                    assert!(solve(&c).is_unsat(), "verdict flipped in round {round}");
+                }
+                SolveOutcome::Unknown => panic!("unbounded solve returned unknown"),
+            }
+            st.check_watcher_integrity();
+        }
     }
 }

@@ -4,6 +4,63 @@
 use proptest::prelude::*;
 use sat::{Backend, Budget, CdclConfig, CdclSolver, Cnf, CnfBuilder, Lit, Var};
 
+/// Pigeonhole CNF: `pigeons` into `holes` (UNSAT iff pigeons > holes).
+fn pigeonhole_cnf(pigeons: i64, holes: i64) -> Cnf {
+    let p = |i: i64, j: i64| (i - 1) * holes + j;
+    let mut cnf = Cnf::new(0);
+    for i in 1..=pigeons {
+        cnf.add_clause((1..=holes).map(|j| Lit::from_dimacs(p(i, j))));
+    }
+    for j in 1..=holes {
+        for a in 1..=pigeons {
+            for b in (a + 1)..=pigeons {
+                cnf.add_clause([Lit::from_dimacs(-p(a, j)), Lit::from_dimacs(-p(b, j))]);
+            }
+        }
+    }
+    cnf
+}
+
+/// Differential check against the vendored `varisat` backend on
+/// pigeonhole instances, both the UNSAT (n+1 into n) and the SAT
+/// (n into n) family, including a GC-heavy configuration.
+#[cfg(feature = "varisat")]
+#[test]
+fn cdcl_matches_varisat_on_pigeonhole() {
+    for holes in 2i64..=6 {
+        for pigeons in [holes, holes + 1] {
+            let cnf = pigeonhole_cnf(pigeons, holes);
+            let theirs = sat::VarisatBackend.solve(&cnf).is_sat();
+            for config in [
+                CdclConfig::default(),
+                CdclConfig {
+                    max_learnts_floor: 10.0,
+                    ..CdclConfig::default()
+                },
+            ] {
+                match CdclSolver::with_config(config.clone()).solve(&cnf) {
+                    sat::SolveOutcome::Sat(model) => {
+                        assert!(
+                            theirs,
+                            "php({pigeons},{holes}) verdict mismatch: {config:?}"
+                        );
+                        assert!(cnf.eval(&model), "php({pigeons},{holes}) bogus model");
+                    }
+                    sat::SolveOutcome::Unsat => {
+                        assert!(
+                            !theirs,
+                            "php({pigeons},{holes}) verdict mismatch: {config:?}"
+                        );
+                    }
+                    sat::SolveOutcome::Unknown => {
+                        panic!("php({pigeons},{holes}) unbounded solve returned unknown")
+                    }
+                }
+            }
+        }
+    }
+}
+
 fn arb_cnf(max_vars: u32, max_clauses: usize) -> impl Strategy<Value = Cnf> {
     let clause = proptest::collection::vec((0..max_vars, any::<bool>()), 1..4);
     proptest::collection::vec(clause, 0..max_clauses).prop_map(move |clauses| {
@@ -103,6 +160,65 @@ proptest! {
                 .is_sat();
             let want = (mask.count_ones() % 2 == 1) == parity;
             prop_assert_eq!(ok, want, "mask {:b}", mask);
+        }
+    }
+
+    /// Differential check against the vendored `varisat` backend on
+    /// random 3-SAT near the phase transition: identical SAT/UNSAT
+    /// verdicts, and our SAT models actually satisfy the formula.
+    #[cfg(feature = "varisat")]
+    #[test]
+    fn cdcl_matches_varisat_on_random_3sat(seed in any::<u64>(), n in 8usize..24) {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = (n as f64 * 4.2) as usize; // near the SAT/UNSAT threshold
+        let mut cnf = Cnf::new(n);
+        for _ in 0..m {
+            let mut cl = Vec::new();
+            for _ in 0..3 {
+                cl.push(Lit::new(Var(rng.random_range(0..n as u32)), rng.random_bool(0.5)));
+            }
+            cnf.add_clause(cl);
+        }
+        let theirs = sat::VarisatBackend.solve(&cnf).is_sat();
+        match CdclSolver::default().solve(&cnf) {
+            sat::SolveOutcome::Sat(model) => {
+                prop_assert!(theirs, "we say SAT, varisat says UNSAT");
+                prop_assert!(cnf.eval(&model), "bogus model");
+            }
+            sat::SolveOutcome::Unsat => prop_assert!(!theirs, "we say UNSAT, varisat says SAT"),
+            sat::SolveOutcome::Unknown => prop_assert!(false, "unbounded solve returned unknown"),
+        }
+    }
+
+    /// Same differential check under a tiny learnt-clause budget, so
+    /// every solve runs through multiple clause-DB GC passes.
+    #[cfg(feature = "varisat")]
+    #[test]
+    fn gc_heavy_cdcl_matches_varisat(seed in any::<u64>()) {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 20;
+        let mut cnf = Cnf::new(n);
+        for _ in 0..85 {
+            let mut cl = Vec::new();
+            for _ in 0..3 {
+                cl.push(Lit::new(Var(rng.random_range(0..n as u32)), rng.random_bool(0.5)));
+            }
+            cnf.add_clause(cl);
+        }
+        let config = CdclConfig { max_learnts_floor: 8.0, ..CdclConfig::default() };
+        let ours = CdclSolver::with_config(config).solve(&cnf);
+        let theirs = sat::VarisatBackend.solve(&cnf).is_sat();
+        match ours {
+            sat::SolveOutcome::Sat(model) => {
+                prop_assert!(theirs);
+                prop_assert!(cnf.eval(&model));
+            }
+            sat::SolveOutcome::Unsat => prop_assert!(!theirs),
+            sat::SolveOutcome::Unknown => prop_assert!(false, "unbounded solve returned unknown"),
         }
     }
 

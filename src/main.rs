@@ -2,7 +2,7 @@
 //! from the shell.
 //!
 //! ```text
-//! lassynth synth  <spec.json>  [--out DIR] [--timeout SECS] [--seeds N] [--varisat]
+//! lassynth synth  <spec.json>  [--out DIR] [--timeout SECS] [--seeds N|auto] [--stats] [--varisat]
 //! lassynth verify <design.lasre>
 //! lassynth render <design.lasre>
 //! lassynth dimacs <spec.json>
@@ -10,7 +10,10 @@
 //! ```
 //!
 //! `synth` writes `<name>.lasre` and `<name>.gltf` into `--out`
-//! (default `.`); with `--seeds N` it runs a parallel seed portfolio.
+//! (default `.`); with `--seeds N` it runs a parallel portfolio of N
+//! diversified workers, and `--seeds auto` picks the portfolio
+//! automatically when the encoding is large. `--stats` prints the
+//! winning solver's search counters after the verdict.
 
 use lassynth::synth::{optimize, BackendChoice, SynthOptions, SynthResult, Synthesizer};
 use lassynth::{lasre, sat, viz};
@@ -65,9 +68,115 @@ fn options_from(args: &[String]) -> Result<SynthOptions, String> {
     Ok(options)
 }
 
+/// Above this many CNF variables, `--seeds auto` switches from a single
+/// solve to a diversified seed portfolio: big encodings show the
+/// paper's multi-× seed variance, so hedging across configurations
+/// beats one lucky-or-not run.
+const AUTO_PORTFOLIO_VARS: usize = 20_000;
+/// Portfolio width used by `--seeds auto`.
+const AUTO_PORTFOLIO_SEEDS: u64 = 4;
+
+fn print_stats(stats: sat::SolverStats, seed: Option<u64>) {
+    if let Some(seed) = seed {
+        println!("solver stats (winning seed {seed}):");
+    } else {
+        println!("solver stats:");
+    }
+    println!(
+        "  decisions={} conflicts={} propagations={} restarts={}",
+        stats.decisions, stats.conflicts, stats.propagations, stats.restarts
+    );
+    println!(
+        "  learned={} deleted={} minimized_lits={} gc_passes={} gc_reclaimed_words={}",
+        stats.learned,
+        stats.deleted,
+        stats.minimized_lits,
+        stats.gc_passes,
+        stats.gc_reclaimed_words
+    );
+}
+
+/// How `--seeds` resolves: one solve, an explicit portfolio width, or
+/// size-triggered portfolio selection.
+enum SeedsMode {
+    Single,
+    Portfolio(u64),
+    Auto,
+}
+
+fn parse_seeds_flag(flag: Option<&str>) -> Result<SeedsMode, String> {
+    match flag {
+        None => Ok(SeedsMode::Single),
+        Some("auto") => Ok(SeedsMode::Auto),
+        Some(s) => match s.parse::<u64>() {
+            Ok(0) | Ok(1) => Ok(SeedsMode::Single),
+            Ok(n) => Ok(SeedsMode::Portfolio(n)),
+            Err(_) => Err(format!("--seeds expects a number or \"auto\", got {s:?}")),
+        },
+    }
+}
+
+/// Dispatches a synth run: single solve, explicit portfolio
+/// (`--seeds N`), or size-triggered portfolio (`--seeds auto`).
+fn run_synth(
+    spec: lasre::LasSpec,
+    options: SynthOptions,
+    mode: SeedsMode,
+    want_stats: bool,
+) -> Result<SynthResult, lassynth::synth::SynthError> {
+    let single = |synth: Synthesizer, options: SynthOptions| {
+        let mut s = synth.with_options(options);
+        let result = s.run();
+        if want_stats {
+            match s.last_solver_stats() {
+                Some(stats) => print_stats(stats, None),
+                None => println!("solver stats: unavailable for this backend"),
+            }
+        }
+        result
+    };
+    let portfolio = |spec: lasre::LasSpec, options: SynthOptions, n: u64| {
+        let seed_list: Vec<u64> = (0..n).collect();
+        let outcome = optimize::solve_portfolio_detailed(&spec, &seed_list, &options)?;
+        if want_stats {
+            match outcome.stats {
+                Some(stats) => print_stats(stats, outcome.winner_seed),
+                None => println!("solver stats: no worker reported statistics"),
+            }
+        }
+        Ok(outcome.result)
+    };
+    match mode {
+        SeedsMode::Single => single(Synthesizer::new(spec)?, options),
+        SeedsMode::Portfolio(n) => portfolio(spec, options, n),
+        SeedsMode::Auto => {
+            // Encode once to size the instance exactly. On the
+            // portfolio path this sizing encode is thrown away (each
+            // worker re-encodes in its own thread), but it costs
+            // milliseconds against the minutes-scale solves that
+            // trigger the portfolio; small instances solve directly on
+            // the already-built encoding.
+            let synth = Synthesizer::new(spec.clone())?;
+            let vars = synth.cnf().num_vars();
+            if vars > AUTO_PORTFOLIO_VARS {
+                println!(
+                    "({vars} variables > {AUTO_PORTFOLIO_VARS}: \
+                     running a {AUTO_PORTFOLIO_SEEDS}-seed diversified portfolio)"
+                );
+                portfolio(spec, options, AUTO_PORTFOLIO_SEEDS)
+            } else {
+                single(synth, options)
+            }
+        }
+    }
+}
+
 fn cmd_synth(args: &[String]) -> i32 {
     let Some(path) = args.first() else {
-        eprintln!("usage: lassynth synth <spec.json> [--out DIR] [--timeout SECS] [--seeds N]");
+        eprintln!(
+            "usage: lassynth synth <spec.json> [--out DIR] [--timeout SECS] \
+             [--seeds N|auto] [--stats]"
+        );
         return 2;
     };
     let spec = match load_spec(path) {
@@ -86,18 +195,16 @@ fn cmd_synth(args: &[String]) -> i32 {
         }
     };
     let name = spec.name.clone();
-    let seeds: usize = flag_value(args, "--seeds")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
-    let start = std::time::Instant::now();
-    let result = if seeds > 1 {
-        let seed_list: Vec<u64> = (0..seeds as u64).collect();
-        optimize::solve_portfolio(&spec, &seed_list, &options)
-    } else {
-        Synthesizer::new(spec)
-            .map(|s| s.with_options(options))
-            .and_then(|mut s| s.run())
+    let want_stats = args.iter().any(|a| a == "--stats");
+    let mode = match parse_seeds_flag(flag_value(args, "--seeds").as_deref()) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
     };
+    let start = std::time::Instant::now();
+    let result = run_synth(spec, options, mode, want_stats);
     match result {
         Ok(SynthResult::Sat(design)) => {
             println!(

@@ -122,6 +122,60 @@ fn synth_writes_artifacts_that_verify_and_render() {
 }
 
 #[test]
+fn synth_stats_prints_solver_counters() {
+    let dir = std::env::temp_dir().join(format!("lassynth-cli-stats-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = bin()
+        .arg("synth")
+        .arg(cnot_spec_path())
+        .arg("--out")
+        .arg(&dir)
+        .arg("--stats")
+        .output()
+        .expect("run lassynth synth --stats");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("solver stats"), "stats header: {stdout}");
+    for counter in ["decisions=", "conflicts=", "propagations=", "gc_passes="] {
+        assert!(stdout.contains(counter), "{counter} missing: {stdout}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn synth_seeds_auto_solves_small_specs_directly() {
+    let dir = std::env::temp_dir().join(format!("lassynth-cli-auto-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = bin()
+        .arg("synth")
+        .arg(cnot_spec_path())
+        .arg("--out")
+        .arg(&dir)
+        .arg("--seeds")
+        .arg("auto")
+        .output()
+        .expect("run lassynth synth --seeds auto");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SAT"), "auto mode still solves: {stdout}");
+    // The CNOT encoding is far below the portfolio threshold, so no
+    // portfolio banner appears.
+    assert!(
+        !stdout.contains("portfolio"),
+        "small spec solves directly: {stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn usage_errors_exit_nonzero() {
     let out = bin().output().expect("run lassynth");
     assert_eq!(
