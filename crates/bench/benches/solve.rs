@@ -6,7 +6,8 @@
 use bench_support::report::BenchRecord;
 use criterion::{criterion_group, criterion_main, Criterion};
 use sat::{Backend, Budget, CdclSolver};
-use synth::Synthesizer;
+use synth::optimize::{find_min_depth, DepthSearch};
+use synth::{SynthOptions, Synthesizer};
 use workloads::graphs::Graph;
 use workloads::specs::graph_state_spec;
 
@@ -43,6 +44,7 @@ fn bench_solve(c: &mut Criterion) {
     });
     group.finish();
     emit_majority_record();
+    emit_min_depth_records();
 }
 
 /// Measures the solver (alone, on a pre-built encoding) on the
@@ -70,6 +72,77 @@ fn emit_majority_record() {
     match record.write() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write bench record: {e}"),
+    }
+}
+
+/// Measures the full min-depth probe sequence on the majority gate in
+/// both modes and writes one tracked record each: the incremental
+/// session (depth-layered CNF, learnt clauses shared across probes)
+/// against from-scratch re-encoding per probe. The two searches must
+/// agree probe-for-probe — the differential half of the ISSUE's
+/// acceptance criterion — before either record is written.
+fn emit_min_depth_records() {
+    // The paper's workflow: start at the spec's depth (5), descend to
+    // the minimum; `HI` leaves ascending headroom that a descending
+    // search never pays for.
+    const LO: usize = 4;
+    const HI: usize = 6;
+    const START: usize = 5;
+    const SAMPLES: u32 = 5;
+    let spec = workloads::specs::majority_gate_spec(3);
+    let run = |incremental: bool| -> DepthSearch {
+        let options = SynthOptions {
+            incremental,
+            ..SynthOptions::default()
+        };
+        find_min_depth(&spec, LO, HI, START, &options).expect("majority depth search")
+    };
+    // Measures one mode and returns (record, probe verdicts) — the
+    // verdicts come from the sampled runs themselves, so the
+    // cross-mode agreement check below costs no extra solves. (The
+    // same property is unit-gated by `tests/min_depth.rs`.)
+    let measure = |name: &str, incremental: bool| -> (BenchRecord, Vec<(usize, Option<bool>)>) {
+        let mut wall_ms = 0.0;
+        let mut conflicts = 0;
+        let mut propagations = 0;
+        let mut verdicts = Vec::new();
+        for _ in 0..SAMPLES {
+            let start = std::time::Instant::now();
+            let search = run(incremental);
+            wall_ms += start.elapsed().as_secs_f64() * 1e3;
+            conflicts = search
+                .probes
+                .iter()
+                .filter_map(|p| p.stats)
+                .map(|s| s.conflicts)
+                .sum();
+            propagations = search
+                .probes
+                .iter()
+                .filter_map(|p| p.stats)
+                .map(|s| s.propagations)
+                .sum();
+            verdicts = search.probes.iter().map(|p| (p.max_k, p.sat)).collect();
+        }
+        let record = BenchRecord {
+            name: name.into(),
+            wall_ms: wall_ms / f64::from(SAMPLES),
+            conflicts,
+            propagations,
+        };
+        (record, verdicts)
+    };
+    let (incremental, inc_verdicts) = measure("min_depth_majority_3x3x5_incremental", true);
+    let (scratch, scratch_verdicts) = measure("min_depth_majority_3x3x5_scratch", false);
+    assert_eq!(
+        inc_verdicts, scratch_verdicts,
+        "incremental and from-scratch depth searches must agree"
+    );
+    for record in [incremental, scratch] {
+        match record.write() {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write bench record: {e}"),
+        }
     }
 }
 

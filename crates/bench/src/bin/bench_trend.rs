@@ -1,0 +1,126 @@
+//! CI bench-trend check: compares freshly emitted `BENCH_*.json`
+//! records against the committed baselines and fails on large
+//! wall-time regressions (the ROADMAP's "diff against the committed
+//! record" item).
+//!
+//! ```text
+//! bench_trend <baseline-dir> <fresh-dir> [--max-ratio R]
+//! ```
+//!
+//! Every `BENCH_*.json` in `baseline-dir` that also exists in
+//! `fresh-dir` is compared; a fresh record slower than `R ×` the
+//! baseline (default 2.0, overridable via `--max-ratio` or the
+//! `BENCH_TREND_MAX_RATIO` environment variable — generous because CI
+//! machines differ from the machine that committed the baseline) fails
+//! the check. A wall-time regression whose *deterministic* search
+//! counters (conflicts) stayed flat is downgraded to a warning: the
+//! same seed doing the same work in more milliseconds is a
+//! machine-speed delta, not a code regression, and absolute wall times
+//! on shared CI runners routinely swing that far. Baselines with no
+//! fresh counterpart are reported but do not fail: CI's smoke job only
+//! runs a subset of the benches.
+
+use bench_support::report::BenchRecord;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn load_records(dir: &Path) -> Vec<(String, BenchRecord)> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        match std::fs::read_to_string(entry.path()).map_err(|e| e.to_string()) {
+            Ok(text) => match BenchRecord::parse(&text) {
+                Ok(record) => out.push((name, record)),
+                Err(e) => eprintln!("warning: unparsable record {name}: {e}"),
+            },
+            Err(e) => eprintln!("warning: unreadable record {name}: {e}"),
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<String> = Vec::new();
+    let mut max_ratio_arg: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--max-ratio" {
+            max_ratio_arg = args.get(i + 1).cloned();
+            i += 2;
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let [baseline_dir, fresh_dir] = &positional[..] else {
+        eprintln!("usage: bench_trend <baseline-dir> <fresh-dir> [--max-ratio R]");
+        return ExitCode::from(2);
+    };
+    let max_ratio: f64 = max_ratio_arg
+        .or_else(|| std::env::var("BENCH_TREND_MAX_RATIO").ok())
+        .map_or(2.0, |s| s.parse().expect("--max-ratio expects a number"));
+    let baselines = load_records(Path::new(baseline_dir));
+    if baselines.is_empty() {
+        eprintln!("error: no BENCH_*.json baselines in {baseline_dir}");
+        return ExitCode::from(2);
+    }
+    let fresh = load_records(Path::new(fresh_dir));
+    let mut compared = 0usize;
+    let mut failures = 0usize;
+    for (file, base) in &baselines {
+        let Some((_, new)) = fresh.iter().find(|(f, _)| f == file) else {
+            println!("SKIP {file}: not emitted by this run");
+            continue;
+        };
+        compared += 1;
+        // Guard the division: a sub-microsecond baseline is noise.
+        let ratio = if base.wall_ms > 1e-3 {
+            new.wall_ms / base.wall_ms
+        } else {
+            1.0
+        };
+        // Deterministic work measure: identical code + seed reproduces
+        // the conflict count on any machine, so a wall blow-up with
+        // flat conflicts is the runner being slower, not the solver.
+        let conflicts_flat = new.conflicts <= base.conflicts.saturating_mul(11) / 10;
+        let wall_regressed = ratio > max_ratio;
+        let verdict = match (wall_regressed, conflicts_flat) {
+            (false, _) => "ok",
+            (true, true) => "WARN",
+            (true, false) => "FAIL",
+        };
+        println!(
+            "{verdict:>4} {file}: {:.3} ms -> {:.3} ms ({ratio:.2}x, limit {max_ratio:.2}x), \
+             conflicts {} -> {}",
+            base.wall_ms, new.wall_ms, base.conflicts, new.conflicts
+        );
+        if verdict == "FAIL" {
+            failures += 1;
+        }
+    }
+    // Surface fresh records with no baseline: they carry no regression
+    // protection until their record is committed.
+    for (file, _) in &fresh {
+        if !baselines.iter().any(|(f, _)| f == file) {
+            println!(" NEW {file}: no committed baseline — commit it to start trend tracking");
+        }
+    }
+    if compared == 0 {
+        eprintln!("error: no fresh record matched any committed baseline");
+        return ExitCode::from(2);
+    }
+    if failures > 0 {
+        eprintln!("bench trend check failed: {failures} record(s) regressed >{max_ratio:.2}x");
+        return ExitCode::FAILURE;
+    }
+    println!("bench trend check passed ({compared} record(s) compared)");
+    ExitCode::SUCCESS
+}

@@ -45,6 +45,36 @@ impl BenchRecord {
         )
     }
 
+    /// Parses a record previously written by [`BenchRecord::to_json`]
+    /// (what the CI trend check compares).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    pub fn parse(text: &str) -> Result<BenchRecord, String> {
+        let value: serde_json::Value =
+            serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let field = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| format!("missing field {key:?}"))
+        };
+        let bad = |key: &str| format!("field {key:?} has the wrong type");
+        Ok(BenchRecord {
+            name: field("name")?
+                .as_str()
+                .ok_or_else(|| bad("name"))?
+                .to_string(),
+            wall_ms: field("wall_ms")?.as_f64().ok_or_else(|| bad("wall_ms"))?,
+            conflicts: field("conflicts")?
+                .as_u64()
+                .ok_or_else(|| bad("conflicts"))?,
+            propagations: field("propagations")?
+                .as_u64()
+                .ok_or_else(|| bad("propagations"))?,
+        })
+    }
+
     /// Writes the record to `BENCH_<name>.json` in `dir`, returning the
     /// path.
     ///
@@ -157,6 +187,20 @@ mod tests {
         // Valid JSON according to the vendored parser.
         let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
         assert_eq!(v["conflicts"], serde_json::json!(164));
+    }
+
+    #[test]
+    fn bench_record_parse_round_trips() {
+        let r = BenchRecord {
+            name: "min_depth_majority_3x3x5_incremental".into(),
+            wall_ms: 42.125,
+            conflicts: 1234,
+            propagations: 567890,
+        };
+        let back = BenchRecord::parse(&r.to_json()).expect("parse own output");
+        assert_eq!(back, r);
+        assert!(BenchRecord::parse("{}").is_err());
+        assert!(BenchRecord::parse("{\"name\": \"x\"").is_err());
     }
 
     #[test]

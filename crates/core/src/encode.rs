@@ -6,7 +6,7 @@
 //! time, standing in for the paper's Z3 `simplify`/`propagate-values`
 //! stage.
 
-use lasre::geom::red_normal_axis;
+use lasre::geom::{red_normal_axis, Sign};
 use lasre::{Axis, Coord, LasSpec, SpecError, VarTable};
 use lasre::{CorrKind, StructVar};
 use pauli::Pauli;
@@ -56,6 +56,98 @@ pub fn encode(spec: &LasSpec) -> Result<Encoding, SpecError> {
     Ok(enc.finish())
 }
 
+/// A depth-layered instance: one CNF built at depth `hi` whose
+/// activation literals select any probe depth in `lo..=hi` — the
+/// substrate of the incremental depth search
+/// (`synth::optimize::find_min_depth`).
+///
+/// Layer `m` (cubes with `k = m`, for `m` in `lo..hi`) gets one
+/// activation literal. Assuming the literals of layers `lo..d` true and
+/// the rest false makes the formula equisatisfiable with
+/// `encode(spec.with_depth(d))`:
+///
+/// * an inactive layer holds no Y cubes and no horizontal pipes, and no
+///   K pipe pokes into it — except in the columns of top (`-K`) ports,
+///   where the pipes are instead *forced on*, forming a straight
+///   vertical tube from the active top to the fixed port boundary at
+///   `hi`. The functionality constraints of a straight tube equate the
+///   correlation pieces of consecutive K pipes, so the port's fixed
+///   boundary values telescope down to the pipe leaving the active
+///   volume — exactly `with_depth(d)`'s boundary condition;
+/// * deactivation is upward-closed (`¬act[m] ⇒ ¬act[m+1]`);
+/// * forbidden cubes at layers `≥ lo` apply only while their layer is
+///   active, mirroring `with_depth`'s truncation of the forbidden list.
+#[derive(Clone, Debug)]
+pub struct LayeredEncoding {
+    /// The compiled instance at depth `hi`.
+    pub encoding: Encoding,
+    /// Smallest selectable depth.
+    pub lo: usize,
+    /// Largest selectable depth (the depth the CNF is built at).
+    pub hi: usize,
+    /// `activation[i]` activates layer `lo + i`.
+    pub activation: Vec<Lit>,
+}
+
+impl LayeredEncoding {
+    /// The assumptions selecting probe depth `depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is outside `lo..=hi`.
+    pub fn assumptions_for(&self, depth: usize) -> Vec<Lit> {
+        assert!(
+            (self.lo..=self.hi).contains(&depth),
+            "depth {depth} outside the layered range [{}, {}]",
+            self.lo,
+            self.hi
+        );
+        self.activation
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| if self.lo + i < depth { a } else { !a })
+            .collect()
+    }
+}
+
+/// Encodes `spec` once for every probe depth in `lo..=hi` (see
+/// [`LayeredEncoding`]).
+///
+/// # Errors
+///
+/// Returns a validation error if *any* depth in the range yields a
+/// malformed spec (a side port above `lo`, a forbidden cube colliding
+/// with a relocated port, …) — the layered CNF must be sound for every
+/// selectable depth, so the whole range is checked up front.
+///
+/// # Panics
+///
+/// Panics unless `1 <= lo <= hi`.
+pub fn encode_layered(spec: &LasSpec, lo: usize, hi: usize) -> Result<LayeredEncoding, SpecError> {
+    assert!(
+        1 <= lo && lo <= hi,
+        "layered depth range must satisfy 1 <= lo <= hi (got [{lo}, {hi}])"
+    );
+    for d in lo..=hi {
+        spec.with_depth(d).validate()?;
+    }
+    let top = spec.with_depth(hi);
+    let table = VarTable::new(top.bounds(), top.nstab());
+    let mut enc = Encoder::new(&top, table);
+    enc.gate_from = Some(lo);
+    enc.fix_ports();
+    enc.fix_forbidden();
+    enc.structural_constraints();
+    enc.functionality_constraints();
+    let activation = enc.emit_layer_activation(lo, hi);
+    Ok(LayeredEncoding {
+        encoding: enc.finish(),
+        lo,
+        hi,
+        activation,
+    })
+}
+
 struct Encoder<'s> {
     spec: &'s LasSpec,
     table: VarTable,
@@ -63,6 +155,10 @@ struct Encoder<'s> {
     var_map: Vec<Lit>,
     virtual_cubes: HashSet<Coord>,
     port_pipes: std::collections::HashMap<(Coord, Axis), usize>,
+    /// Layered mode: layers at `k >= gate_from` are activation-gated
+    /// rather than fixed, so forbidden cubes there must be emitted as
+    /// guarded clauses (see [`Encoder::emit_layer_activation`]).
+    gate_from: Option<usize>,
 }
 
 impl<'s> Encoder<'s> {
@@ -76,6 +172,7 @@ impl<'s> Encoder<'s> {
             var_map,
             virtual_cubes: spec.virtual_cubes(),
             port_pipes: spec.port_pipes(),
+            gate_from: None,
         }
     }
 
@@ -174,6 +271,12 @@ impl<'s> Encoder<'s> {
 
     fn fix_forbidden(&mut self) {
         for &c in &self.spec.forbidden_cubes {
+            // In layered mode a forbidden cube above the gate boundary
+            // only applies while its layer is active; it is emitted as
+            // guarded clauses in `emit_layer_activation` instead.
+            if self.gate_from.is_some_and(|lo| c.k >= lo as i32) {
+                continue;
+            }
             if self.spec.allow_y_cubes {
                 let y = self.ycube(c);
                 if self.builder.value(y).is_none() {
@@ -334,6 +437,75 @@ impl<'s> Encoder<'s> {
         }
     }
 
+    /// Layered mode: allocates the per-layer activation literals and
+    /// emits the gating clauses described on [`LayeredEncoding`].
+    fn emit_layer_activation(&mut self, lo: usize, hi: usize) -> Vec<Lit> {
+        let acts = self.builder.new_lits(hi - lo);
+        // Deactivation is upward-closed: ¬act[m] ⇒ ¬act[m+1].
+        for w in acts.windows(2) {
+            self.builder.clause([w[0], !w[1]]);
+        }
+        // Columns of top ports: through inactive layers the port pipe
+        // continues as a straight vertical tube down to the active top.
+        let tube_columns: HashSet<(i32, i32)> = self
+            .spec
+            .ports
+            .iter()
+            .filter(|p| {
+                p.direction.axis == Axis::K
+                    && p.direction.sign == Sign::Minus
+                    && p.location.k == hi as i32
+            })
+            .map(|p| (p.location.i, p.location.j))
+            .collect();
+        let bounds = self.spec.bounds();
+        for (idx, m) in (lo..hi).enumerate() {
+            let act = acts[idx];
+            for i in 0..bounds.get(Axis::I) as i32 {
+                for j in 0..bounds.get(Axis::J) as i32 {
+                    let c = Coord::new(i, j, m as i32);
+                    // An inactive layer holds no Y cubes and no
+                    // horizontal pipes (pipes based at neighbouring
+                    // cubes of the same layer are covered when those
+                    // cubes are visited).
+                    let y = self.ycube(c);
+                    self.builder.implies_clause(&[!act], &[!y]);
+                    for axis in [Axis::I, Axis::J] {
+                        let e = self.exist(axis, c);
+                        self.builder.implies_clause(&[!act], &[!e]);
+                    }
+                    // The K pipe poking up into an inactive layer is
+                    // the relocated port pipe in a tube column (forced
+                    // on) and forbidden everywhere else. Pipes fully
+                    // inside the inactive region are covered by the
+                    // same rule one layer up; the pipe at `hi - 1` is
+                    // fixed by `fix_ports`.
+                    let below = self.exist(Axis::K, c.prev(Axis::K));
+                    if tube_columns.contains(&(i, j)) {
+                        self.builder.implies_clause(&[!act], &[below]);
+                    } else {
+                        self.builder.implies_clause(&[!act], &[!below]);
+                    }
+                }
+            }
+        }
+        // Forbidden cubes above the gate boundary bind only while their
+        // layer is active (with_depth truncates them away otherwise).
+        for &c in &self.spec.forbidden_cubes {
+            if c.k < lo as i32 {
+                continue;
+            }
+            let act = acts[c.k as usize - lo];
+            let y = self.ycube(c);
+            self.builder.implies_clause(&[act], &[!y]);
+            for (axis, base) in Self::incident_slots(c) {
+                let e = self.exist(axis, base);
+                self.builder.implies_clause(&[act], &[!e]);
+            }
+        }
+        acts
+    }
+
     fn finish(self) -> Encoding {
         let stats = EncodeStats {
             v_nstab: self.spec.v_nstab(),
@@ -354,6 +526,7 @@ impl<'s> Encoder<'s> {
 mod tests {
     use super::*;
     use lasre::fixtures::{cnot_design, cnot_spec};
+    use sat::Backend as _;
 
     #[test]
     fn cnot_encoding_has_sane_size() {
@@ -423,5 +596,71 @@ mod tests {
         let mut spec = cnot_spec();
         spec.stabilizers[0] = "ZZ".parse().unwrap();
         assert!(encode(&spec).is_err());
+    }
+
+    /// The layered CNF under depth-`d` assumptions must agree with the
+    /// from-scratch encoding of `spec.with_depth(d)` at every depth of
+    /// the range — the equisatisfiability the incremental depth search
+    /// rests on.
+    #[test]
+    fn layered_agrees_with_sequential_encodes() {
+        let spec = cnot_spec();
+        let layered = encode_layered(&spec, 2, 5).unwrap();
+        assert_eq!(layered.activation.len(), 3);
+        for d in 2..=5 {
+            let assumptions = layered.assumptions_for(d);
+            let got = sat::CdclSolver::default()
+                .solve_with(&layered.encoding.cnf, &assumptions, &sat::Budget::default())
+                .is_sat();
+            let seq = encode(&spec.with_depth(d)).unwrap();
+            let want = sat::CdclSolver::default()
+                .solve_with(&seq.cnf, &[], &sat::Budget::default())
+                .is_sat();
+            assert_eq!(got, want, "layered vs sequential disagree at depth {d}");
+            // The CNOT needs depth 3: UNSAT below, SAT from there on.
+            assert_eq!(want, d >= 3, "unexpected CNOT verdict at depth {d}");
+        }
+    }
+
+    /// Forbidden cubes at gated layers bind exactly while their layer
+    /// is active.
+    #[test]
+    fn layered_gates_forbidden_cubes_per_depth() {
+        // Forbid both interior columns at layer 2: depth 3 becomes
+        // unroutable, depth 2 stays as without the cubes (UNSAT), and
+        // deeper probes route around layer 2.
+        let mut spec = cnot_spec();
+        spec.forbidden_cubes.push(Coord::new(0, 0, 2));
+        spec.forbidden_cubes.push(Coord::new(1, 1, 2));
+        let layered = encode_layered(&spec, 2, 5).unwrap();
+        for d in 2..=5 {
+            let got = sat::CdclSolver::default()
+                .solve_with(
+                    &layered.encoding.cnf,
+                    &layered.assumptions_for(d),
+                    &sat::Budget::default(),
+                )
+                .is_sat();
+            let seq = encode(&spec.with_depth(d)).unwrap();
+            let want = sat::CdclSolver::default()
+                .solve_with(&seq.cnf, &[], &sat::Budget::default())
+                .is_sat();
+            assert_eq!(got, want, "gated forbidden cube diverges at depth {d}");
+        }
+    }
+
+    #[test]
+    fn layered_rejects_depths_invalid_anywhere_in_range() {
+        // Depth 1 cuts the CNOT's bottom port cubes out of the arrays,
+        // so a range including it is rejected up front.
+        assert!(encode_layered(&cnot_spec(), 1, 4).is_err());
+        assert!(encode_layered(&cnot_spec(), 2, 4).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the layered range")]
+    fn layered_assumptions_check_range() {
+        let layered = encode_layered(&cnot_spec(), 2, 4).unwrap();
+        layered.assumptions_for(5);
     }
 }

@@ -5,11 +5,15 @@
 //! or grow it until SAT (ascending), and optionally explore port
 //! permutations in parallel with first-success cancellation.
 
-use crate::synthesize::{SynthError, SynthOptions, SynthResult, Synthesizer};
+use crate::decode::decode_layered;
+use crate::encode::encode_layered;
+use crate::synthesize::{BackendChoice, SynthError, SynthOptions, SynthResult, Synthesizer};
+use crate::verify::verify;
 use lasre::{LasDesign, LasSpec};
+use sat::{CdclSolver, SolveOutcome, SolverStats};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One probe of the depth search.
 #[derive(Debug)]
@@ -20,6 +24,10 @@ pub struct DepthProbe {
     pub sat: Option<bool>,
     /// Wall-clock time of the solve.
     pub time: Duration,
+    /// Search statistics of this probe's solve (conflicts,
+    /// propagations, …). `None` when the backend reports none
+    /// (varisat).
+    pub stats: Option<SolverStats>,
 }
 
 /// Result of [`find_min_depth`].
@@ -43,59 +51,53 @@ impl DepthSearch {
     }
 }
 
-/// Finds the minimal time extent (`max_k`) at which `spec` is
-/// satisfiable, between `lo` and `hi` (inclusive), exactly as the
-/// paper's evaluation does: start somewhere, descend while SAT, ascend
-/// while UNSAT (Sec. V-B).
-///
-/// The spec's `-K` ports are relocated to each probed top layer via
-/// [`LasSpec::with_depth`].
-///
-/// # Errors
-///
-/// Propagates [`SynthError`] from any probe.
-pub fn find_min_depth(
-    spec: &LasSpec,
+/// What one probe of the depth search observed.
+struct ProbeOutcome {
+    sat: Option<bool>,
+    design: Option<LasDesign>,
+    time: Duration,
+    stats: Option<SolverStats>,
+}
+
+/// The paper's probe order (start somewhere, descend while SAT, ascend
+/// while UNSAT), shared by the incremental and from-scratch modes.
+fn drive_depth_search(
     lo: usize,
     hi: usize,
     start: usize,
-    options: &SynthOptions,
+    mut probe: impl FnMut(usize) -> Result<ProbeOutcome, SynthError>,
 ) -> Result<DepthSearch, SynthError> {
     assert!(lo <= start && start <= hi, "start depth outside [lo, hi]");
     let mut probes = Vec::new();
     let mut best: Option<LasDesign> = None;
-    let mut probe = |k: usize, probes: &mut Vec<DepthProbe>| -> Result<Option<bool>, SynthError> {
-        let s = spec.with_depth(k);
-        let mut synth = Synthesizer::new(s)?.with_options(options.clone());
-        let result = synth.run()?;
-        let time = synth.last_solve_time().unwrap_or_default();
-        let sat = match result {
-            SynthResult::Sat(d) => {
-                if best
-                    .as_ref()
-                    .is_none_or(|b| d.spec().max_k < b.spec().max_k)
-                {
-                    best = Some(*d);
-                }
-                Some(true)
+    let mut step = |k: usize,
+                    probes: &mut Vec<DepthProbe>,
+                    best: &mut Option<LasDesign>|
+     -> Result<Option<bool>, SynthError> {
+        let outcome = probe(k)?;
+        if let Some(d) = outcome.design {
+            if best
+                .as_ref()
+                .is_none_or(|b| d.spec().max_k < b.spec().max_k)
+            {
+                *best = Some(d);
             }
-            SynthResult::Unsat => Some(false),
-            SynthResult::Unknown => None,
-        };
+        }
         probes.push(DepthProbe {
             max_k: k,
-            sat,
-            time,
+            sat: outcome.sat,
+            time: outcome.time,
+            stats: outcome.stats,
         });
-        Ok(sat)
+        Ok(outcome.sat)
     };
     let mut k = start;
-    match probe(k, &mut probes)? {
+    match step(k, &mut probes, &mut best)? {
         Some(true) => {
             // Descend while SAT.
             while k > lo {
                 k -= 1;
-                match probe(k, &mut probes)? {
+                match step(k, &mut probes, &mut best)? {
                     Some(true) => continue,
                     _ => break,
                 }
@@ -105,7 +107,7 @@ pub fn find_min_depth(
             // Ascend while UNSAT.
             while k < hi {
                 k += 1;
-                match probe(k, &mut probes)? {
+                match step(k, &mut probes, &mut best)? {
                     Some(false) => continue,
                     _ => break,
                 }
@@ -114,6 +116,200 @@ pub fn find_min_depth(
         None => {}
     }
     Ok(DepthSearch { probes, best })
+}
+
+/// Finds the minimal time extent (`max_k`) at which `spec` is
+/// satisfiable, between `lo` and `hi` (inclusive), exactly as the
+/// paper's evaluation does: start somewhere, descend while SAT, ascend
+/// while UNSAT (Sec. V-B).
+///
+/// The spec's `-K` ports are relocated to each probed top layer via
+/// [`LasSpec::with_depth`].
+///
+/// With `options.incremental` (the default, CDCL backend only) the
+/// whole search runs as **one incremental solver session** over a
+/// depth-layered encoding ([`encode_layered`]): each probe is a
+/// `solve_assuming` call under that depth's activation literals, so the
+/// clauses learnt refuting or solving one depth carry over to the next
+/// — the lever the T-factory-scale instances need. Otherwise every
+/// probe re-encodes `spec.with_depth(k)` and solves from scratch. Both
+/// modes probe the same depths and return the same verdicts.
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from any probe. Both modes error on the
+/// probe that reaches a depth whose spec is malformed; depths the
+/// search never probes are never validated (incremental sessions are
+/// pre-shrunk to contiguous valid-depth sub-ranges).
+pub fn find_min_depth(
+    spec: &LasSpec,
+    lo: usize,
+    hi: usize,
+    start: usize,
+    options: &SynthOptions,
+) -> Result<DepthSearch, SynthError> {
+    if options.incremental && lo >= 1 {
+        if let BackendChoice::Cdcl(config) = &options.backend {
+            return find_min_depth_incremental(spec, lo, hi, start, options, config.clone());
+        }
+    }
+    find_min_depth_scratch(spec, lo, hi, start, options)
+}
+
+/// From-scratch mode: one fresh [`Synthesizer`] per probe.
+fn find_min_depth_scratch(
+    spec: &LasSpec,
+    lo: usize,
+    hi: usize,
+    start: usize,
+    options: &SynthOptions,
+) -> Result<DepthSearch, SynthError> {
+    drive_depth_search(lo, hi, start, |k| {
+        let s = spec.with_depth(k);
+        let mut synth = Synthesizer::new(s)?.with_options(options.clone());
+        let result = synth.run()?;
+        let time = synth.last_solve_time().unwrap_or_default();
+        let stats = synth.last_solver_stats();
+        let (sat, design) = match result {
+            SynthResult::Sat(d) => (Some(true), Some(*d)),
+            SynthResult::Unsat => (Some(false), None),
+            SynthResult::Unknown => (None, None),
+        };
+        Ok(ProbeOutcome {
+            sat,
+            design,
+            time,
+            stats,
+        })
+    })
+}
+
+/// One retained solver over one depth-layered CNF.
+struct IncrementalSession {
+    layered: crate::encode::LayeredEncoding,
+    solver: CdclSolver,
+}
+
+impl IncrementalSession {
+    fn new(
+        spec: &LasSpec,
+        lo: usize,
+        hi: usize,
+        config: &sat::CdclConfig,
+    ) -> Result<Self, SynthError> {
+        let layered = encode_layered(spec, lo, hi).map_err(SynthError::Spec)?;
+        let mut solver = CdclSolver::with_config(config.clone());
+        solver.add_cnf(&layered.encoding.cnf);
+        Ok(IncrementalSession { layered, solver })
+    }
+
+    fn covers(&self, k: usize) -> bool {
+        (self.layered.lo..=self.layered.hi).contains(&k)
+    }
+}
+
+/// The largest sub-range of depths `lo..=from` (descending) ending at
+/// `from` whose specs all validate — a layered session may only cover
+/// depths the spec is well-formed at, but must not reject depths the
+/// search never reaches (from-scratch mode only errors on the probe
+/// that actually hits an invalid depth, and the two modes must agree).
+fn valid_depths_down(spec: &LasSpec, lo: usize, from: usize) -> usize {
+    let mut v = from;
+    while v > lo && spec.with_depth(v - 1).validate().is_ok() {
+        v -= 1;
+    }
+    v
+}
+
+/// Mirror of [`valid_depths_down`] for ascending searches: the largest
+/// sub-range `from..=hi` starting at `from` whose specs all validate.
+fn valid_depths_up(spec: &LasSpec, from: usize, hi: usize) -> usize {
+    let mut v = from;
+    while v < hi && spec.with_depth(v + 1).validate().is_ok() {
+        v += 1;
+    }
+    v
+}
+
+/// Incremental mode: a depth-layered CNF and a retained solver session;
+/// each probe is one `solve_assuming` call.
+///
+/// The session is sized to the probes it can actually see: the layered
+/// CNF pays for its *largest* layer at every probe, so starting with
+/// the full `[lo, hi]` range would tax a descending search (by far the
+/// common case — start at the spec's depth, shrink to the minimum)
+/// with headroom it never probes. Instead the session opens at
+/// `[lo, start]`; only when the first probe is UNSAT does the search
+/// ascend, into a second session sized `[k, hi]` (one rebuild at most,
+/// and the sole probe whose learnt clauses are dropped is the UNSAT
+/// one that forced the turn). Both ranges are pre-shrunk to their
+/// contiguous valid-spec sub-range, so a depth that is invalid but
+/// never probed cannot fail the search; probing an invalid depth
+/// errors, exactly as from-scratch mode does.
+fn find_min_depth_incremental(
+    spec: &LasSpec,
+    lo: usize,
+    hi: usize,
+    start: usize,
+    options: &SynthOptions,
+    config: sat::CdclConfig,
+) -> Result<DepthSearch, SynthError> {
+    let mut session =
+        IncrementalSession::new(spec, valid_depths_down(spec, lo, start), start, &config)?;
+    drive_depth_search(lo, hi, start, |k| {
+        if !session.covers(k) {
+            // The search stepped past the session's valid range: extend
+            // it in the step's direction — unless the next depth itself
+            // is malformed, which errors on exactly the probe where
+            // from-scratch mode would have errored.
+            if let Err(e) = spec.with_depth(k).validate() {
+                return Err(SynthError::Spec(e));
+            }
+            if k > session.layered.hi {
+                session = IncrementalSession::new(spec, k, valid_depths_up(spec, k, hi), &config)?;
+            } else {
+                session =
+                    IncrementalSession::new(spec, valid_depths_down(spec, lo, k), k, &config)?;
+            }
+        }
+        let assumptions = session.layered.assumptions_for(k);
+        let before = session.solver.session_stats();
+        let started = Instant::now();
+        let outcome = session.solver.solve_assuming(&assumptions, &options.budget);
+        let time = started.elapsed();
+        let stats = Some(session.solver.session_stats().since(before));
+        match outcome {
+            SolveOutcome::Sat(model) => {
+                let mut design = decode_layered(&session.layered, spec, k, &model);
+                let violations = lasre::check_validity(&design);
+                if !violations.is_empty() {
+                    return Err(SynthError::InvalidDesign(violations));
+                }
+                if !options.skip_verify {
+                    verify(&design).map_err(SynthError::Verify)?;
+                    design.set_verified(true);
+                }
+                Ok(ProbeOutcome {
+                    sat: Some(true),
+                    design: Some(design),
+                    time,
+                    stats,
+                })
+            }
+            SolveOutcome::Unsat => Ok(ProbeOutcome {
+                sat: Some(false),
+                design: None,
+                time,
+                stats,
+            }),
+            SolveOutcome::Unknown => Ok(ProbeOutcome {
+                sat: None,
+                design: None,
+                time,
+                stats,
+            }),
+        }
+    })
 }
 
 /// Runs one synthesis per port permutation in parallel (one thread per
@@ -330,6 +526,7 @@ mod tests {
     fn depth_search_descends_to_minimum() {
         // The CNOT needs two layers (max_k = 3 with the padding layer);
         // starting at 4 must descend to 3 and stop at UNSAT for 2.
+        // Exercises the default (incremental) mode.
         let spec = cnot_spec();
         let search = find_min_depth(&spec, 2, 5, 4, &SynthOptions::default()).unwrap();
         assert_eq!(search.best_depth(), Some(3));
@@ -337,6 +534,7 @@ mod tests {
         assert_eq!(probed, vec![4, 3, 2]);
         assert_eq!(search.probes[2].sat, Some(false));
         assert!(search.total_time() > Duration::ZERO);
+        assert!(search.best.as_ref().unwrap().verified());
     }
 
     #[test]
@@ -346,6 +544,98 @@ mod tests {
         assert_eq!(search.best_depth(), Some(3));
         let probed: Vec<usize> = search.probes.iter().map(|p| p.max_k).collect();
         assert_eq!(probed, vec![2, 3]);
+    }
+
+    /// Runs the same search in both modes and asserts identical probe
+    /// order, per-probe verdicts and best depth.
+    fn assert_modes_agree(spec: &LasSpec, lo: usize, hi: usize, start: usize) {
+        let incremental = find_min_depth(spec, lo, hi, start, &SynthOptions::default()).unwrap();
+        let scratch_options = SynthOptions {
+            incremental: false,
+            ..SynthOptions::default()
+        };
+        let scratch = find_min_depth(spec, lo, hi, start, &scratch_options).unwrap();
+        let view = |s: &DepthSearch| -> Vec<(usize, Option<bool>)> {
+            s.probes.iter().map(|p| (p.max_k, p.sat)).collect()
+        };
+        assert_eq!(
+            view(&incremental),
+            view(&scratch),
+            "probe sequences diverge (start {start})"
+        );
+        assert_eq!(incremental.best_depth(), scratch.best_depth());
+        if let Some(best) = &incremental.best {
+            assert!(best.verified(), "incremental best design verifies");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_scratch_descending() {
+        assert_modes_agree(&cnot_spec(), 2, 5, 4);
+    }
+
+    #[test]
+    fn incremental_matches_scratch_ascending() {
+        assert_modes_agree(&cnot_spec(), 2, 5, 2);
+    }
+
+    #[test]
+    fn incremental_matches_scratch_from_the_top() {
+        assert_modes_agree(&cnot_spec(), 2, 5, 5);
+    }
+
+    /// Depth 1 is invalid for the CNOT (its bottom-port cubes fall out
+    /// of the arrays), but the descent stops at the UNSAT depth 2 and
+    /// never probes it — so a range including depth 1 must still
+    /// succeed, identically in both modes (the CLI defaults to
+    /// `--lo 1`).
+    #[test]
+    fn unprobed_invalid_depths_do_not_fail_the_search() {
+        assert_modes_agree(&cnot_spec(), 1, 5, 4);
+    }
+
+    /// Probing an invalid depth errors in both modes: starting *at*
+    /// the CNOT's invalid depth 1 fails up front rather than probing.
+    #[test]
+    fn probing_an_invalid_depth_errors_in_both_modes() {
+        for incremental in [true, false] {
+            let options = SynthOptions {
+                incremental,
+                ..SynthOptions::default()
+            };
+            let r = find_min_depth(&cnot_spec(), 1, 5, 1, &options);
+            assert!(
+                matches!(r, Err(SynthError::Spec(_))),
+                "expected a spec error probing depth 1 (incremental={incremental})"
+            );
+        }
+    }
+
+    /// Both modes record per-probe solver statistics for the CDCL
+    /// backend.
+    #[test]
+    fn probes_carry_solver_stats() {
+        let spec = cnot_spec();
+        for incremental in [true, false] {
+            let options = SynthOptions {
+                incremental,
+                ..SynthOptions::default()
+            };
+            let search = find_min_depth(&spec, 2, 5, 4, &options).unwrap();
+            for p in &search.probes {
+                let stats = p.stats.unwrap_or_else(|| {
+                    panic!(
+                        "probe {} missing stats (incremental={incremental})",
+                        p.max_k
+                    )
+                });
+                assert!(
+                    stats.propagations > 0,
+                    "probe {} did no work (incremental={incremental})",
+                    p.max_k
+                );
+            }
+        }
     }
 
     #[test]

@@ -26,16 +26,34 @@ impl Default for BackendChoice {
 }
 
 /// Options controlling a synthesis run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SynthOptions {
     /// Solver backend selection.
     pub backend: BackendChoice,
-    /// Resource limits for the solve call.
+    /// Resource limits for the solve call (per probe in a depth
+    /// search, whether incremental or not).
     pub budget: Budget,
     /// Verify the decoded design through ZX flow derivation (on by
     /// default; the formulation guarantees correctness, so this is a
     /// self-check, exactly as in the paper).
     pub skip_verify: bool,
+    /// Share one incremental CDCL session (depth-layered encoding,
+    /// retained learnt clauses) across the probes of
+    /// [`crate::optimize::find_min_depth`]. On by default; ignored by
+    /// single-shot synthesis and by the varisat backend, which lacks an
+    /// incremental API.
+    pub incremental: bool,
+}
+
+impl Default for SynthOptions {
+    fn default() -> Self {
+        SynthOptions {
+            backend: BackendChoice::default(),
+            budget: Budget::default(),
+            skip_verify: false,
+            incremental: true,
+        }
+    }
 }
 
 impl SynthOptions {

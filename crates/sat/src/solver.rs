@@ -69,6 +69,35 @@
 //! array instead of sort+dedup. Allocations happen only when a buffer's
 //! high-water mark grows (new deepest clause, widest watch list) and in
 //! the rare `reduce_db` pass.
+//!
+//! # Incremental solving
+//!
+//! [`CdclSolver`] doubles as a MiniSat-style incremental session:
+//! [`CdclSolver::new_var`] and [`CdclSolver::add_clause`] may be called
+//! before *and between* solves, and repeated
+//! [`CdclSolver::solve_assuming`] calls share one persistent solver
+//! state. Everything the search learns is retained across calls — the
+//! clause arena (original and learnt clauses), VSIDS activities, saved
+//! phases and the restart schedule — which is what makes closely
+//! related queries (the depth probes of
+//! `synth::optimize::find_min_depth`) far cheaper than re-solving from
+//! scratch. The invariants:
+//!
+//! * between calls the solver sits at decision level 0; `add_clause`
+//!   backtracks there itself, so clauses may be added right after a
+//!   SAT answer;
+//! * learnt clauses never embed assumptions as facts (assumptions are
+//!   pseudo-decisions, so they appear *negated inside* learnt clauses),
+//!   hence every retained clause is a consequence of the added clauses
+//!   alone and stays sound when the assumptions change;
+//! * facts derived at level 0 (including a root-level conflict, which
+//!   latches `root_unsat`) are permanent;
+//! * [`Budget`] limits are per *call*, not per session.
+//!
+//! After an UNSAT answer, [`CdclSolver::final_assumption_conflict`]
+//! returns the subset of the assumptions the refutation actually used
+//! (MiniSat's `analyzeFinal`), empty when the clauses are contradictory
+//! on their own.
 
 use crate::{Backend, Budget, Cnf, Lit, Model, SolveOutcome, Var};
 use rand::rngs::SmallRng;
@@ -187,6 +216,27 @@ pub struct SolverStats {
     pub gc_reclaimed_words: u64,
 }
 
+impl SolverStats {
+    /// The counters accumulated since an earlier snapshot — the
+    /// per-call view of an incremental session, whose `stats` field
+    /// otherwise grows monotonically across `solve_assuming` calls.
+    pub fn since(self, earlier: SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            learned: self.learned.saturating_sub(earlier.learned),
+            deleted: self.deleted.saturating_sub(earlier.deleted),
+            minimized_lits: self.minimized_lits.saturating_sub(earlier.minimized_lits),
+            gc_passes: self.gc_passes.saturating_sub(earlier.gc_passes),
+            gc_reclaimed_words: self
+                .gc_reclaimed_words
+                .saturating_sub(earlier.gc_reclaimed_words),
+        }
+    }
+}
+
 /// The CDCL solver. See the [module docs](self) for the feature list.
 ///
 /// ```
@@ -198,10 +248,21 @@ pub struct SolverStats {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct CdclSolver {
-    /// Configuration used for subsequent solves.
+    /// Configuration used for subsequent solves. For the incremental
+    /// API the configuration is captured when the session starts (the
+    /// first `new_var`/`add_clause`/`solve_assuming` call).
     pub config: CdclConfig,
-    /// Statistics of the most recent solve.
+    /// Statistics of the most recent solve call, whether one-shot
+    /// ([`Backend::solve_with`]) or incremental
+    /// ([`CdclSolver::solve_assuming`]) — interleaving the two
+    /// overwrites this field back and forth, so session code computing
+    /// [`SolverStats::since`] deltas should snapshot
+    /// [`CdclSolver::session_stats`] instead.
     pub stats: SolverStats,
+    /// The persistent incremental session, created lazily. One-shot
+    /// [`Backend::solve_with`] calls use a throwaway state and leave
+    /// the session untouched.
+    session: Option<State>,
 }
 
 impl CdclSolver {
@@ -210,7 +271,85 @@ impl CdclSolver {
         CdclSolver {
             config,
             stats: SolverStats::default(),
+            session: None,
         }
+    }
+
+    fn session_mut(&mut self) -> &mut State {
+        if self.session.is_none() {
+            self.session = Some(State::empty(self.config.clone()));
+        }
+        self.session.as_mut().expect("session just created")
+    }
+
+    /// Number of variables in the incremental session (0 before the
+    /// session starts).
+    pub fn num_vars(&self) -> usize {
+        self.session.as_ref().map_or(0, |s| s.num_vars)
+    }
+
+    /// Allocates a fresh variable in the incremental session. May be
+    /// called between solves; all per-variable solver state grows in
+    /// step.
+    pub fn new_var(&mut self) -> Var {
+        self.session_mut().new_var()
+    }
+
+    /// Adds a clause to the incremental session. Callable before and
+    /// between solves: the solver first backtracks to decision level 0,
+    /// then simplifies the clause against the root-level assignment.
+    /// Variables are grown on demand.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        let lits: Vec<Lit> = lits.into_iter().collect();
+        let state = self.session_mut();
+        let needed = lits.iter().map(|l| l.var().index() + 1).max().unwrap_or(0);
+        state.ensure_vars(needed);
+        state.add_clause_checked(&lits);
+    }
+
+    /// Bulk-loads a formula into the incremental session (variables
+    /// first, then every clause).
+    pub fn add_cnf(&mut self, cnf: &Cnf) {
+        self.session_mut().load_cnf(cnf);
+    }
+
+    /// Solves the incremental session under `assumptions` within
+    /// `budget` (budget limits are per call). The clause database,
+    /// learnt clauses, activities and phases persist to the next call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption names a variable the session does not
+    /// have (call [`CdclSolver::new_var`]/[`CdclSolver::add_clause`]
+    /// first).
+    pub fn solve_assuming(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
+        let state = self.session_mut();
+        let outcome = state.solve(assumptions, budget);
+        self.stats = state.stats;
+        outcome
+    }
+
+    /// Cumulative statistics of the incremental session (zero before
+    /// it starts, monotone across `solve_assuming` calls). Unlike the
+    /// [`CdclSolver::stats`] field — which mirrors whatever solve ran
+    /// last — this accessor is unaffected by interleaved one-shot
+    /// [`Backend::solve_with`] calls, making it the safe baseline for
+    /// [`SolverStats::since`] per-call deltas.
+    pub fn session_stats(&self) -> SolverStats {
+        self.session
+            .as_ref()
+            .map_or_else(SolverStats::default, |s| s.stats)
+    }
+
+    /// After [`CdclSolver::solve_assuming`] returned
+    /// [`SolveOutcome::Unsat`]: the subset of the assumptions the
+    /// refutation used — the session's clauses are unsatisfiable under
+    /// these assumptions alone. Empty when the clauses are
+    /// contradictory without any assumption. Cleared by the next solve.
+    pub fn final_assumption_conflict(&self) -> &[Lit] {
+        self.session
+            .as_ref()
+            .map_or(&[], |s| s.assumption_conflict.as_slice())
     }
 }
 
@@ -254,12 +393,6 @@ struct ClauseArena {
 }
 
 impl ClauseArena {
-    fn with_capacity(words: usize) -> ClauseArena {
-        ClauseArena {
-            data: Vec::with_capacity(words),
-        }
-    }
-
     /// Appends a clause, returning its reference.
     fn alloc(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
         let off = self.data.len();
@@ -352,7 +485,7 @@ impl ClauseArena {
 /// propagation over them never touches the arena at all.
 const BINARY_FLAG: u32 = 1 << 31;
 
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Debug)]
 struct Watcher {
     /// Clause offset, with [`BINARY_FLAG`] folded into the top bit.
     tagged: u32,
@@ -379,6 +512,7 @@ impl Watcher {
 }
 
 /// Indexed max-heap ordered by VSIDS activity.
+#[derive(Clone, Debug)]
 struct VarOrder {
     heap: Vec<u32>,
     pos: Vec<i64>,
@@ -483,6 +617,7 @@ fn luby(mut x: u64) -> u64 {
     1u64 << seq
 }
 
+#[derive(Clone, Debug)]
 struct State {
     config: CdclConfig,
     stats: SolverStats,
@@ -522,58 +657,112 @@ struct State {
     /// Spare arena buffer swapped in by each GC pass.
     gc_buf: Vec<u32>,
     root_unsat: bool,
+    /// Clauses added so far (before root simplification) — sizes the
+    /// learnt-clause budget at each solve.
+    num_added_clauses: usize,
+    /// The failing assumption subset of the last UNSAT solve.
+    assumption_conflict: Vec<Lit>,
 }
 
 impl State {
-    fn new(cnf: &Cnf, config: CdclConfig) -> State {
-        let n = cnf.num_vars();
-        let mut rng = SmallRng::seed_from_u64(config.seed);
-        let mut order = VarOrder::new(n);
-        for v in 0..n {
-            // Tiny random jitter diversifies runs across seeds.
-            order.activity[v] = rng.random_range(0.0..1e-6);
-        }
-        for v in 0..n as u32 {
-            order.insert(v);
-        }
-        let arena_estimate: usize = cnf.iter().map(|c| c.len() + HEADER_WORDS).sum();
-        let max_learnts = (cnf.num_clauses() as f64 / 3.0).max(config.max_learnts_floor);
-        let mut st = State {
+    /// An empty incremental session: no variables, no clauses. Grown by
+    /// [`State::new_var`]/[`State::add_clause_checked`].
+    fn empty(config: CdclConfig) -> State {
+        let rng = SmallRng::seed_from_u64(config.seed);
+        let max_learnts = config.max_learnts_floor;
+        State {
             config,
             stats: SolverStats::default(),
             rng,
-            num_vars: n,
-            arena: ClauseArena::with_capacity(arena_estimate),
-            clauses: Vec::with_capacity(cnf.num_clauses()),
+            num_vars: 0,
+            arena: ClauseArena::default(),
+            clauses: Vec::new(),
             learnts: Vec::new(),
-            watches: vec![Vec::new(); 2 * n],
-            lit_val: vec![0; 2 * n],
-            level: vec![0; n],
-            reason: vec![ClauseRef::NONE; n],
-            trail: Vec::with_capacity(n),
+            watches: Vec::new(),
+            lit_val: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
             trail_lim: Vec::new(),
             qhead: 0,
-            order,
-            polarity: vec![false; n],
+            order: VarOrder::new(0),
+            polarity: Vec::new(),
             var_inc: 1.0,
             cla_inc: 1.0,
             max_learnts,
-            seen: vec![false; n],
+            seen: Vec::new(),
             to_clear: Vec::new(),
             analyze_stack: Vec::new(),
             learnt_buf: Vec::new(),
-            lbd_stamp: vec![0; n + 1],
+            lbd_stamp: vec![0],
             lbd_gen: 0,
             gc_buf: Vec::new(),
             root_unsat: false,
-        };
+            num_added_clauses: 0,
+            assumption_conflict: Vec::new(),
+        }
+    }
+
+    fn new(cnf: &Cnf, config: CdclConfig) -> State {
+        let mut st = State::empty(config);
+        st.load_cnf(cnf);
+        st
+    }
+
+    fn load_cnf(&mut self, cnf: &Cnf) {
+        self.ensure_vars(cnf.num_vars());
+        let arena_estimate: usize = cnf.iter().map(|c| c.len() + HEADER_WORDS).sum();
+        self.arena.data.reserve(arena_estimate);
+        self.clauses.reserve(cnf.num_clauses());
         for clause in cnf {
-            if !st.add_original_clause(clause) {
-                st.root_unsat = true;
+            self.add_clause_checked(clause);
+            if self.root_unsat {
                 break;
             }
         }
-        st
+    }
+
+    /// Allocates a fresh variable, growing every per-variable structure
+    /// (callable between solves).
+    fn new_var(&mut self) -> Var {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.lit_val.push(0);
+        self.lit_val.push(0);
+        self.level.push(0);
+        self.reason.push(ClauseRef::NONE);
+        self.polarity.push(false);
+        self.seen.push(false);
+        // One stamp per possible decision level (0..=num_vars).
+        self.lbd_stamp.push(0);
+        self.order.pos.push(-1);
+        // Tiny random jitter diversifies runs across seeds.
+        let jitter = self.rng.random_range(0.0..1e-6);
+        self.order.activity.push(jitter);
+        self.order.insert(v as u32);
+        Var(v as u32)
+    }
+
+    fn ensure_vars(&mut self, n: usize) {
+        while self.num_vars < n {
+            self.new_var();
+        }
+    }
+
+    /// Adds a clause between solves: backtracks to level 0 first, then
+    /// root-simplifies and attaches. A root-level contradiction latches
+    /// `root_unsat` permanently.
+    fn add_clause_checked(&mut self, lits: &[Lit]) {
+        if self.root_unsat {
+            return;
+        }
+        self.cancel_until(0);
+        self.num_added_clauses += 1;
+        if !self.add_original_clause(lits) {
+            self.root_unsat = true;
+        }
     }
 
     #[inline]
@@ -944,6 +1133,53 @@ impl State {
         self.qhead = self.trail.len();
     }
 
+    /// MiniSat's `analyzeFinal`: the assumption `p` came back false
+    /// while being applied, so the current trail (all pseudo-decision
+    /// levels, no real decisions yet) implies `¬p`. Walk the
+    /// implication graph backwards from `¬p`; the pseudo-decisions
+    /// reached are exactly the assumptions the refutation used. Stores
+    /// the subset (including `p` itself, as the caller passed them)
+    /// into `assumption_conflict`.
+    fn analyze_final(&mut self, p: Lit) {
+        self.assumption_conflict.clear();
+        self.assumption_conflict.push(p);
+        if self.decision_level() == 0 {
+            // `¬p` is a root-level fact: the formula alone refutes `p`.
+            return;
+        }
+        let pv = p.var().index();
+        self.seen[pv] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index();
+            if !self.seen[v] {
+                continue;
+            }
+            let r = self.reason[v];
+            if r == ClauseRef::NONE {
+                // A pseudo-decision: one of the caller's assumptions
+                // (decisions cannot exist yet — assumptions are applied
+                // before the first `decide`). With contradictory
+                // assumptions this picks up `¬p` itself, yielding the
+                // two-element subset `{p, ¬p}`.
+                debug_assert!(self.level[v] > 0);
+                self.assumption_conflict.push(l);
+            } else {
+                for k in 0..self.arena.len(r) {
+                    let q = self.arena.lit(r, k);
+                    let qv = q.var().index();
+                    // Skip the pivot; reasons assert from either
+                    // watched slot (binary clauses), so match by var.
+                    if qv != v && self.level[qv] > 0 {
+                        self.seen[qv] = true;
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[pv] = false;
+    }
+
     fn decide(&mut self) -> Option<Lit> {
         // Occasional random decisions diversify seeds. Retry a bounded
         // number of times over assigned picks so the effective random
@@ -1120,13 +1356,32 @@ impl State {
     }
 
     fn solve(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
+        self.assumption_conflict.clear();
         if self.root_unsat {
             return SolveOutcome::Unsat;
         }
+        for a in assumptions {
+            assert!(
+                a.var().index() < self.num_vars,
+                "assumption over unknown variable {}",
+                a.var()
+            );
+        }
+        // Incremental sessions return from `solve` at an arbitrary
+        // decision level (and leave the trail fully assigned on SAT);
+        // every call starts back at the root.
+        self.cancel_until(0);
+        // Size the learnt budget to the clauses added so far, without
+        // undoing growth from previous `reduce_db` passes.
+        self.max_learnts = self
+            .max_learnts
+            .max((self.num_added_clauses as f64 / 3.0).max(self.config.max_learnts_floor));
         if self.propagate().is_some() {
+            self.root_unsat = true;
             return SolveOutcome::Unsat;
         }
         let start = Instant::now();
+        let conflicts_at_start = self.stats.conflicts;
         let mut conflicts_since_restart = 0u64;
         let mut restart_budget = self.config.restart_base * luby(self.stats.restarts);
         loop {
@@ -1134,6 +1389,7 @@ impl State {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
                 if self.decision_level() == 0 {
+                    self.root_unsat = true;
                     return SolveOutcome::Unsat;
                 }
                 let (bt, lbd) = self.analyze(confl);
@@ -1152,7 +1408,7 @@ impl State {
                 // Budget checks: conflicts every time (cheap), clock and
                 // stop flag amortized.
                 if let Some(max) = budget.max_conflicts {
-                    if self.stats.conflicts >= max {
+                    if self.stats.conflicts - conflicts_at_start >= max {
                         return SolveOutcome::Unknown;
                     }
                 }
@@ -1188,7 +1444,10 @@ impl State {
                             // indexing into `assumptions` stays aligned.
                             self.trail_lim.push(self.trail.len());
                         }
-                        -1 => return SolveOutcome::Unsat,
+                        -1 => {
+                            self.analyze_final(a);
+                            return SolveOutcome::Unsat;
+                        }
                         _ => {
                             self.trail_lim.push(self.trail.len());
                             self.enqueue(a, ClauseRef::NONE);
@@ -1510,6 +1769,235 @@ mod tests {
         // The arena holds exactly the live clauses and every watcher
         // references one of them (panics otherwise).
         st.check_watcher_integrity();
+    }
+
+    /// Builds an incremental session holding `cnf`.
+    fn incremental(c: &Cnf) -> CdclSolver {
+        let mut s = CdclSolver::default();
+        s.add_cnf(c);
+        s
+    }
+
+    #[test]
+    fn incremental_clause_addition_between_solves() {
+        let mut s = CdclSolver::default();
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        s.add_clause([a, b]);
+        let m = s.solve_assuming(&[], &Budget::default()).expect_sat();
+        assert!(m.lit_true(a) || m.lit_true(b));
+        // Constrain further after the solve: force ¬a, then ¬b → UNSAT.
+        s.add_clause([!a]);
+        let m = s.solve_assuming(&[], &Budget::default()).expect_sat();
+        assert!(!m.lit_true(a) && m.lit_true(b));
+        s.add_clause([!b]);
+        assert!(s.solve_assuming(&[], &Budget::default()).is_unsat());
+        // Root-level UNSAT is permanent and independent of assumptions.
+        assert!(s.final_assumption_conflict().is_empty());
+        assert!(s.solve_assuming(&[a], &Budget::default()).is_unsat());
+    }
+
+    #[test]
+    fn incremental_new_vars_after_solve() {
+        let mut s = CdclSolver::default();
+        let a = Lit::pos(s.new_var());
+        s.add_clause([a]);
+        assert!(s.solve_assuming(&[], &Budget::default()).is_sat());
+        let b = Lit::pos(s.new_var());
+        s.add_clause([!a, b]);
+        let m = s.solve_assuming(&[], &Budget::default()).expect_sat();
+        assert!(m.lit_true(a) && m.lit_true(b));
+        assert_eq!(s.num_vars(), 2);
+    }
+
+    #[test]
+    fn incremental_assumptions_flip_per_call() {
+        let c = cnf(&[&[1, 2], &[-1, 2]]);
+        let mut s = incremental(&c);
+        assert!(s.solve_assuming(&[lit(-2)], &Budget::default()).is_unsat());
+        // The same session answers SAT once the assumption flips.
+        let m = s.solve_assuming(&[lit(2)], &Budget::default()).expect_sat();
+        assert!(m.lit_true(lit(2)));
+        assert!(s.final_assumption_conflict().is_empty());
+        // And UNSAT again, with the failing assumption reported.
+        assert!(s.solve_assuming(&[lit(-2)], &Budget::default()).is_unsat());
+        assert_eq!(s.final_assumption_conflict(), &[lit(-2)]);
+    }
+
+    #[test]
+    fn final_conflict_on_contradictory_assumptions() {
+        let c = cnf(&[&[1, 2]]);
+        let mut s = incremental(&c);
+        s.new_var(); // the free variable 3 the assumptions contradict on
+        let out = s.solve_assuming(&[lit(3), lit(-3)], &Budget::default());
+        assert!(out.is_unsat());
+        let mut core = s.final_assumption_conflict().to_vec();
+        core.sort();
+        let mut want = vec![lit(3), lit(-3)];
+        want.sort();
+        assert_eq!(core, want);
+    }
+
+    #[test]
+    fn final_conflict_is_a_refuting_subset() {
+        // php(4,3) with one selector literal per pigeon clause: assuming
+        // all selectors off restores the UNSAT pigeonhole; the reported
+        // subset must itself refute.
+        let holes = 3i64;
+        let pigeons = 4i64;
+        let p = |i: i64, j: i64| (i - 1) * holes + j;
+        let sel = |i: i64| holes * pigeons + i; // selector var per pigeon
+        let mut c = Cnf::new(0);
+        for i in 1..=pigeons {
+            let mut clause: Vec<Lit> = (1..=holes).map(|j| lit(p(i, j))).collect();
+            clause.push(lit(sel(i)));
+            c.add_clause(clause);
+        }
+        for j in 1..=holes {
+            for a in 1..=pigeons {
+                for b in (a + 1)..=pigeons {
+                    c.add_clause([lit(-p(a, j)), lit(-p(b, j))]);
+                }
+            }
+        }
+        let assumptions: Vec<Lit> = (1..=pigeons).map(|i| lit(-sel(i))).collect();
+        let mut s = incremental(&c);
+        assert!(s
+            .solve_assuming(&assumptions, &Budget::default())
+            .is_unsat());
+        let core = s.final_assumption_conflict().to_vec();
+        assert!(!core.is_empty());
+        assert!(core.iter().all(|l| assumptions.contains(l)), "{core:?}");
+        // The subset alone refutes on a fresh solver.
+        let again = CdclSolver::default().solve_with(&c, &core, &Budget::default());
+        assert!(again.is_unsat());
+        // Relaxing one selector makes the session SAT again.
+        let relaxed: Vec<Lit> = assumptions[1..].to_vec();
+        assert!(s.solve_assuming(&relaxed, &Budget::default()).is_sat());
+    }
+
+    /// Clause retention: re-solving the same hard query in one session
+    /// costs (far) fewer conflicts than the first solve.
+    #[test]
+    fn incremental_retains_learnt_clauses() {
+        let holes = 5i64;
+        let p = |i: i64, j: i64| (i - 1) * holes + j;
+        let sel = 31i64; // one selector guarding the last pigeon clause
+        let mut c = Cnf::new(0);
+        for i in 1..=6 {
+            let mut clause: Vec<Lit> = (1..=holes).map(|j| lit(p(i, j))).collect();
+            if i == 6 {
+                clause.push(lit(sel));
+            }
+            c.add_clause(clause);
+        }
+        for j in 1..=holes {
+            for a in 1..=6i64 {
+                for b in (a + 1)..=6 {
+                    c.add_clause([lit(-p(a, j)), lit(-p(b, j))]);
+                }
+            }
+        }
+        let mut s = incremental(&c);
+        assert!(s
+            .solve_assuming(&[lit(-sel)], &Budget::default())
+            .is_unsat());
+        let first = s.stats;
+        assert!(s
+            .solve_assuming(&[lit(-sel)], &Budget::default())
+            .is_unsat());
+        let second = s.stats.since(first);
+        assert!(
+            second.conflicts < first.conflicts / 2,
+            "retained clauses should cut the re-solve cost: first {} vs second {}",
+            first.conflicts,
+            second.conflicts
+        );
+        // The relaxed query is SAT in the same session.
+        assert!(s.solve_assuming(&[lit(sel)], &Budget::default()).is_sat());
+    }
+
+    /// One-shot `Backend::solve_with` calls overwrite the `stats`
+    /// mirror but never the session's cumulative counters.
+    #[test]
+    fn one_shot_solves_leave_session_stats_alone() {
+        let c = cnf(&[&[1, 2]]);
+        let mut s = incremental(&c);
+        assert!(s.solve_assuming(&[], &Budget::default()).is_sat());
+        let session = s.session_stats();
+        assert!(session.propagations > 0);
+        let other = cnf(&[&[1], &[-1]]);
+        assert!(s.solve_with(&other, &[], &Budget::default()).is_unsat());
+        assert_eq!(s.session_stats(), session, "one-shot left session alone");
+        // The session keeps solving (and counting) correctly after.
+        assert!(s.solve_assuming(&[lit(1)], &Budget::default()).is_sat());
+        assert!(s.session_stats().propagations >= session.propagations);
+    }
+
+    /// Conflict budgets are per call, so a fresh budget applies to every
+    /// probe of a session.
+    #[test]
+    fn incremental_budget_is_per_call() {
+        let c = pigeonhole(7);
+        let mut s = incremental(&c);
+        let budget = Budget::conflict_limit(5);
+        for _ in 0..3 {
+            assert!(matches!(
+                s.solve_assuming(&[], &budget),
+                SolveOutcome::Unknown
+            ));
+        }
+        // Cumulative conflicts exceed a single call's budget.
+        assert!(s.stats.conflicts > 5);
+    }
+
+    /// GC during an incremental session keeps every retained structure
+    /// (watchers, trail reasons, clause refs) valid across subsequent
+    /// solves with changing assumptions.
+    #[test]
+    fn incremental_gc_survives_across_calls() {
+        // php(7,6) with one selector per pigeon clause: all selectors
+        // off is the hard UNSAT query, relaxing one selector is SAT.
+        let holes = 6i64;
+        let pigeons = 7i64;
+        let p = |i: i64, j: i64| (i - 1) * holes + j;
+        let sel = |i: i64| holes * pigeons + i;
+        let mut c = Cnf::new(0);
+        for i in 1..=pigeons {
+            let mut clause: Vec<Lit> = (1..=holes).map(|j| lit(p(i, j))).collect();
+            clause.push(lit(sel(i)));
+            c.add_clause(clause);
+        }
+        for j in 1..=holes {
+            for a in 1..=pigeons {
+                for b in (a + 1)..=pigeons {
+                    c.add_clause([lit(-p(a, j)), lit(-p(b, j))]);
+                }
+            }
+        }
+        let config = CdclConfig {
+            max_learnts_floor: 20.0,
+            ..CdclConfig::default()
+        };
+        let strict: Vec<Lit> = (1..=pigeons).map(|i| lit(-sel(i))).collect();
+        let mut st = State::new(&c, config);
+        for round in 0..3 {
+            assert!(
+                st.solve(&strict, &Budget::default()).is_unsat(),
+                "round {round}"
+            );
+            st.cancel_until(0);
+            st.check_watcher_integrity();
+            let relaxed: Vec<Lit> = strict[1..].to_vec();
+            assert!(
+                st.solve(&relaxed, &Budget::default()).is_sat(),
+                "round {round}"
+            );
+            st.cancel_until(0);
+            st.check_watcher_integrity();
+        }
+        assert!(st.stats.gc_passes >= 1, "GC exercised across the session");
+        assert!(!st.root_unsat, "assumption UNSAT must not latch root_unsat");
     }
 
     /// SAT verdicts (with model validation) survive repeated GC too.

@@ -247,3 +247,82 @@ proptest! {
         prop_assert!(!bad);
     }
 }
+
+proptest! {
+    // The incremental differential harness runs on hundreds of random
+    // interleavings — each case is a handful of tiny solves, so the
+    // larger budget stays cheap.
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Differential check of the *incremental* API: a random
+    /// interleaving of clause additions and assumption solves is
+    /// executed three ways — one retained incremental session, a fresh
+    /// `CdclSolver` per solve on the accumulated formula, and the
+    /// vendored varisat shim — and every solve must agree on the
+    /// verdict. SAT models are checked against the formula and the
+    /// assumptions; on UNSAT the reported failing-assumption subset
+    /// must itself refute on a fresh solver.
+    #[test]
+    fn incremental_matches_fresh_and_varisat(
+        n in 4usize..10,
+        ops in proptest::collection::vec(
+            (any::<bool>(), proptest::collection::vec((0u32..10, any::<bool>()), 1..4)),
+            1..30,
+        ),
+    ) {
+        let mut session = CdclSolver::default();
+        for _ in 0..n {
+            session.new_var();
+        }
+        let mut accumulated = Cnf::new(n);
+        for (is_clause, raw) in &ops {
+            let lits: Vec<Lit> = raw
+                .iter()
+                .map(|&(v, neg)| Lit::new(Var(v % n as u32), neg))
+                .collect();
+            if *is_clause {
+                accumulated.add_clause(lits.clone());
+                session.add_clause(lits.clone());
+                continue;
+            }
+            let ours = session.solve_assuming(&lits, &Budget::default());
+            let fresh = CdclSolver::default()
+                .solve_with(&accumulated, &lits, &Budget::default());
+            prop_assert_eq!(
+                ours.is_sat(),
+                fresh.is_sat(),
+                "incremental vs fresh diverge"
+            );
+            #[cfg(feature = "varisat")]
+            {
+                let shim = sat::VarisatBackend
+                    .solve_with(&accumulated, &lits, &Budget::default());
+                prop_assert_eq!(
+                    ours.is_sat(),
+                    shim.is_sat(),
+                    "incremental vs varisat diverge"
+                );
+            }
+            match ours {
+                sat::SolveOutcome::Sat(model) => {
+                    prop_assert!(accumulated.eval(&model), "bogus incremental model");
+                    for &a in &lits {
+                        prop_assert!(model.lit_true(a), "model violates assumption {a}");
+                    }
+                }
+                sat::SolveOutcome::Unsat => {
+                    let core = session.final_assumption_conflict().to_vec();
+                    for l in &core {
+                        prop_assert!(lits.contains(l), "core literal {l} not assumed");
+                    }
+                    let recheck = CdclSolver::default()
+                        .solve_with(&accumulated, &core, &Budget::default());
+                    prop_assert!(recheck.is_unsat(), "assumption core fails to refute");
+                }
+                sat::SolveOutcome::Unknown => {
+                    prop_assert!(false, "unbounded solve returned unknown")
+                }
+            }
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! lassynth verify <design.lasre>
 //! lassynth render <design.lasre>
 //! lassynth dimacs <spec.json>
-//! lassynth depth  <spec.json> --lo L --hi H [--start S] [--timeout SECS]
+//! lassynth depth  <spec.json> --lo L --hi H [--start S] [--timeout SECS] [--no-incremental] [--stats]
 //! ```
 //!
 //! `synth` writes `<name>.lasre` and `<name>.gltf` into `--out`
@@ -14,6 +14,11 @@
 //! diversified workers, and `--seeds auto` picks the portfolio
 //! automatically when the encoding is large. `--stats` prints the
 //! winning solver's search counters after the verdict.
+//!
+//! `depth` runs the min-depth search as one incremental solver session
+//! by default (learnt clauses shared across probes);
+//! `--no-incremental` re-encodes and re-solves every probe from
+//! scratch, and `--stats` prints each probe's search counters.
 
 use lassynth::synth::{optimize, BackendChoice, SynthOptions, SynthResult, Synthesizer};
 use lassynth::{lasre, sat, viz};
@@ -322,7 +327,10 @@ fn cmd_dimacs(args: &[String]) -> i32 {
 
 fn cmd_depth(args: &[String]) -> i32 {
     let Some(path) = args.first() else {
-        eprintln!("usage: lassynth depth <spec.json> --lo L --hi H [--start S]");
+        eprintln!(
+            "usage: lassynth depth <spec.json> --lo L --hi H [--start S] \
+             [--no-incremental] [--stats]"
+        );
         return 2;
     };
     let spec = match load_spec(path) {
@@ -352,13 +360,20 @@ fn cmd_depth(args: &[String]) -> i32 {
             eprintln!("note: --start {r} is outside [{lo}, {hi}]; starting at {start}");
         }
     }
-    let options = match options_from(args) {
+    let mut options = match options_from(args) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("{e}");
             return 2;
         }
     };
+    // Incremental probing is the default; `--no-incremental` restores
+    // the from-scratch probe sequence (and `--incremental` is accepted
+    // for symmetry).
+    if args.iter().any(|a| a == "--no-incremental") {
+        options.incremental = false;
+    }
+    let want_stats = args.iter().any(|a| a == "--stats");
     match optimize::find_min_depth(&spec, lo, hi, start, &options) {
         Ok(search) => {
             for p in &search.probes {
@@ -372,6 +387,15 @@ fn cmd_depth(args: &[String]) -> i32 {
                     },
                     p.time
                 );
+                if want_stats {
+                    match p.stats {
+                        Some(s) => println!(
+                            "    conflicts={} propagations={} decisions={} restarts={} learned={}",
+                            s.conflicts, s.propagations, s.decisions, s.restarts, s.learned
+                        ),
+                        None => println!("    (no solver stats for this backend)"),
+                    }
+                }
             }
             match search.best_depth() {
                 Some(d) => {

@@ -176,6 +176,50 @@ fn synth_seeds_auto_solves_small_specs_directly() {
 }
 
 #[test]
+fn depth_search_incremental_and_scratch_agree() {
+    // Default (incremental) run, with per-probe stats.
+    let inc = bin()
+        .arg("depth")
+        .arg(cnot_spec_path())
+        .args(["--lo", "2", "--hi", "4", "--start", "3", "--stats"])
+        .output()
+        .expect("run lassynth depth");
+    assert!(
+        inc.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&inc.stderr)
+    );
+    let inc_out = String::from_utf8_lossy(&inc.stdout).to_string();
+    assert!(inc_out.contains("optimal depth: 3"), "{inc_out}");
+    assert!(
+        inc_out.contains("conflicts=") && inc_out.contains("propagations="),
+        "--stats prints per-probe counters: {inc_out}"
+    );
+
+    // The escape hatch probes the same depths with the same verdicts.
+    let scratch = bin()
+        .arg("depth")
+        .arg(cnot_spec_path())
+        .args(["--lo", "2", "--hi", "4", "--start", "3", "--no-incremental"])
+        .output()
+        .expect("run lassynth depth --no-incremental");
+    assert!(scratch.status.success());
+    let scratch_out = String::from_utf8_lossy(&scratch.stdout);
+    assert!(scratch_out.contains("optimal depth: 3"), "{scratch_out}");
+    let verdicts = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter(|l| l.starts_with("max_k"))
+            .map(|l| l.split(" (").next().unwrap_or(l).to_string())
+            .collect()
+    };
+    assert_eq!(
+        verdicts(&inc_out),
+        verdicts(&scratch_out),
+        "probe sequences must agree across modes"
+    );
+}
+
+#[test]
 fn usage_errors_exit_nonzero() {
     let out = bin().output().expect("run lassynth");
     assert_eq!(
