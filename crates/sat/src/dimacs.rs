@@ -68,6 +68,7 @@ pub fn to_string(cnf: &Cnf) -> String {
 pub fn parse<R: BufRead>(input: R) -> Result<Cnf, DimacsError> {
     let mut cnf = Cnf::new(0);
     let mut declared_vars = 0usize;
+    let mut seen_header = false;
     let mut current: Vec<Lit> = Vec::new();
     for line in input.lines() {
         let line = line?;
@@ -76,6 +77,10 @@ pub fn parse<R: BufRead>(input: R) -> Result<Cnf, DimacsError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix('p') {
+            if seen_header {
+                return Err(DimacsError::Syntax("duplicate problem line".into()));
+            }
+            seen_header = true;
             let mut parts = rest.split_whitespace();
             if parts.next() != Some("cnf") {
                 return Err(DimacsError::Syntax("expected 'p cnf'".into()));
@@ -84,6 +89,18 @@ pub fn parse<R: BufRead>(input: R) -> Result<Cnf, DimacsError> {
                 .next()
                 .and_then(|s| s.parse().ok())
                 .ok_or_else(|| DimacsError::Syntax("bad variable count".into()))?;
+            // The clause count is not used for parsing (clauses are
+            // `0`-terminated) but a malformed one means the header was
+            // not written by a DIMACS emitter — reject it.
+            let _: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| DimacsError::Syntax("bad clause count".into()))?;
+            if let Some(extra) = parts.next() {
+                return Err(DimacsError::Syntax(format!(
+                    "trailing token {extra:?} after problem line"
+                )));
+            }
             continue;
         }
         for tok in line.split_whitespace() {
@@ -145,6 +162,21 @@ mod tests {
     fn rejects_garbage() {
         assert!(parse_str("p cnf 1 1\nxyz 0").is_err());
         assert!(parse_str("p dnf 1 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_headers() {
+        assert!(parse_str("p cnf x 1\n1 0\n").is_err(), "bad variable count");
+        assert!(parse_str("p cnf 1\n1 0\n").is_err(), "missing clause count");
+        assert!(parse_str("p cnf 1 y\n1 0\n").is_err(), "bad clause count");
+        assert!(
+            parse_str("p cnf 1 1 extra\n1 0\n").is_err(),
+            "trailing token"
+        );
+        assert!(
+            parse_str("p cnf 1 1\n1 0\np cnf 1 1\n").is_err(),
+            "duplicate problem line"
+        );
     }
 
     #[test]

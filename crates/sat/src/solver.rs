@@ -105,6 +105,8 @@ use rand::{RngExt, SeedableRng};
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
+mod inprocess;
+
 /// Tuning knobs and feature switches for [`CdclSolver`].
 #[derive(Clone, Debug)]
 pub struct CdclConfig {
@@ -138,6 +140,41 @@ pub struct CdclConfig {
     /// reduction. The budget starts at `max(num_clauses / 3, floor)`;
     /// tests lower the floor to force frequent GC passes.
     pub max_learnts_floor: f64,
+    /// Enable clause vivification (distillation) during inprocessing
+    /// passes: candidate clauses are re-derived literal by literal under
+    /// unit propagation and shortened when a prefix already implies
+    /// them. See [`solver::inprocess`](self).
+    pub use_vivification: bool,
+    /// Enable subsumption and self-subsuming resolution during
+    /// inprocessing passes.
+    pub use_subsumption: bool,
+    /// Enable chronological backtracking: when a conflict's backjump
+    /// level is more than [`CdclConfig::chrono_threshold`] levels below
+    /// the current one, back up a single level instead, keeping the
+    /// intermediate assignments.
+    pub use_chrono: bool,
+    /// Minimum backjump distance (in decision levels) before
+    /// chronological backtracking kicks in. `0` backtracks
+    /// chronologically on every eligible conflict.
+    pub chrono_threshold: u32,
+    /// Session conflicts before chronological backtracking activates.
+    /// Chronological backtracking is a *long-run* optimization: on the
+    /// T-factory instances it nearly triples conflict throughput, but
+    /// on small lucky-trajectory instances (the majority gate solves in
+    /// ~164 conflicts) a single chronological backtrack can forfeit the
+    /// lucky path and cost 10× the conflicts. Gating activation on the
+    /// conflict count gives big instances the win without perturbing
+    /// small ones. `0` activates immediately.
+    pub chrono_activation_conflicts: u64,
+    /// Conflicts between inprocessing passes (vivification +
+    /// subsumption run at the first restart boundary past the
+    /// threshold). The interval stretches geometrically with each pass
+    /// so inprocessing cost stays a bounded fraction of the search.
+    pub inprocess_interval: u64,
+    /// Unit-propagation budget of one vivification pass.
+    pub vivify_propagation_budget: u64,
+    /// Literal-comparison budget of one subsumption pass.
+    pub subsumption_check_budget: u64,
 }
 
 impl Default for CdclConfig {
@@ -154,6 +191,14 @@ impl Default for CdclConfig {
             random_var_freq: 0.0,
             random_polarity_freq: 0.0,
             max_learnts_floor: 1000.0,
+            use_vivification: true,
+            use_subsumption: true,
+            use_chrono: true,
+            chrono_threshold: 100,
+            chrono_activation_conflicts: 2000,
+            inprocess_interval: 20_000,
+            vivify_propagation_budget: 100_000,
+            subsumption_check_budget: 1_000_000,
         }
     }
 }
@@ -166,27 +211,42 @@ impl CdclConfig {
     }
 
     /// A diversified portfolio member: besides the activity seed, the
-    /// restart cadence, VSIDS decay and polarity randomization vary per
-    /// seed, so portfolio workers explore genuinely different search
-    /// trajectories (not just different tie-breaking).
+    /// restart cadence, VSIDS decay, polarity randomization and the
+    /// inprocessing switches (vivification, subsumption, chronological
+    /// backtracking) vary per seed, so portfolio workers explore
+    /// genuinely different search trajectories (not just different
+    /// tie-breaking).
     pub fn diversified(seed: u64) -> Self {
         let mut config = CdclConfig::default().with_seed(seed);
         match seed % 4 {
-            0 => {} // the reference configuration
+            0 => {} // the reference configuration (inprocessing defaults)
             1 => {
-                // Rapid restarts with aggressive activity decay.
+                // Rapid restarts with aggressive activity decay and
+                // fully chronological backtracking from the start.
                 config.restart_base = 50;
                 config.var_decay = 0.85;
+                config.chrono_threshold = 0;
+                config.chrono_activation_conflicts = 0;
             }
             2 => {
-                // Long runs between restarts, occasionally flipped phases.
+                // Long runs between restarts, occasionally flipped
+                // phases, no inprocessing at all (the pre-inprocessing
+                // solver, as a hedge against pathological passes).
                 config.restart_base = 400;
                 config.random_polarity_freq = 0.02;
+                config.use_vivification = false;
+                config.use_subsumption = false;
+                config.use_chrono = false;
             }
             _ => {
-                // Slow decay with a strong random-walk component.
+                // Slow decay with a strong random-walk component and
+                // eager, bigger-budget inprocessing.
                 config.var_decay = 0.99;
                 config.random_var_freq = 0.1;
+                config.inprocess_interval = 500;
+                config.vivify_propagation_budget = 400_000;
+                config.subsumption_check_budget = 4_000_000;
+                config.use_chrono = false;
             }
         }
         config
@@ -214,6 +274,15 @@ pub struct SolverStats {
     pub gc_passes: u64,
     /// Arena words reclaimed by garbage collection.
     pub gc_reclaimed_words: u64,
+    /// Literals removed from clauses by vivification.
+    pub vivified_lits: u64,
+    /// Clauses deleted because another clause subsumes them.
+    pub subsumed_clauses: u64,
+    /// Clauses shortened by self-subsuming resolution.
+    pub strengthened_clauses: u64,
+    /// Conflicts resolved by a chronological (one-level) backtrack
+    /// instead of the full backjump.
+    pub chrono_backtracks: u64,
 }
 
 impl SolverStats {
@@ -233,6 +302,16 @@ impl SolverStats {
             gc_reclaimed_words: self
                 .gc_reclaimed_words
                 .saturating_sub(earlier.gc_reclaimed_words),
+            vivified_lits: self.vivified_lits.saturating_sub(earlier.vivified_lits),
+            subsumed_clauses: self
+                .subsumed_clauses
+                .saturating_sub(earlier.subsumed_clauses),
+            strengthened_clauses: self
+                .strengthened_clauses
+                .saturating_sub(earlier.strengthened_clauses),
+            chrono_backtracks: self
+                .chrono_backtracks
+                .saturating_sub(earlier.chrono_backtracks),
         }
     }
 }
@@ -656,6 +735,19 @@ struct State {
     lbd_gen: u32,
     /// Spare arena buffer swapped in by each GC pass.
     gc_buf: Vec<u32>,
+    /// Conflict count that triggers the next inprocessing pass (checked
+    /// at restart boundaries, where the solver sits at level 0).
+    next_inprocess: u64,
+    /// Inprocessing passes run so far — stretches the interval.
+    inprocess_passes: u64,
+    /// Rotation cursor into the vivification candidate order, persisted
+    /// across passes so budget-limited passes cover the whole database
+    /// over time instead of re-probing the same head clauses.
+    vivify_cursor: usize,
+    /// True while vivification probes decisions it will immediately
+    /// undo; suppresses phase saving so probing cannot pollute the
+    /// search's saved polarities.
+    phase_probing: bool,
     root_unsat: bool,
     /// Clauses added so far (before root simplification) — sizes the
     /// learnt-clause budget at each solve.
@@ -670,6 +762,7 @@ impl State {
     fn empty(config: CdclConfig) -> State {
         let rng = SmallRng::seed_from_u64(config.seed);
         let max_learnts = config.max_learnts_floor;
+        let next_inprocess = config.inprocess_interval;
         State {
             config,
             stats: SolverStats::default(),
@@ -697,6 +790,10 @@ impl State {
             lbd_stamp: vec![0],
             lbd_gen: 0,
             gc_buf: Vec::new(),
+            next_inprocess,
+            inprocess_passes: 0,
+            vivify_cursor: 0,
+            phase_probing: false,
             root_unsat: false,
             num_added_clauses: 0,
             assumption_conflict: Vec::new(),
@@ -816,6 +913,16 @@ impl State {
     }
 
     fn attach_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
+        if learnt {
+            self.stats.learned += 1;
+        }
+        self.attach_clause_quiet(lits, learnt, lbd)
+    }
+
+    /// [`State::attach_clause`] without the `learned` counter bump —
+    /// inprocessing uses it to attach *replacements* of existing
+    /// clauses, which are rewrites, not new derivations.
+    fn attach_clause_quiet(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
         let cref = self.arena.alloc(lits, learnt, lbd);
         let binary = lits.len() == 2;
@@ -823,11 +930,27 @@ impl State {
         self.watches[lits[1].code()].push(Watcher::new(cref, lits[0], binary));
         if learnt {
             self.learnts.push(cref);
-            self.stats.learned += 1;
         } else {
             self.clauses.push(cref);
         }
         cref
+    }
+
+    /// Removes the two watchers of an attached clause. Inprocessing
+    /// detaches a clause before probing it (vivification must not let a
+    /// clause propagate on itself) and immediately when marking one
+    /// deleted, so `propagate` never visits a tombstone between a
+    /// deletion and the GC pass that reclaims it.
+    fn detach_clause(&mut self, cref: ClauseRef) {
+        for k in 0..2 {
+            let l = self.arena.lit(cref, k);
+            let list = &mut self.watches[l.code()];
+            let pos = list
+                .iter()
+                .position(|w| w.cref() == cref)
+                .expect("attached clause has a watcher on each watched literal");
+            list.swap_remove(pos);
+        }
     }
 
     fn enqueue(&mut self, lit: Lit, reason: ClauseRef) {
@@ -1121,7 +1244,7 @@ impl State {
         while self.trail.len() > bound {
             let l = self.trail.pop().expect("trail non-empty");
             let v = l.var().index();
-            if self.config.use_phase_saving {
+            if self.config.use_phase_saving && !self.phase_probing {
                 self.polarity[v] = !l.is_neg();
             }
             self.lit_val[l.code()] = 0;
@@ -1393,7 +1516,27 @@ impl State {
                     return SolveOutcome::Unsat;
                 }
                 let (bt, lbd) = self.analyze(confl);
-                self.cancel_until(bt);
+                // Chronological backtracking (conservative C-bt): when
+                // the backjump would discard far-away levels, back up a
+                // single level instead. The learnt clause is still
+                // asserting there (every non-UIP literal lives at a
+                // level ≤ bt), so the search keeps the intermediate
+                // assignments instead of re-deriving them. Unit learnts
+                // are exempt: a fact enqueued without a reason above
+                // level 0 would look like a decision to later conflict
+                // analyses.
+                let dl = self.decision_level();
+                let target = if self.config.use_chrono
+                    && self.stats.conflicts >= self.config.chrono_activation_conflicts
+                    && self.learnt_buf.len() > 1
+                    && dl - bt > self.config.chrono_threshold.max(1)
+                {
+                    self.stats.chrono_backtracks += 1;
+                    dl - 1
+                } else {
+                    bt
+                };
+                self.cancel_until(target);
                 let learnt = std::mem::take(&mut self.learnt_buf);
                 if learnt.len() == 1 {
                     self.enqueue(learnt[0], ClauseRef::NONE);
@@ -1430,6 +1573,15 @@ impl State {
                     conflicts_since_restart = 0;
                     restart_budget = self.config.restart_base * luby(self.stats.restarts);
                     self.cancel_until(0);
+                    // Inprocessing runs at restart boundaries: the
+                    // solver sits at level 0 with no assumptions
+                    // applied, so everything it derives is a
+                    // consequence of the clauses alone and stays sound
+                    // across the incremental session.
+                    self.maybe_inprocess();
+                    if self.root_unsat {
+                        return SolveOutcome::Unsat;
+                    }
                 }
                 if self.config.use_clause_deletion && self.learnts.len() as f64 >= self.max_learnts
                 {
@@ -1998,6 +2150,186 @@ mod tests {
         }
         assert!(st.stats.gc_passes >= 1, "GC exercised across the session");
         assert!(!st.root_unsat, "assumption UNSAT must not latch root_unsat");
+    }
+
+    /// A configuration that inprocesses at every restart boundary and
+    /// restarts every other conflict — tiny instances still exercise
+    /// vivification, subsumption and (with `chrono_threshold` 0)
+    /// chronological backtracking.
+    fn aggressive_inprocessing() -> CdclConfig {
+        CdclConfig {
+            inprocess_interval: 0,
+            restart_base: 2,
+            chrono_threshold: 0,
+            chrono_activation_conflicts: 0,
+            max_learnts_floor: 8.0,
+            ..CdclConfig::default()
+        }
+    }
+
+    #[test]
+    fn subsumption_deletes_redundant_clauses() {
+        // (1 2) subsumes (1 2 3) and (1 2 4); forcing conflicts via the
+        // pigeonhole part triggers the inprocessing pass.
+        let mut c = pigeonhole(5);
+        c.add_clause([lit(21), lit(22)]);
+        c.add_clause([lit(21), lit(22), lit(23)]);
+        c.add_clause([lit(21), lit(22), lit(24)]);
+        let config = CdclConfig {
+            use_vivification: false,
+            use_chrono: false,
+            ..aggressive_inprocessing()
+        };
+        let mut st = State::new(&c, config);
+        assert!(st.solve(&[], &Budget::default()).is_unsat());
+        assert!(
+            st.stats.subsumed_clauses >= 2,
+            "the two supersets should be subsumed: {:?}",
+            st.stats
+        );
+        st.check_watcher_integrity();
+    }
+
+    #[test]
+    fn self_subsumption_strengthens_to_unit() {
+        // (¬1 2) and (1 2) resolve to the unit (2); (¬2 3) then forces 3.
+        let mut c = pigeonhole(5);
+        c.add_clause([lit(-21), lit(22)]);
+        c.add_clause([lit(21), lit(22)]);
+        c.add_clause([lit(-22), lit(23)]);
+        let config = CdclConfig {
+            use_vivification: false,
+            use_chrono: false,
+            ..aggressive_inprocessing()
+        };
+        let mut st = State::new(&c, config);
+        assert!(st.solve(&[], &Budget::default()).is_unsat());
+        assert!(
+            st.stats.strengthened_clauses >= 1,
+            "self-subsuming resolution should fire: {:?}",
+            st.stats
+        );
+        st.check_watcher_integrity();
+    }
+
+    #[test]
+    fn vivification_shortens_implied_clauses() {
+        // (21 22) makes the tail of (21 22 23 24) unreachable: probing
+        // ¬21, ¬22 conflicts, so vivification truncates the long clause.
+        let mut c = pigeonhole(5);
+        c.add_clause([lit(21), lit(22)]);
+        c.add_clause([lit(21), lit(22), lit(23), lit(24)]);
+        let config = CdclConfig {
+            use_subsumption: false,
+            use_chrono: false,
+            ..aggressive_inprocessing()
+        };
+        let mut st = State::new(&c, config);
+        assert!(st.solve(&[], &Budget::default()).is_unsat());
+        assert!(
+            st.stats.vivified_lits >= 2,
+            "vivification should strip the implied tail: {:?}",
+            st.stats
+        );
+        st.check_watcher_integrity();
+    }
+
+    #[test]
+    fn chronological_backtracking_stays_correct() {
+        let config = CdclConfig {
+            chrono_threshold: 0,
+            chrono_activation_conflicts: 0,
+            ..CdclConfig::default()
+        };
+        let mut st = State::new(&pigeonhole(6), config.clone());
+        assert!(st.solve(&[], &Budget::default()).is_unsat());
+        assert!(
+            st.stats.chrono_backtracks > 0,
+            "php(6,5) must trigger chronological backtracks: {:?}",
+            st.stats
+        );
+        // And a SAT instance keeps producing valid models.
+        let sat_cnf = cnf(&[&[1, 2, 3], &[-1, -2], &[-2, -3], &[-1, -3], &[2, 3]]);
+        let mut s = CdclSolver::with_config(config);
+        let m = s.solve_with(&sat_cnf, &[], &Budget::default()).expect_sat();
+        assert!(sat_cnf.eval(&m));
+    }
+
+    /// All inprocessing features together, across an incremental
+    /// session with flipping assumptions and mid-session clause
+    /// additions — the invariants GC/watchers/reasons must survive.
+    #[test]
+    fn inprocessing_survives_incremental_sessions() {
+        let holes = 5i64;
+        let pigeons = 6i64;
+        let p = |i: i64, j: i64| (i - 1) * holes + j;
+        let sel = |i: i64| holes * pigeons + i;
+        let mut c = Cnf::new(0);
+        for i in 1..=pigeons {
+            let mut clause: Vec<Lit> = (1..=holes).map(|j| lit(p(i, j))).collect();
+            clause.push(lit(sel(i)));
+            c.add_clause(clause);
+        }
+        for j in 1..=holes {
+            for a in 1..=pigeons {
+                for b in (a + 1)..=pigeons {
+                    c.add_clause([lit(-p(a, j)), lit(-p(b, j))]);
+                }
+            }
+        }
+        let strict: Vec<Lit> = (1..=pigeons).map(|i| lit(-sel(i))).collect();
+        let mut st = State::new(&c, aggressive_inprocessing());
+        for round in 0..3 {
+            assert!(
+                st.solve(&strict, &Budget::default()).is_unsat(),
+                "round {round}"
+            );
+            st.cancel_until(0);
+            st.check_watcher_integrity();
+            let relaxed: Vec<Lit> = strict[1..].to_vec();
+            match st.solve(&relaxed, &Budget::default()) {
+                SolveOutcome::Sat(m) => {
+                    assert!(c.eval(&m), "round {round} model");
+                    for &a in &relaxed {
+                        assert!(m.lit_true(a), "round {round} assumption {a}");
+                    }
+                }
+                other => panic!("round {round}: expected SAT, got {other:?}"),
+            }
+            st.cancel_until(0);
+            st.check_watcher_integrity();
+        }
+        assert!(
+            st.stats.subsumed_clauses + st.stats.strengthened_clauses + st.stats.vivified_lits > 0,
+            "inprocessing should have fired: {:?}",
+            st.stats
+        );
+        assert!(!st.root_unsat, "assumption UNSAT must not latch root_unsat");
+    }
+
+    /// Inprocessing runs between `solve_assuming` calls of the public
+    /// API too, and `final_assumption_conflict` keeps refuting.
+    #[test]
+    fn inprocessing_preserves_assumption_cores() {
+        let c = cnf(&[
+            &[1, 2],
+            &[-1, 2],
+            &[1, -2],
+            &[-1, -2, 3],
+            &[-3, 4],
+            &[-4, 1],
+        ]);
+        let mut s = CdclSolver::with_config(aggressive_inprocessing());
+        s.add_cnf(&c);
+        for _ in 0..4 {
+            let out = s.solve_assuming(&[lit(-2)], &Budget::default());
+            assert!(out.is_unsat());
+            let core = s.final_assumption_conflict().to_vec();
+            assert!(core.iter().all(|l| *l == lit(-2)), "{core:?}");
+            let recheck = CdclSolver::default().solve_with(&c, &core, &Budget::default());
+            assert!(recheck.is_unsat(), "core fails to refute");
+            assert!(s.solve_assuming(&[lit(2)], &Budget::default()).is_sat());
+        }
     }
 
     /// SAT verdicts (with model validation) survive repeated GC too.

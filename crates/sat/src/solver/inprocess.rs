@@ -1,0 +1,403 @@
+//! Inprocessing: clause-database simplification between restarts.
+//!
+//! Industrial CDCL solvers interleave search with *inprocessing* —
+//! cheap, budgeted simplification of the clause database that pays for
+//! itself through faster propagation and shorter learnt clauses. This
+//! module implements the two techniques the ROADMAP names as the
+//! remaining single-solve throughput levers, plus the machinery they
+//! share:
+//!
+//! * **Subsumption and self-subsuming resolution** ([`State::subsume`]):
+//!   a SatELite-style backward pass over an occurrence index. Every
+//!   live clause carries a 64-bit *signature* (a Bloom filter of its
+//!   variables); a clause `C` can only subsume `D` when
+//!   `sig(C) & !sig(D) == 0`, which rejects almost all candidate pairs
+//!   without touching their literals. A full check then either deletes
+//!   `D` (`C ⊆ D`) or strengthens it (`C \ {l} ⊆ D` with `¬l ∈ D`
+//!   resolves to `D \ {¬l}`). Strengthened clauses re-enter the queue —
+//!   they are stronger subsumers than their originals.
+//!
+//! * **Vivification** ([`State::vivify`]): each candidate clause is
+//!   detached and re-derived literal by literal — assume the negation
+//!   of a prefix, propagate, and stop early when the prefix already
+//!   implies the clause (a literal turns true or propagation
+//!   conflicts) or a literal is implied false (it drops out). Runs
+//!   under a propagation budget; phase saving is suspended while
+//!   probing so vivification cannot pollute the search's saved
+//!   polarities.
+//!
+//! Both passes run at restart boundaries (decision level 0, no
+//! assumptions applied), so every derived fact and rewritten clause is
+//! a consequence of the added clauses alone — exactly the invariant the
+//! incremental API needs. Deleted clauses are detached from the watch
+//! lists immediately and reclaimed by the same compacting GC that
+//! `reduce_db` uses ([`State::collect_garbage`] rewrites ref lists,
+//! watchers and trail reasons through forwarding addresses), so no
+//! tombstone ever survives into `propagate`. Clauses that currently
+//! serve as the reason of a root-level trail literal are locked and
+//! skipped. A learnt clause that subsumes an *original* clause is
+//! promoted to original first — deleting the original in favor of a
+//! deletable learnt would let `reduce_db` silently drop a constraint.
+
+use super::*;
+use std::collections::HashMap;
+
+/// Outcome of matching a subsumer `C` against a candidate `D`.
+enum SubMatch {
+    /// `C` neither subsumes nor strengthens `D`.
+    None,
+    /// `C ⊆ D`: `D` is redundant.
+    Subsumes,
+    /// `C` resolves with `D` on exactly one flipped literal: `D` can
+    /// drop the carried literal (the one that occurs in `D`).
+    Strengthens(Lit),
+}
+
+impl State {
+    /// Runs one inprocessing pass (subsumption, then vivification, then
+    /// a compacting GC) if the conflict count has crossed the schedule.
+    /// Called at restart boundaries only — the solver must sit at
+    /// decision level 0. With restarts disabled inprocessing never
+    /// triggers.
+    pub(super) fn maybe_inprocess(&mut self) {
+        if !self.config.use_vivification && !self.config.use_subsumption {
+            return;
+        }
+        if self.stats.conflicts < self.next_inprocess {
+            return;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut changed = false;
+        if self.config.use_subsumption && !self.root_unsat {
+            changed |= self.subsume();
+        }
+        if self.config.use_vivification && !self.root_unsat {
+            changed |= self.vivify();
+        }
+        // Reclaim everything the passes marked deleted. Safe even when
+        // a root conflict was derived: locked clauses are never marked,
+        // so every trail reason forwards. A pass that touched nothing
+        // skips the GC — copying a multi-megaword arena to reclaim
+        // zero words is pure overhead.
+        if changed {
+            self.collect_garbage();
+        }
+        self.inprocess_passes += 1;
+        // Geometric back-off: pass k waits k+1 base intervals, keeping
+        // total inprocessing cost a bounded fraction of the search.
+        self.next_inprocess = self.stats.conflicts
+            + self
+                .config
+                .inprocess_interval
+                .saturating_mul(self.inprocess_passes + 1);
+    }
+
+    /// Backward subsumption + self-subsuming resolution over the whole
+    /// live clause database, bounded by
+    /// [`CdclConfig::subsumption_check_budget`] literal comparisons.
+    /// Returns whether any clause was deleted or rewritten.
+    fn subsume(&mut self) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut changed = false;
+        let mut queue: Vec<ClauseRef> = self
+            .clauses
+            .iter()
+            .chain(self.learnts.iter())
+            .copied()
+            .filter(|&c| !self.arena.is_deleted(c))
+            .collect();
+        // Short clauses are the strongest subsumers; try them first.
+        queue.sort_by_key(|&c| self.arena.len(c));
+        let mut occs: Vec<Vec<ClauseRef>> = vec![Vec::new(); 2 * self.num_vars];
+        let mut sigs: HashMap<u32, u64> = HashMap::with_capacity(2 * queue.len());
+        for &c in &queue {
+            let mut sig = 0u64;
+            for i in 0..self.arena.len(c) {
+                let l = self.arena.lit(c, i);
+                occs[l.code()].push(c);
+                sig |= 1u64 << (l.var().0 & 63);
+            }
+            sigs.insert(c.0, sig);
+        }
+        let mut budget = self.config.subsumption_check_budget as i64;
+        let mut qi = 0;
+        while qi < queue.len() && budget > 0 {
+            let c = queue[qi];
+            qi += 1;
+            if self.arena.is_deleted(c) {
+                continue;
+            }
+            let c_len = self.arena.len(c);
+            let c_sig = sigs[&c.0];
+            let min_lit = (0..c_len)
+                .map(|i| self.arena.lit(c, i))
+                .min_by_key(|l| occs[l.code()].len())
+                .expect("clauses have at least two literals");
+            // Clauses containing `min_lit` are subsumption (and
+            // strengthening-elsewhere) candidates; clauses containing
+            // `¬min_lit` can only be strengthened *at* `min_lit`.
+            for probe in [min_lit, !min_lit] {
+                // Snapshot the length: strengthened replacements append
+                // to these lists mid-loop and get their own queue turn.
+                let n = occs[probe.code()].len();
+                for k in 0..n {
+                    let d = occs[probe.code()][k];
+                    if d == c || self.arena.is_deleted(d) || self.arena.is_deleted(c) {
+                        continue;
+                    }
+                    let d_len = self.arena.len(d);
+                    if d_len < c_len {
+                        continue;
+                    }
+                    budget -= 1;
+                    if c_sig & !sigs[&d.0] != 0 {
+                        continue;
+                    }
+                    budget -= (c_len + d_len) as i64;
+                    match self.subsume_check(c, d) {
+                        SubMatch::None => {}
+                        SubMatch::Subsumes => {
+                            if self.is_locked(d) {
+                                continue;
+                            }
+                            if self.arena.is_learnt(c) && !self.arena.is_learnt(d) {
+                                self.promote_to_original(c);
+                            }
+                            self.arena.mark_deleted(d);
+                            self.detach_clause(d);
+                            self.stats.subsumed_clauses += 1;
+                            changed = true;
+                        }
+                        SubMatch::Strengthens(rem) => {
+                            if self.is_locked(d) {
+                                continue;
+                            }
+                            let new_lits: Vec<Lit> = (0..d_len)
+                                .map(|i| self.arena.lit(d, i))
+                                .filter(|&l| l != rem)
+                                .collect();
+                            let learnt = self.arena.is_learnt(d);
+                            let lbd = self.arena.lbd(d).min(new_lits.len() as u32);
+                            self.arena.mark_deleted(d);
+                            self.detach_clause(d);
+                            self.stats.strengthened_clauses += 1;
+                            changed = true;
+                            if new_lits.len() == 1 {
+                                if !self.assert_root_unit(new_lits[0]) {
+                                    return true;
+                                }
+                            } else {
+                                let nd = self.attach_clause_quiet(&new_lits, learnt, lbd);
+                                let mut sig = 0u64;
+                                for &l in &new_lits {
+                                    occs[l.code()].push(nd);
+                                    sig |= 1u64 << (l.var().0 & 63);
+                                }
+                                sigs.insert(nd.0, sig);
+                                queue.push(nd);
+                            }
+                        }
+                    }
+                    if budget <= 0 {
+                        break;
+                    }
+                }
+                if budget <= 0 {
+                    break;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Does `c` subsume `d`, possibly up to one flipped literal?
+    /// Assumes `len(c) <= len(d)`; quadratic in the clause lengths (the
+    /// signature filter keeps this off the common path).
+    fn subsume_check(&self, c: ClauseRef, d: ClauseRef) -> SubMatch {
+        let c_len = self.arena.len(c);
+        let d_len = self.arena.len(d);
+        let mut flipped: Option<Lit> = None;
+        'subsumer: for i in 0..c_len {
+            let l = self.arena.lit(c, i);
+            for j in 0..d_len {
+                let m = self.arena.lit(d, j);
+                if m == l {
+                    continue 'subsumer;
+                }
+                if m == !l && flipped.is_none() {
+                    flipped = Some(m);
+                    continue 'subsumer;
+                }
+            }
+            return SubMatch::None;
+        }
+        match flipped {
+            None => SubMatch::Subsumes,
+            Some(m) => SubMatch::Strengthens(m),
+        }
+    }
+
+    /// Moves a learnt clause into the original database (clears the
+    /// learnt header bit and switches ref lists) so `reduce_db` can
+    /// never delete it. Applied before a learnt clause is allowed to
+    /// subsume an original one.
+    fn promote_to_original(&mut self, c: ClauseRef) {
+        let pos = self
+            .learnts
+            .iter()
+            .position(|&x| x == c)
+            .expect("promoted clause is in the learnt list");
+        self.learnts.swap_remove(pos);
+        self.clauses.push(c);
+        self.arena.data[c.0 as usize] &= !LEARNT_BIT;
+    }
+
+    /// Asserts a literal derived at the root and propagates it to
+    /// fixpoint. Returns `false` (latching `root_unsat`) on
+    /// contradiction.
+    fn assert_root_unit(&mut self, l: Lit) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        match self.value(l) {
+            1 => true,
+            -1 => {
+                self.root_unsat = true;
+                false
+            }
+            _ => {
+                self.enqueue(l, ClauseRef::NONE);
+                if self.propagate().is_some() {
+                    self.root_unsat = true;
+                    false
+                } else {
+                    true
+                }
+            }
+        }
+    }
+
+    /// Vivifies (distills) candidate clauses under the pass's
+    /// propagation budget: learnt clauses first (they are also the
+    /// `reduce_db` deletion candidates, so shortening them has double
+    /// payoff), then long original clauses. Returns whether any clause
+    /// was deleted or rewritten.
+    ///
+    /// Successive passes resume where the previous one ran out of
+    /// budget (`vivify_cursor` rotates through the candidate order):
+    /// without the cursor every pass would re-probe the same
+    /// already-minimal clauses at the head of the lists and the tail
+    /// would never be distilled.
+    fn vivify(&mut self) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        let props_start = self.stats.propagations;
+        let budget = self.config.vivify_propagation_budget;
+        let cands: Vec<ClauseRef> = self
+            .learnts
+            .iter()
+            .chain(self.clauses.iter())
+            .copied()
+            .filter(|&c| !self.arena.is_deleted(c) && self.arena.len(c) >= 3)
+            .collect();
+        if cands.is_empty() {
+            return false;
+        }
+        let start = self.vivify_cursor % cands.len();
+        let mut processed = 0;
+        let mut changed = false;
+        self.phase_probing = true;
+        while processed < cands.len() {
+            if self.root_unsat || self.stats.propagations - props_start >= budget {
+                break;
+            }
+            let c = cands[(start + processed) % cands.len()];
+            processed += 1;
+            // Deletion and root propagation during this pass can
+            // invalidate earlier snapshots; re-check.
+            if self.arena.is_deleted(c) || self.is_locked(c) {
+                continue;
+            }
+            changed |= self.vivify_clause(c);
+        }
+        self.vivify_cursor = (start + processed) % cands.len();
+        self.phase_probing = false;
+        debug_assert_eq!(self.decision_level(), 0);
+        changed
+    }
+
+    /// Re-derives one clause literal by literal. The clause is detached
+    /// first so it cannot propagate on itself; each kept literal `l` is
+    /// probed by assuming `¬l` at a fresh pseudo-level. Three outcomes
+    /// shorten it: a literal already false drops out, a literal turning
+    /// true truncates the clause after it, and a propagation conflict
+    /// truncates it after the current literal. Every replacement clause
+    /// is entailed by the *rest* of the formula and at least as strong
+    /// as the original, so swapping it in preserves equivalence.
+    /// Returns whether the clause was deleted or rewritten.
+    fn vivify_clause(&mut self, cref: ClauseRef) -> bool {
+        let len = self.arena.len(cref);
+        let lits: Vec<Lit> = (0..len).map(|i| self.arena.lit(cref, i)).collect();
+        self.detach_clause(cref);
+        let mut kept: Vec<Lit> = Vec::with_capacity(len);
+        let mut satisfied_at_root = false;
+        for (i, &l) in lits.iter().enumerate() {
+            match self.value(l) {
+                1 => {
+                    if self.decision_level() == 0 {
+                        satisfied_at_root = true;
+                    } else {
+                        // ¬kept ⊨ l: the clause shrinks to kept ∪ {l}.
+                        kept.push(l);
+                    }
+                    break;
+                }
+                -1 => {
+                    // ¬kept ⊨ ¬l: the literal contributes nothing.
+                }
+                _ => {
+                    kept.push(l);
+                    if i + 1 == lits.len() {
+                        // Probing the final literal cannot shorten the
+                        // clause any further; skip the propagation.
+                        break;
+                    }
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(!l, ClauseRef::NONE);
+                    if self.propagate().is_some() {
+                        // ¬kept is contradictory: kept is itself implied.
+                        break;
+                    }
+                }
+            }
+        }
+        self.cancel_until(0);
+        if satisfied_at_root {
+            // True at the root: drop the clause entirely (not counted
+            // as vivified literals — nothing was distilled).
+            self.arena.mark_deleted(cref);
+            return true;
+        }
+        if kept.len() == lits.len() {
+            // Nothing learned; reattach the original watchers.
+            let binary = lits.len() == 2;
+            self.watches[lits[0].code()].push(Watcher::new(cref, lits[1], binary));
+            self.watches[lits[1].code()].push(Watcher::new(cref, lits[0], binary));
+            return false;
+        }
+        self.stats.vivified_lits += (lits.len() - kept.len()) as u64;
+        self.arena.mark_deleted(cref);
+        match kept.len() {
+            0 => {
+                // Every literal is false at the root: empty clause.
+                self.root_unsat = true;
+            }
+            1 => {
+                self.assert_root_unit(kept[0]);
+            }
+            _ => {
+                let learnt = self.arena.is_learnt(cref);
+                let lbd = self.arena.lbd(cref).min(kept.len() as u32);
+                self.attach_clause_quiet(&kept, learnt, lbd);
+            }
+        }
+        true
+    }
+}

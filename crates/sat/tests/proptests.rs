@@ -1,8 +1,55 @@
 //! Property-based tests for the SAT stack: solver soundness against
-//! brute force, builder gadget semantics, DIMACS round trips.
+//! brute force, builder gadget semantics, DIMACS round trips, and the
+//! inprocessing config-matrix torture harness.
 
 use proptest::prelude::*;
 use sat::{Backend, Budget, CdclConfig, CdclSolver, Cnf, CnfBuilder, Lit, Var};
+
+/// The baseline solver configuration for the differential tests. With
+/// `LASSYNTH_FORCE_INPROCESS` set in the environment (CI runs the
+/// whole suite a second time that way) it turns into an aggressive
+/// inprocessing configuration — restart every other conflict, an
+/// inprocessing pass at every restart boundary, fully chronological
+/// backtracking — so every differential property in this file also
+/// tortures the new code paths.
+fn base_config() -> CdclConfig {
+    let mut config = CdclConfig::default();
+    if std::env::var_os("LASSYNTH_FORCE_INPROCESS").is_some() {
+        config.restart_base = 1;
+        config.inprocess_interval = 0;
+        config.chrono_threshold = 0;
+        config.chrono_activation_conflicts = 0;
+        config.max_learnts_floor = 8.0;
+    }
+    config
+}
+
+/// The full inprocessing matrix: vivification × subsumption ×
+/// chronological backtracking, each on/off, under schedules aggressive
+/// enough that the tiny torture instances actually reach the code
+/// (inprocess at every restart, restart every other conflict, chrono
+/// on every eligible conflict, GC-heavy learnt budget).
+fn inprocessing_matrix() -> Vec<CdclConfig> {
+    let mut configs = Vec::with_capacity(8);
+    for viv in [false, true] {
+        for sub in [false, true] {
+            for chrono in [false, true] {
+                configs.push(CdclConfig {
+                    use_vivification: viv,
+                    use_subsumption: sub,
+                    use_chrono: chrono,
+                    chrono_threshold: 0,
+                    chrono_activation_conflicts: 0,
+                    inprocess_interval: 0,
+                    restart_base: 1,
+                    max_learnts_floor: 8.0,
+                    ..CdclConfig::default()
+                });
+            }
+        }
+    }
+    configs
+}
 
 /// Pigeonhole CNF: `pigeons` into `holes` (UNSAT iff pigeons > holes).
 fn pigeonhole_cnf(pigeons: i64, holes: i64) -> Cnf {
@@ -94,7 +141,7 @@ proptest! {
     #[test]
     fn cdcl_matches_brute_force(cnf in arb_cnf(8, 24)) {
         let expected = brute_force_sat(&cnf);
-        match CdclSolver::default().solve(&cnf) {
+        match CdclSolver::with_config(base_config()).solve(&cnf) {
             sat::SolveOutcome::Sat(model) => {
                 prop_assert!(expected);
                 prop_assert!(cnf.eval(&model));
@@ -140,6 +187,60 @@ proptest! {
         prop_assert_eq!(back, cnf);
     }
 
+    /// Emit → parse → emit is a fixed point, and the parse is immune to
+    /// comments (both `c` and legacy `%`) and blank lines injected
+    /// between any two emitted lines.
+    #[test]
+    fn dimacs_emit_parse_emit_fixed_point(cnf in arb_cnf(10, 20), noise in any::<u64>()) {
+        let text = sat::dimacs::to_string(&cnf);
+        let mut noisy = String::new();
+        for (i, line) in text.lines().enumerate() {
+            match (noise >> (2 * (i % 32))) & 3 {
+                1 => noisy.push_str("c injected comment 1 2 0\n"),
+                2 => noisy.push_str("\n   \n"),
+                3 => noisy.push_str("% legacy comment\n"),
+                _ => {}
+            }
+            noisy.push_str(line);
+            noisy.push('\n');
+        }
+        let parsed = sat::dimacs::parse_str(&noisy).expect("noisy emit parses");
+        prop_assert_eq!(&parsed, &cnf, "comments/blank lines must not change the formula");
+        let text2 = sat::dimacs::to_string(&parsed);
+        prop_assert_eq!(&text2, &text, "emit is a fixed point");
+        let parsed2 = sat::dimacs::parse_str(&text2).expect("fixed point parses");
+        prop_assert_eq!(parsed2, cnf);
+    }
+
+    /// Every way of mangling the problem line (and clause bodies) is
+    /// rejected with a syntax error rather than silently accepted.
+    #[test]
+    fn dimacs_rejects_malformed_input(cnf in arb_cnf(6, 8), which in 0usize..7) {
+        let body = sat::dimacs::to_string(&cnf);
+        let clause_lines: String = body
+            .lines()
+            .skip(1)
+            .flat_map(|l| [l, "\n"])
+            .collect();
+        let vars = cnf.num_vars();
+        let clauses = cnf.num_clauses();
+        let bad = match which {
+            0 => format!("p dnf {vars} {clauses}\n{clause_lines}"),
+            1 => format!("p cnf x {clauses}\n{clause_lines}"),
+            2 => format!("p cnf {vars}\n{clause_lines}"),
+            3 => format!("p cnf {vars} y\n{clause_lines}"),
+            4 => format!("p cnf {vars} {clauses} extra\n{clause_lines}"),
+            5 => format!("{body}p cnf {vars} {clauses}\n"),
+            _ => format!("{body}7 junk 0\n"),
+        };
+        prop_assert!(
+            sat::dimacs::parse_str(&bad).is_err(),
+            "variant {} must be rejected:\n{}",
+            which,
+            bad
+        );
+    }
+
     /// Builder XOR gadget: brute-force equivalence of the emitted CNF
     /// with the parity function.
     #[test]
@@ -182,7 +283,7 @@ proptest! {
             cnf.add_clause(cl);
         }
         let theirs = sat::VarisatBackend.solve(&cnf).is_sat();
-        match CdclSolver::default().solve(&cnf) {
+        match CdclSolver::with_config(base_config()).solve(&cnf) {
             sat::SolveOutcome::Sat(model) => {
                 prop_assert!(theirs, "we say SAT, varisat says UNSAT");
                 prop_assert!(cnf.eval(&model), "bogus model");
@@ -209,7 +310,7 @@ proptest! {
             }
             cnf.add_clause(cl);
         }
-        let config = CdclConfig { max_learnts_floor: 8.0, ..CdclConfig::default() };
+        let config = CdclConfig { max_learnts_floor: 8.0, ..base_config() };
         let ours = CdclSolver::with_config(config).solve(&cnf);
         let theirs = sat::VarisatBackend.solve(&cnf).is_sat();
         match ours {
@@ -254,25 +355,35 @@ proptest! {
     // larger budget stays cheap.
     #![proptest_config(ProptestConfig::with_cases(300))]
 
-    /// Differential check of the *incremental* API: a random
-    /// interleaving of clause additions and assumption solves is
-    /// executed three ways — one retained incremental session, a fresh
-    /// `CdclSolver` per solve on the accumulated formula, and the
-    /// vendored varisat shim — and every solve must agree on the
-    /// verdict. SAT models are checked against the formula and the
-    /// assumptions; on UNSAT the reported failing-assumption subset
+    /// Config-matrix torture harness for the *incremental* API: a
+    /// random interleaving of clause additions and assumption solves is
+    /// executed by one retained incremental session per inprocessing
+    /// combination (vivification × subsumption × chronological
+    /// backtracking, each on/off, under schedules that fire on tiny
+    /// instances), and every solve is compared against a fresh
+    /// `CdclSolver` on the accumulated formula and the vendored varisat
+    /// shim. SAT models are checked against the formula and the
+    /// assumptions; on UNSAT every session's failing-assumption subset
     /// must itself refute on a fresh solver.
     #[test]
-    fn incremental_matches_fresh_and_varisat(
-        n in 4usize..10,
+    fn incremental_inprocessing_matrix_matches_fresh_and_varisat(
+        n in 6usize..10,
+        // Clauses of 2–4 literals: long enough that the accumulated
+        // formula develops real conflicts (unit-heavy streams go
+        // root-UNSAT before inprocessing can ever fire).
         ops in proptest::collection::vec(
-            (any::<bool>(), proptest::collection::vec((0u32..10, any::<bool>()), 1..4)),
-            1..30,
+            (any::<bool>(), proptest::collection::vec((0u32..10, any::<bool>()), 2..5)),
+            1..45,
         ),
     ) {
-        let mut session = CdclSolver::default();
-        for _ in 0..n {
-            session.new_var();
+        let mut sessions: Vec<(CdclConfig, CdclSolver)> = inprocessing_matrix()
+            .into_iter()
+            .map(|config| (config.clone(), CdclSolver::with_config(config)))
+            .collect();
+        for (_, session) in &mut sessions {
+            for _ in 0..n {
+                session.new_var();
+            }
         }
         let mut accumulated = Cnf::new(n);
         for (is_clause, raw) in &ops {
@@ -282,45 +393,52 @@ proptest! {
                 .collect();
             if *is_clause {
                 accumulated.add_clause(lits.clone());
-                session.add_clause(lits.clone());
+                for (_, session) in &mut sessions {
+                    session.add_clause(lits.clone());
+                }
                 continue;
             }
-            let ours = session.solve_assuming(&lits, &Budget::default());
             let fresh = CdclSolver::default()
                 .solve_with(&accumulated, &lits, &Budget::default());
-            prop_assert_eq!(
-                ours.is_sat(),
-                fresh.is_sat(),
-                "incremental vs fresh diverge"
-            );
             #[cfg(feature = "varisat")]
             {
                 let shim = sat::VarisatBackend
                     .solve_with(&accumulated, &lits, &Budget::default());
                 prop_assert_eq!(
-                    ours.is_sat(),
+                    fresh.is_sat(),
                     shim.is_sat(),
-                    "incremental vs varisat diverge"
+                    "fresh vs varisat diverge"
                 );
             }
-            match ours {
-                sat::SolveOutcome::Sat(model) => {
-                    prop_assert!(accumulated.eval(&model), "bogus incremental model");
-                    for &a in &lits {
-                        prop_assert!(model.lit_true(a), "model violates assumption {a}");
+            for (config, session) in &mut sessions {
+                let ours = session.solve_assuming(&lits, &Budget::default());
+                prop_assert_eq!(
+                    ours.is_sat(),
+                    fresh.is_sat(),
+                    "incremental vs fresh diverge under viv={} sub={} chrono={}",
+                    config.use_vivification,
+                    config.use_subsumption,
+                    config.use_chrono
+                );
+                match ours {
+                    sat::SolveOutcome::Sat(model) => {
+                        prop_assert!(accumulated.eval(&model), "bogus incremental model");
+                        for &a in &lits {
+                            prop_assert!(model.lit_true(a), "model violates assumption {a}");
+                        }
                     }
-                }
-                sat::SolveOutcome::Unsat => {
-                    let core = session.final_assumption_conflict().to_vec();
-                    for l in &core {
-                        prop_assert!(lits.contains(l), "core literal {l} not assumed");
+                    sat::SolveOutcome::Unsat => {
+                        let core = session.final_assumption_conflict().to_vec();
+                        for l in &core {
+                            prop_assert!(lits.contains(l), "core literal {l} not assumed");
+                        }
+                        let recheck = CdclSolver::default()
+                            .solve_with(&accumulated, &core, &Budget::default());
+                        prop_assert!(recheck.is_unsat(), "assumption core fails to refute");
                     }
-                    let recheck = CdclSolver::default()
-                        .solve_with(&accumulated, &core, &Budget::default());
-                    prop_assert!(recheck.is_unsat(), "assumption core fails to refute");
-                }
-                sat::SolveOutcome::Unknown => {
-                    prop_assert!(false, "unbounded solve returned unknown")
+                    sat::SolveOutcome::Unknown => {
+                        prop_assert!(false, "unbounded solve returned unknown")
+                    }
                 }
             }
         }

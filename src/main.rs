@@ -99,6 +99,13 @@ fn print_stats(stats: sat::SolverStats, seed: Option<u64>) {
         stats.gc_passes,
         stats.gc_reclaimed_words
     );
+    println!(
+        "  vivified_lits={} subsumed_clauses={} strengthened_clauses={} chrono_backtracks={}",
+        stats.vivified_lits,
+        stats.subsumed_clauses,
+        stats.strengthened_clauses,
+        stats.chrono_backtracks
+    );
 }
 
 /// How `--seeds` resolves: one solve, an explicit portfolio width, or
@@ -390,8 +397,18 @@ fn cmd_depth(args: &[String]) -> i32 {
                 if want_stats {
                     match p.stats {
                         Some(s) => println!(
-                            "    conflicts={} propagations={} decisions={} restarts={} learned={}",
-                            s.conflicts, s.propagations, s.decisions, s.restarts, s.learned
+                            "    conflicts={} propagations={} decisions={} restarts={} learned={} \
+                             vivified_lits={} subsumed_clauses={} strengthened_clauses={} \
+                             chrono_backtracks={}",
+                            s.conflicts,
+                            s.propagations,
+                            s.decisions,
+                            s.restarts,
+                            s.learned,
+                            s.vivified_lits,
+                            s.subsumed_clauses,
+                            s.strengthened_clauses,
+                            s.chrono_backtracks
                         ),
                         None => println!("    (no solver stats for this backend)"),
                     }

@@ -42,6 +42,19 @@ impl ProptestConfig {
     }
 }
 
+/// The effective case count: the `PROPTEST_CASES` environment variable,
+/// when set to a number, overrides whatever the test configured. (The
+/// real `proptest` only honors the variable for defaulted configs; this
+/// shim lets CI scale *every* property test — including those with an
+/// explicit `with_cases` — without patching sources.)
+#[doc(hidden)]
+pub fn resolve_cases(configured: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(configured)
+}
+
 /// A failed property within a test case.
 #[derive(Debug)]
 pub struct TestCaseError {
@@ -90,7 +103,8 @@ macro_rules! proptest {
                     seed = seed.wrapping_mul(31).wrapping_add(b as u64);
                 }
                 let mut rng = <$crate::reexport::SmallRng as $crate::reexport::SeedableRng>::seed_from_u64(seed);
-                for case in 0..config.cases {
+                let cases = $crate::resolve_cases(config.cases);
+                for case in 0..cases {
                     $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)+
                     let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
                         $body
@@ -99,7 +113,7 @@ macro_rules! proptest {
                     if let ::std::result::Result::Err(e) = outcome {
                         panic!(
                             "proptest {} failed at case {}/{} (seed {}): {}",
-                            stringify!($name), case + 1, config.cases, seed, e
+                            stringify!($name), case + 1, cases, seed, e
                         );
                     }
                 }
