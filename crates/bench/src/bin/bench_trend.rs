@@ -1,24 +1,34 @@
 //! CI bench-trend check: compares freshly emitted `BENCH_*.json`
 //! records against the committed baselines and fails on large
-//! wall-time regressions (the ROADMAP's "diff against the committed
-//! record" item).
+//! regressions (the ROADMAP's "diff against the committed record"
+//! item).
 //!
 //! ```text
-//! bench_trend <baseline-dir> <fresh-dir> [--max-ratio R]
+//! bench_trend <baseline-dir> <fresh-dir> [--max-ratio R] [--max-conflict-ratio C]
 //! ```
 //!
 //! Every `BENCH_*.json` in `baseline-dir` that also exists in
-//! `fresh-dir` is compared; a fresh record slower than `R ×` the
-//! baseline (default 2.0, overridable via `--max-ratio` or the
-//! `BENCH_TREND_MAX_RATIO` environment variable — generous because CI
-//! machines differ from the machine that committed the baseline) fails
-//! the check. A wall-time regression whose *deterministic* search
-//! counters (conflicts) stayed flat is downgraded to a warning: the
-//! same seed doing the same work in more milliseconds is a
-//! machine-speed delta, not a code regression, and absolute wall times
-//! on shared CI runners routinely swing that far. Baselines with no
-//! fresh counterpart are reported but do not fail: CI's smoke job only
-//! runs a subset of the benches.
+//! `fresh-dir` is compared under two gates:
+//!
+//! * **Wall gate** — a fresh record slower than `R ×` the baseline
+//!   (default 2.0, `--max-ratio` / `BENCH_TREND_MAX_RATIO` — generous
+//!   because CI machines differ from the machine that committed the
+//!   baseline) fails. A wall regression whose conflicts stayed flat is
+//!   downgraded to a warning: the same seed doing the same work in
+//!   more milliseconds is a machine-speed delta, not a code
+//!   regression.
+//! * **Conflicts gate** — a fresh record whose *conflict count* grew
+//!   past `C ×` the baseline (default 1.5, `--max-conflict-ratio` /
+//!   `BENCH_TREND_MAX_CONFLICT_RATIO`) fails regardless of wall time.
+//!   Conflicts are deterministic for a given code + seed, so this gate
+//!   is machine-independent — it is what keeps records with *pinned*
+//!   conflict budgets (where the wall gate can only ever warn) and
+//!   lucky-trajectory records from silently rotting: a code change
+//!   that costs a small instance its lucky trajectory shows up here as
+//!   a hard failure, not a wall warning.
+//!
+//! Baselines with no fresh counterpart are reported but do not fail:
+//! CI's smoke job only runs a subset of the benches.
 
 use bench_support::report::BenchRecord;
 use std::path::Path;
@@ -50,10 +60,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional: Vec<String> = Vec::new();
     let mut max_ratio_arg: Option<String> = None;
+    let mut max_conflict_ratio_arg: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--max-ratio" {
             max_ratio_arg = args.get(i + 1).cloned();
+            i += 2;
+        } else if args[i] == "--max-conflict-ratio" {
+            max_conflict_ratio_arg = args.get(i + 1).cloned();
             i += 2;
         } else {
             positional.push(args[i].clone());
@@ -61,12 +75,20 @@ fn main() -> ExitCode {
         }
     }
     let [baseline_dir, fresh_dir] = &positional[..] else {
-        eprintln!("usage: bench_trend <baseline-dir> <fresh-dir> [--max-ratio R]");
+        eprintln!(
+            "usage: bench_trend <baseline-dir> <fresh-dir> [--max-ratio R] \
+             [--max-conflict-ratio C]"
+        );
         return ExitCode::from(2);
     };
     let max_ratio: f64 = max_ratio_arg
         .or_else(|| std::env::var("BENCH_TREND_MAX_RATIO").ok())
         .map_or(2.0, |s| s.parse().expect("--max-ratio expects a number"));
+    let max_conflict_ratio: f64 = max_conflict_ratio_arg
+        .or_else(|| std::env::var("BENCH_TREND_MAX_CONFLICT_RATIO").ok())
+        .map_or(1.5, |s| {
+            s.parse().expect("--max-conflict-ratio expects a number")
+        });
     let baselines = load_records(Path::new(baseline_dir));
     if baselines.is_empty() {
         eprintln!("error: no BENCH_*.json baselines in {baseline_dir}");
@@ -89,17 +111,23 @@ fn main() -> ExitCode {
         };
         // Deterministic work measure: identical code + seed reproduces
         // the conflict count on any machine, so a wall blow-up with
-        // flat conflicts is the runner being slower, not the solver.
+        // flat conflicts is the runner being slower, not the solver —
+        // while conflict growth past the conflict gate is a code
+        // regression wherever it runs (zero-conflict encode records
+        // are exempt: there is no search to regress).
         let conflicts_flat = new.conflicts <= base.conflicts.saturating_mul(11) / 10;
+        let conflicts_regressed =
+            base.conflicts > 0 && new.conflicts as f64 > base.conflicts as f64 * max_conflict_ratio;
         let wall_regressed = ratio > max_ratio;
-        let verdict = match (wall_regressed, conflicts_flat) {
-            (false, _) => "ok",
-            (true, true) => "WARN",
-            (true, false) => "FAIL",
+        let verdict = match (conflicts_regressed, wall_regressed, conflicts_flat) {
+            (true, _, _) => "FAIL",
+            (false, false, _) => "ok",
+            (false, true, true) => "WARN",
+            (false, true, false) => "FAIL",
         };
         println!(
             "{verdict:>4} {file}: {:.3} ms -> {:.3} ms ({ratio:.2}x, limit {max_ratio:.2}x), \
-             conflicts {} -> {}",
+             conflicts {} -> {} (limit {max_conflict_ratio:.2}x)",
             base.wall_ms, new.wall_ms, base.conflicts, new.conflicts
         );
         if verdict == "FAIL" {
@@ -118,7 +146,11 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     if failures > 0 {
-        eprintln!("bench trend check failed: {failures} record(s) regressed >{max_ratio:.2}x");
+        eprintln!(
+            "bench trend check failed: {failures} record(s) regressed \
+             (wall >{max_ratio:.2}x with conflict growth, or conflicts \
+             >{max_conflict_ratio:.2}x)"
+        );
         return ExitCode::FAILURE;
     }
     println!("bench trend check passed ({compared} record(s) compared)");

@@ -35,11 +35,11 @@ use workloads::specs::t_factory_spec;
 const CONFLICT_BUDGET: u64 = 60_000;
 
 /// Deterministic regression ceiling: mean propagations per conflict
-/// over the budgeted run. The current solver needs ~320 (the
-/// pre-inprocessing solver needed ~560); the ceiling leaves ample room
-/// for trajectory drift across code changes while still catching a
-/// propagation pathology that makes conflicts several times more
-/// expensive.
+/// over the budgeted run. The current solver needs ~109 (PR 4's
+/// conservative chrono needed ~320, the pre-inprocessing solver
+/// ~560); the ceiling leaves ample room for trajectory drift across
+/// code changes while still catching a propagation pathology that
+/// makes conflicts several times more expensive.
 const MAX_PROPAGATIONS_PER_CONFLICT: u64 = 2000;
 
 #[test]
@@ -84,6 +84,16 @@ fn t_factory_budgeted_probe() {
         stats.strengthened_clauses,
         stats.chrono_backtracks,
         stats.gc_passes
+    );
+    println!(
+        "search: decisions={} restarts={} restarts_blocked={} rephases={} oob_enqueues={} \
+         missed_implications={}",
+        stats.decisions,
+        stats.restarts,
+        stats.restarts_blocked,
+        stats.rephases,
+        stats.oob_enqueues,
+        stats.missed_implications
     );
     assert!(
         stats.propagations <= stats.conflicts.max(1) * MAX_PROPAGATIONS_PER_CONFLICT,

@@ -150,7 +150,8 @@ pub fn find_min_depth(
 ) -> Result<DepthSearch, SynthError> {
     if options.incremental && lo >= 1 {
         if let BackendChoice::Cdcl(config) = &options.backend {
-            return find_min_depth_incremental(spec, lo, hi, start, options, config.clone());
+            let config = options.solver_config(config.clone());
+            return find_min_depth_incremental(spec, lo, hi, start, options, config);
         }
     }
     find_min_depth_scratch(spec, lo, hi, start, options)

@@ -43,6 +43,15 @@ pub struct SynthOptions {
     /// single-shot synthesis and by the varisat backend, which lacks an
     /// incremental API.
     pub incremental: bool,
+    /// Overrides the CDCL restart policy (Luby vs adaptive LBD-EMA)
+    /// for every solver this run constructs — including diversified
+    /// portfolio workers, which otherwise pick their own policy per
+    /// seed. `None` keeps each configuration's own choice. The CLI's
+    /// `--restart-policy` flag lands here.
+    pub restart_policy: Option<sat::RestartPolicy>,
+    /// Overrides chronological backtracking the same way (`--chrono
+    /// on|off`). `None` keeps each configuration's own choice.
+    pub chrono: Option<bool>,
 }
 
 impl Default for SynthOptions {
@@ -52,6 +61,8 @@ impl Default for SynthOptions {
             budget: Budget::default(),
             skip_verify: false,
             incremental: true,
+            restart_policy: None,
+            chrono: None,
         }
     }
 }
@@ -75,6 +86,22 @@ impl SynthOptions {
     pub fn with_diversified_seed(mut self, seed: u64) -> Self {
         self.backend = BackendChoice::Cdcl(CdclConfig::diversified(seed));
         self
+    }
+
+    /// Applies the per-run solver overrides (restart policy,
+    /// chronological backtracking) on top of a concrete CDCL
+    /// configuration. Every code path that instantiates a CDCL solver
+    /// — one-shot, portfolio worker, incremental depth session — runs
+    /// its configuration through this.
+    pub fn solver_config(&self, base: CdclConfig) -> CdclConfig {
+        let mut config = base;
+        if let Some(policy) = self.restart_policy {
+            config.restart_policy = policy;
+        }
+        if let Some(chrono) = self.chrono {
+            config.use_chrono = chrono;
+        }
+        config
     }
 }
 
@@ -314,7 +341,8 @@ impl Synthesizer {
         let start = Instant::now();
         let out = match &self.options.backend {
             BackendChoice::Cdcl(config) => {
-                let mut solver = CdclSolver::with_config(config.clone());
+                let mut solver =
+                    CdclSolver::with_config(self.options.solver_config(config.clone()));
                 let out =
                     solver.solve_with(&self.encoding.cnf, &self.assumptions, &self.options.budget);
                 self.last_solver_stats = Some(solver.stats);
@@ -413,6 +441,34 @@ mod tests {
         let mut s2 = Synthesizer::new(cnot_spec()).unwrap();
         s2.pin_struct(StructVar::Exist(Axis::K, Coord::new(0, 1, 1)), true);
         assert!(s2.run().unwrap().is_sat());
+    }
+
+    /// The per-run solver overrides land in every configuration they
+    /// are applied to — including diversified portfolio members whose
+    /// own choices they must beat — and `None` leaves the base
+    /// configuration alone.
+    #[test]
+    fn solver_config_applies_overrides() {
+        // Diversified seed 1 picks EMA restarts and chrono on; the
+        // overrides must flip both.
+        let base = CdclConfig::diversified(1);
+        assert_eq!(base.restart_policy, sat::RestartPolicy::Ema);
+        assert!(base.use_chrono);
+        let options = SynthOptions {
+            restart_policy: Some(sat::RestartPolicy::Luby),
+            chrono: Some(false),
+            ..SynthOptions::default()
+        };
+        let overridden = options.solver_config(base.clone());
+        assert_eq!(overridden.restart_policy, sat::RestartPolicy::Luby);
+        assert!(!overridden.use_chrono);
+        // Unrelated knobs pass through untouched.
+        assert_eq!(overridden.seed, base.seed);
+        assert_eq!(overridden.var_decay, base.var_decay);
+        // No overrides: the configuration is returned unchanged.
+        let untouched = SynthOptions::default().solver_config(base.clone());
+        assert_eq!(untouched.restart_policy, base.restart_policy);
+        assert_eq!(untouched.use_chrono, base.use_chrono);
     }
 
     #[test]

@@ -44,7 +44,7 @@ mod varisat_backend;
 
 pub use builder::CnfBuilder;
 pub use cnf::Cnf;
-pub use solver::{CdclConfig, CdclSolver, SolverStats};
+pub use solver::{CdclConfig, CdclSolver, RestartPolicy, SolverStats};
 pub use types::{Backend, Budget, Lit, Model, SolveOutcome, Var};
 #[cfg(feature = "varisat")]
 pub use varisat_backend::VarisatBackend;

@@ -4,11 +4,48 @@
 //! This is the workspace's substitute for Kissat: a MiniSat-family
 //! solver with two-watched-literal propagation, first-UIP conflict
 //! analysis with clause minimization, VSIDS decision ordering, phase
-//! saving, Luby restarts and LBD/activity-based learnt-clause deletion.
-//! Every heuristic can be disabled through [`CdclConfig`] — the
-//! ablation benches exercise exactly those switches — and the seed
-//! randomizes initial activities and polarities, reproducing the
-//! paper's "random seed: more is different" observation.
+//! saving with target-phase rephasing, Luby or adaptive LBD-EMA
+//! restarts (see [`restart`]), out-of-order chronological backtracking,
+//! inprocessing (see [`inprocess`]) and LBD/activity-based
+//! learnt-clause deletion. Every heuristic can be disabled through
+//! [`CdclConfig`] — the ablation benches exercise exactly those
+//! switches — and the seed randomizes initial activities and
+//! polarities, reproducing the paper's "random seed: more is
+//! different" observation.
+//!
+//! # The relaxed trail invariant (out-of-order C-bt)
+//!
+//! Classically the trail is sorted by decision level. Chronological
+//! backtracking (Nadel–Ryvchin) relaxes this: a conflict whose
+//! backjump would discard many levels backs up a *single* level
+//! instead, and literals may be enqueued *below* the current decision
+//! level — unit learnts at level 0 without abandoning the kept levels,
+//! implications discovered while re-propagating a surviving
+//! out-of-order literal at that literal's own level. (Non-unit
+//! asserting literals deliberately assert at the backtrack level, not
+//! at the distant true assertion level `bt`: keeping their
+//! implications local preserves the cheap conflict cascade that makes
+//! C-bt pay — see the chrono step in `solve`.) The consequences, all
+//! handled here:
+//!
+//! * the trail is ordered by assignment time, not level; a reason's
+//!   literals still always precede the implied literal;
+//! * `cancel_until` removes exactly the literals *above* the target
+//!   level, compacting surviving out-of-order assignments down and
+//!   re-queuing the ones this propagation pass never reached;
+//! * a falsified clause conflicts at the maximum level among its
+//!   literals, which can lie below the current decision level —
+//!   `solve` backs down to it before analysis, and conflict analysis
+//!   resolves only on literals *at* that level (lower-level literals
+//!   go into the learnt clause, exactly as in an ordinary backjump);
+//! * a falsified clause with a single literal at its conflict level is
+//!   a *missed lower implication*: it is repaired (pop one level,
+//!   re-propagate the literal from the clause) instead of analyzed —
+//!   re-learning the clause would add nothing;
+//! * `propagate` keeps out-of-order implications local: a clause unit
+//!   under an out-of-order literal but containing a false literal from
+//!   a higher level is re-watched on that literal and re-examined only
+//!   when a backtrack wakes it.
 //!
 //! # Clause arena layout
 //!
@@ -106,6 +143,10 @@ use std::sync::atomic::Ordering;
 use std::time::Instant;
 
 mod inprocess;
+mod restart;
+
+pub use restart::RestartPolicy;
+use restart::{RephaseKind, RephaseSched, RestartDecision, RestartSched};
 
 /// Tuning knobs and feature switches for [`CdclSolver`].
 #[derive(Clone, Debug)]
@@ -120,6 +161,31 @@ pub struct CdclConfig {
     pub restart_base: u64,
     /// Enable restarts.
     pub use_restarts: bool,
+    /// Which restart schedule drives the search: the Luby sequence or
+    /// Glucose-style LBD-EMA adaptive restarts with trail blocking.
+    /// See [`restart`](self) module docs; the EMA policy falls back to
+    /// Luby until [`CdclConfig::restart_activation_conflicts`].
+    pub restart_policy: RestartPolicy,
+    /// Session conflicts before the EMA restart policy takes over from
+    /// the Luby schedule. Adaptive restarts are long-run steering:
+    /// gating them keeps small lucky-trajectory instances on their
+    /// exact Luby trajectories (same rationale as
+    /// [`CdclConfig::chrono_activation_conflicts`]).
+    pub restart_activation_conflicts: u64,
+    /// Minimum conflicts between EMA-triggered restarts (and the
+    /// postponement applied when a restart is blocked).
+    pub ema_min_interval: u64,
+    /// EMA restart trigger: restart when the fast LBD average exceeds
+    /// this multiple of the slow one.
+    pub ema_restart_margin: f64,
+    /// EMA restart blocking: postpone when the trail at the latest
+    /// conflict exceeds this multiple of the trail average.
+    pub ema_block_margin: f64,
+    /// Enable target-phase rephasing at restart boundaries.
+    pub use_rephasing: bool,
+    /// Conflicts between rephase passes (stretched geometrically per
+    /// pass). Small instances finish before the first pass.
+    pub rephase_interval: u64,
     /// Enable phase saving (otherwise polarities default to `false`).
     pub use_phase_saving: bool,
     /// Enable learnt-clause database reduction.
@@ -148,10 +214,23 @@ pub struct CdclConfig {
     /// Enable subsumption and self-subsuming resolution during
     /// inprocessing passes.
     pub use_subsumption: bool,
-    /// Enable chronological backtracking: when a conflict's backjump
-    /// level is more than [`CdclConfig::chrono_threshold`] levels below
-    /// the current one, back up a single level instead, keeping the
-    /// intermediate assignments.
+    /// Restrict backward subsumption to clauses touched (learnt,
+    /// strengthened, vivified, added) since the previous pass instead
+    /// of sweeping the whole database; every
+    /// [`CdclConfig::subsumption_full_sweep_interval`]-th pass still
+    /// sweeps everything as a fallback.
+    pub subsumption_touched_only: bool,
+    /// With [`CdclConfig::subsumption_touched_only`]: every n-th
+    /// subsumption pass processes the full clause database (`0` never
+    /// does).
+    pub subsumption_full_sweep_interval: u64,
+    /// Enable chronological backtracking (Nadel–Ryvchin C-bt): when a
+    /// conflict's backjump would discard more than
+    /// [`CdclConfig::chrono_threshold`] levels, back up a single level
+    /// instead, keeping the intermediate assignments; unit learnts and
+    /// recovered missed implications are enqueued out-of-order below
+    /// the current decision level (see the module docs on the relaxed
+    /// trail invariant).
     pub use_chrono: bool,
     /// Minimum backjump distance (in decision levels) before
     /// chronological backtracking kicks in. `0` backtracks
@@ -185,6 +264,13 @@ impl Default for CdclConfig {
             clause_decay: 0.999,
             restart_base: 100,
             use_restarts: true,
+            restart_policy: RestartPolicy::Ema,
+            restart_activation_conflicts: 2000,
+            ema_min_interval: 50,
+            ema_restart_margin: 1.25,
+            ema_block_margin: 1.4,
+            use_rephasing: true,
+            rephase_interval: 10_000,
             use_phase_saving: true,
             use_clause_deletion: true,
             use_minimization: true,
@@ -193,8 +279,10 @@ impl Default for CdclConfig {
             max_learnts_floor: 1000.0,
             use_vivification: true,
             use_subsumption: true,
+            subsumption_touched_only: true,
+            subsumption_full_sweep_interval: 5,
             use_chrono: true,
-            chrono_threshold: 100,
+            chrono_threshold: 0,
             chrono_activation_conflicts: 2000,
             inprocess_interval: 20_000,
             vivify_propagation_budget: 100_000,
@@ -211,42 +299,50 @@ impl CdclConfig {
     }
 
     /// A diversified portfolio member: besides the activity seed, the
-    /// restart cadence, VSIDS decay, polarity randomization and the
-    /// inprocessing switches (vivification, subsumption, chronological
-    /// backtracking) vary per seed, so portfolio workers explore
-    /// genuinely different search trajectories (not just different
-    /// tie-breaking).
+    /// restart cadence *and policy*, VSIDS decay, polarity
+    /// randomization, rephasing and the inprocessing switches
+    /// (vivification, subsumption, chronological backtracking) vary per
+    /// seed, so portfolio workers explore genuinely different search
+    /// trajectories (not just different tie-breaking).
     pub fn diversified(seed: u64) -> Self {
         let mut config = CdclConfig::default().with_seed(seed);
         match seed % 4 {
             0 => {} // the reference configuration (inprocessing defaults)
             1 => {
-                // Rapid restarts with aggressive activity decay and
-                // fully chronological backtracking from the start.
-                config.restart_base = 50;
+                // Adaptive restarts and fully chronological
+                // backtracking from the first conflict, with aggressive
+                // activity decay.
                 config.var_decay = 0.85;
                 config.chrono_threshold = 0;
                 config.chrono_activation_conflicts = 0;
+                config.restart_policy = RestartPolicy::Ema;
+                config.restart_activation_conflicts = 0;
             }
             2 => {
-                // Long runs between restarts, occasionally flipped
-                // phases, no inprocessing at all (the pre-inprocessing
-                // solver, as a hedge against pathological passes).
+                // Long Luby runs between restarts, occasionally flipped
+                // phases, no inprocessing, no adaptive machinery at all
+                // (the pre-inprocessing solver, as a hedge against
+                // pathological passes).
                 config.restart_base = 400;
+                config.restart_policy = RestartPolicy::Luby;
                 config.random_polarity_freq = 0.02;
                 config.use_vivification = false;
                 config.use_subsumption = false;
                 config.use_chrono = false;
+                config.use_rephasing = false;
             }
             _ => {
-                // Slow decay with a strong random-walk component and
-                // eager, bigger-budget inprocessing.
+                // Slow decay with a strong random-walk component, eager
+                // rephasing and eager, bigger-budget full-database
+                // inprocessing.
                 config.var_decay = 0.99;
                 config.random_var_freq = 0.1;
                 config.inprocess_interval = 500;
                 config.vivify_propagation_budget = 400_000;
                 config.subsumption_check_budget = 4_000_000;
+                config.subsumption_touched_only = false;
                 config.use_chrono = false;
+                config.rephase_interval = 2_000;
             }
         }
         config
@@ -283,6 +379,22 @@ pub struct SolverStats {
     /// Conflicts resolved by a chronological (one-level) backtrack
     /// instead of the full backjump.
     pub chrono_backtracks: u64,
+    /// Literals enqueued *below* the current decision level (the
+    /// out-of-order assignments chronological backtracking introduces:
+    /// asserting literals at their true assertion level, units whose
+    /// reasons live entirely at lower levels).
+    pub oob_enqueues: u64,
+    /// Conflicts that were really missed lower-level implications: the
+    /// falsified clause had a single literal at its conflict level, so
+    /// the solver undid that literal and propagated it at the level the
+    /// clause implied it all along, instead of analyzing.
+    pub missed_implications: u64,
+    /// EMA-triggered restarts postponed because the trail was unusually
+    /// deep (Glucose-style restart blocking).
+    pub restarts_blocked: u64,
+    /// Rephase passes applied (saved phases reset to the best-trail
+    /// snapshot / inverted / random).
+    pub rephases: u64,
 }
 
 impl SolverStats {
@@ -312,6 +424,14 @@ impl SolverStats {
             chrono_backtracks: self
                 .chrono_backtracks
                 .saturating_sub(earlier.chrono_backtracks),
+            oob_enqueues: self.oob_enqueues.saturating_sub(earlier.oob_enqueues),
+            missed_implications: self
+                .missed_implications
+                .saturating_sub(earlier.missed_implications),
+            restarts_blocked: self
+                .restarts_blocked
+                .saturating_sub(earlier.restarts_blocked),
+            rephases: self.rephases.saturating_sub(earlier.rephases),
         }
     }
 }
@@ -680,22 +800,6 @@ impl VarOrder {
     }
 }
 
-/// The i-th element (0-based) of the Luby sequence (1, 1, 2, 1, 1, 2, 4, …).
-fn luby(mut x: u64) -> u64 {
-    let mut size = 1u64;
-    let mut seq = 0u32;
-    while size < x + 1 {
-        seq += 1;
-        size = 2 * size + 1;
-    }
-    while size - 1 != x {
-        size = (size - 1) / 2;
-        seq -= 1;
-        x %= size;
-    }
-    1u64 << seq
-}
-
 #[derive(Clone, Debug)]
 struct State {
     config: CdclConfig,
@@ -730,6 +834,19 @@ struct State {
     analyze_stack: Vec<Lit>,
     /// Learnt-clause scratch, reused across conflicts.
     learnt_buf: Vec<Lit>,
+    /// Scratch for the literals a partial backtrack keeps (out-of-order
+    /// assignments at or below the target level), reused.
+    trail_keep: Vec<Lit>,
+    /// Whether out-of-order machinery is live: chronological
+    /// backtracking enabled *and* past its activation-conflict gate.
+    /// Until this flips, the trail is level-sorted and `propagate`
+    /// skips all assertion-level bookkeeping.
+    oob_active: bool,
+    /// Per-variable polarity snapshot of the deepest trail seen since
+    /// the last rephase (the *target phases*).
+    target_phase: Vec<bool>,
+    /// Rephasing schedule (interval, kind rotation, best-trail gate).
+    rephase: RephaseSched,
     /// Per-level generation stamps for LBD computation.
     lbd_stamp: Vec<u32>,
     lbd_gen: u32,
@@ -744,6 +861,14 @@ struct State {
     /// across passes so budget-limited passes cover the whole database
     /// over time instead of re-probing the same head clauses.
     vivify_cursor: usize,
+    /// Clauses attached since the last subsumption pass (learnt,
+    /// strengthened, vivified, user-added) — the work list of
+    /// touched-only subsumption. Rewritten through forwarding
+    /// addresses by GC like every other ref list.
+    touched: Vec<ClauseRef>,
+    /// Subsumption passes run so far — schedules the periodic full
+    /// sweep under `subsumption_touched_only`.
+    subsumption_passes: u64,
     /// True while vivification probes decisions it will immediately
     /// undo; suppresses phase saving so probing cannot pollute the
     /// search's saved polarities.
@@ -763,6 +888,7 @@ impl State {
         let rng = SmallRng::seed_from_u64(config.seed);
         let max_learnts = config.max_learnts_floor;
         let next_inprocess = config.inprocess_interval;
+        let rephase = RephaseSched::new(&config);
         State {
             config,
             stats: SolverStats::default(),
@@ -787,12 +913,18 @@ impl State {
             to_clear: Vec::new(),
             analyze_stack: Vec::new(),
             learnt_buf: Vec::new(),
+            trail_keep: Vec::new(),
+            oob_active: false,
+            target_phase: Vec::new(),
+            rephase,
             lbd_stamp: vec![0],
             lbd_gen: 0,
             gc_buf: Vec::new(),
             next_inprocess,
             inprocess_passes: 0,
             vivify_cursor: 0,
+            touched: Vec::new(),
+            subsumption_passes: 0,
             phase_probing: false,
             root_unsat: false,
             num_added_clauses: 0,
@@ -831,6 +963,7 @@ impl State {
         self.level.push(0);
         self.reason.push(ClauseRef::NONE);
         self.polarity.push(false);
+        self.target_phase.push(false);
         self.seen.push(false);
         // One stamp per possible decision level (0..=num_vars).
         self.lbd_stamp.push(0);
@@ -933,6 +1066,10 @@ impl State {
         } else {
             self.clauses.push(cref);
         }
+        // Every freshly attached clause (learnt, strengthened, vivified
+        // or user-added) is new subsumption evidence: queue it for the
+        // next touched-only pass.
+        self.touched.push(cref);
         cref
     }
 
@@ -954,11 +1091,25 @@ impl State {
     }
 
     fn enqueue(&mut self, lit: Lit, reason: ClauseRef) {
+        self.enqueue_at(lit, reason, self.decision_level());
+    }
+
+    /// Assigns `lit` at an explicit assertion `level`, which may lie
+    /// *below* the current decision level (an out-of-order assignment:
+    /// every literal of `reason` other than `lit` must be false at
+    /// levels ≤ `level`). The literal still goes to the *end* of the
+    /// trail — the trail is ordered by assignment time, not by level —
+    /// and a partial backtrack to any level ≥ `level` keeps it.
+    fn enqueue_at(&mut self, lit: Lit, reason: ClauseRef, level: u32) {
         debug_assert_eq!(self.value(lit), 0);
+        debug_assert!(level <= self.decision_level());
+        if level < self.decision_level() {
+            self.stats.oob_enqueues += 1;
+        }
         let v = lit.var().index();
         self.lit_val[lit.code()] = 1;
         self.lit_val[(!lit).code()] = -1;
-        self.level[v] = self.decision_level();
+        self.level[v] = level;
         self.reason[v] = reason;
         self.trail.push(lit);
     }
@@ -969,10 +1120,20 @@ impl State {
     }
 
     fn propagate(&mut self) -> Option<ClauseRef> {
+        let dl = self.decision_level();
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
+            // Assertion level of implications derived from `p`. With a
+            // level-sorted trail this is the decision level; once
+            // out-of-order assignments exist, implications of a
+            // lower-level literal assert at the maximum level of the
+            // reason clause's false literals — `p`'s own level for
+            // binary clauses, a clause scan for longer ones (only when
+            // `p` itself is out-of-order; otherwise `p`'s literal in
+            // the clause already attains the maximum).
+            let p_level = self.level[p.var().index()];
             let false_lit = !p;
             let wl = false_lit.code();
             // In-place compaction: surviving watchers slide down to `j`.
@@ -997,7 +1158,11 @@ impl State {
                     self.watches[wl][j] = w;
                     j += 1;
                     if blocker_val == -1 {
-                        // Conflict: keep the remaining watchers and stop.
+                        // Conflict: keep the remaining watchers and
+                        // stop. `qhead` stays where it is — conflict
+                        // handling always backtracks, and cancel_until
+                        // re-queues exactly the surviving literals this
+                        // propagation pass never reached.
                         while i < n {
                             let rest = self.watches[wl][i];
                             self.watches[wl][j] = rest;
@@ -1005,10 +1170,12 @@ impl State {
                             i += 1;
                         }
                         self.watches[wl].truncate(j);
-                        self.qhead = self.trail.len();
                         return Some(w.cref());
                     }
-                    self.enqueue(w.blocker, w.cref());
+                    // The clause is {blocker, ¬p}: its only false
+                    // literal is ¬p, so the blocker asserts at `p`'s
+                    // level exactly.
+                    self.enqueue_at(w.blocker, w.cref(), p_level);
                     continue;
                 }
                 let cref = w.cref();
@@ -1035,10 +1202,12 @@ impl State {
                     }
                 }
                 // Unit or conflict.
-                self.watches[wl][j] = w_new;
-                j += 1;
                 if self.value(first) == -1 {
-                    // Conflict: keep the remaining watchers and stop.
+                    // Conflict: keep this and the remaining watchers
+                    // and stop (see the binary conflict path for why
+                    // `qhead` is left alone).
+                    self.watches[wl][j] = w_new;
+                    j += 1;
                     while i < n {
                         let rest = self.watches[wl][i];
                         self.watches[wl][j] = rest;
@@ -1046,10 +1215,41 @@ impl State {
                         i += 1;
                     }
                     self.watches[wl].truncate(j);
-                    self.qhead = self.trail.len();
                     return Some(cref);
                 }
-                self.enqueue(first, cref);
+                // Every literal but `first` is false. When `p` sits at
+                // the current decision level its own literal attains
+                // the maximum false level, and `first` asserts here and
+                // now. When `p` is *out-of-order*, the clause implies
+                // `first` at the maximum false level — if that maximum
+                // lies above `p`'s level, defer the implication: watch
+                // the highest-level false literal instead (its
+                // falsification already had its watcher round, so the
+                // clause sleeps until a backtrack unassigns it). The
+                // deferral keeps out-of-order propagation *local* —
+                // implications only fire at `p`'s own level — which is
+                // what stops exact assertion levels from flooding low
+                // levels and forcing deep conflict-level backtracks.
+                if p_level != dl {
+                    let mut max_k = 1;
+                    let mut max_level = p_level;
+                    for k in 2..len {
+                        let lv = self.level[self.arena.lit(cref, k).var().index()];
+                        if lv > max_level {
+                            max_level = lv;
+                            max_k = k;
+                        }
+                    }
+                    if max_level > p_level {
+                        self.arena.swap_lits(cref, 1, max_k);
+                        let new_watch = self.arena.lit(cref, 1);
+                        self.watches[new_watch.code()].push(w_new);
+                        continue 'watchers;
+                    }
+                }
+                self.watches[wl][j] = w_new;
+                j += 1;
+                self.enqueue_at(first, cref, p_level);
             }
             self.watches[wl].truncate(j);
         }
@@ -1118,10 +1318,16 @@ impl State {
                     }
                 }
             }
-            // Select next literal to resolve on.
+            // Select next literal to resolve on: the deepest *seen*
+            // trail literal at the conflict level. Out-of-order
+            // assignments interleave lower-level literals above
+            // conflict-level ones, and those may be marked seen as
+            // learnt-clause members — resolving on one would be
+            // unsound, so the walk filters by level, not just by mark.
             loop {
                 idx -= 1;
-                if self.seen[self.trail[idx].var().index()] {
+                let tv = self.trail[idx].var().index();
+                if self.seen[tv] && self.level[tv] >= self.decision_level() {
                     break;
                 }
             }
@@ -1236,24 +1442,56 @@ impl State {
         true
     }
 
+    /// Backtracks to `target`, unassigning every literal whose level
+    /// exceeds it. Out-of-order assignments at or below `target` that
+    /// sit above the cut survive: they are compacted down (preserving
+    /// assignment order, so reasons always precede their implications
+    /// on the trail) and re-queued for propagation — a conflict may
+    /// have interrupted the propagation queue before reaching them,
+    /// and re-examining their watchers is what recovers implications
+    /// the backtracked levels were masking.
     fn cancel_until(&mut self, target: u32) {
         if self.decision_level() <= target {
             return;
         }
         let bound = self.trail_lim[target as usize];
-        while self.trail.len() > bound {
-            let l = self.trail.pop().expect("trail non-empty");
+        debug_assert!(
+            self.qhead >= bound,
+            "queue never rewinds past a level bound"
+        );
+        let mut kept = std::mem::take(&mut self.trail_keep);
+        kept.clear();
+        // Kept literals with an original position below `qhead` were
+        // fully propagated (and with exact assertion levels, every
+        // implication of theirs that survives this backtrack was
+        // enqueued then too); only the suffix this propagation pass
+        // never reached — it may have been cut short by a conflict —
+        // re-enters the queue. By position order the propagated kept
+        // literals form a prefix of the compacted segment.
+        let mut kept_propagated = 0usize;
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
             let v = l.var().index();
-            if self.config.use_phase_saving && !self.phase_probing {
-                self.polarity[v] = !l.is_neg();
+            if self.level[v] > target {
+                if self.config.use_phase_saving && !self.phase_probing {
+                    self.polarity[v] = !l.is_neg();
+                }
+                self.lit_val[l.code()] = 0;
+                self.lit_val[(!l).code()] = 0;
+                self.reason[v] = ClauseRef::NONE;
+                self.order.insert(v as u32);
+            } else {
+                kept.push(l);
+                if i < self.qhead {
+                    kept_propagated += 1;
+                }
             }
-            self.lit_val[l.code()] = 0;
-            self.lit_val[(!l).code()] = 0;
-            self.reason[v] = ClauseRef::NONE;
-            self.order.insert(v as u32);
         }
+        self.trail.truncate(bound);
+        self.trail.extend(kept.iter().rev().copied());
         self.trail_lim.truncate(target as usize);
-        self.qhead = self.trail.len();
+        self.qhead = bound + kept_propagated;
+        self.trail_keep = kept;
     }
 
     /// MiniSat's `analyzeFinal`: the assumption `p` came back false
@@ -1266,11 +1504,13 @@ impl State {
     fn analyze_final(&mut self, p: Lit) {
         self.assumption_conflict.clear();
         self.assumption_conflict.push(p);
-        if self.decision_level() == 0 {
+        let pv = p.var().index();
+        if self.decision_level() == 0 || self.level[pv] == 0 {
             // `¬p` is a root-level fact: the formula alone refutes `p`.
+            // (Out-of-order root units mean this can happen even while
+            // earlier assumptions hold decision levels open.)
             return;
         }
-        let pv = p.var().index();
         self.seen[pv] = true;
         for i in (self.trail_lim[0]..self.trail.len()).rev() {
             let l = self.trail[i];
@@ -1329,6 +1569,33 @@ impl State {
         None
     }
 
+    /// Applies a scheduled rephase pass (restart boundaries only, so
+    /// the reset never fights a partial assignment): saved phases are
+    /// overwritten with the best-trail snapshot, their inversion, or
+    /// random values, per the [`RephaseSched`] rotation.
+    fn maybe_rephase(&mut self) {
+        if !self.config.use_rephasing {
+            return;
+        }
+        let Some(kind) = self.rephase.fire(&self.config, self.stats.conflicts) else {
+            return;
+        };
+        self.stats.rephases += 1;
+        match kind {
+            RephaseKind::Best => self.polarity.copy_from_slice(&self.target_phase),
+            RephaseKind::Invert => {
+                for p in &mut self.polarity {
+                    *p = !*p;
+                }
+            }
+            RephaseKind::Random => {
+                for v in 0..self.polarity.len() {
+                    self.polarity[v] = self.rng.random_bool(0.5);
+                }
+            }
+        }
+    }
+
     fn choose_polarity(&mut self, v: usize) -> Lit {
         let mut pol = self.polarity[v];
         if self.config.random_polarity_freq > 0.0
@@ -1337,6 +1604,64 @@ impl State {
             pol = !pol;
         }
         Lit::new(Var(v as u32), !pol)
+    }
+
+    /// Highest decision level among a clause's literals — the level a
+    /// falsified clause actually conflicts at, which can lie below the
+    /// current decision level once out-of-order assignments exist.
+    fn max_level_in(&self, cref: ClauseRef) -> u32 {
+        (0..self.arena.len(cref))
+            .map(|k| self.level[self.arena.lit(cref, k).var().index()])
+            .max()
+            .expect("clauses are non-empty")
+    }
+
+    /// If exactly one literal of the falsified clause sits at `level`,
+    /// returns it. Such a "conflict" is really a missed lower-level
+    /// implication: below `level` the clause is unit on that literal.
+    fn lone_literal_at(&self, cref: ClauseRef, level: u32) -> Option<Lit> {
+        let mut lone = None;
+        for k in 0..self.arena.len(cref) {
+            let l = self.arena.lit(cref, k);
+            if self.level[l.var().index()] == level {
+                if lone.is_some() {
+                    return None;
+                }
+                lone = Some(l);
+            }
+        }
+        lone
+    }
+
+    /// Moves `l` into watched slot 0 of `cref` so the clause can serve
+    /// as the reason of `l` (the lock-detection invariant; binary
+    /// clauses may assert from either slot). Rewires the watcher lists
+    /// when `l` was not watched at all.
+    fn ensure_watched_first(&mut self, cref: ClauseRef, l: Lit) {
+        if self.arena.lit(cref, 0) == l {
+            return;
+        }
+        if self.arena.lit(cref, 1) == l {
+            if self.arena.len(cref) > 2 {
+                // Swapping the two watched slots leaves the watched set
+                // (and hence both watcher lists) unchanged.
+                self.arena.swap_lits(cref, 0, 1);
+            }
+            return;
+        }
+        let old = self.arena.lit(cref, 0);
+        let list = &mut self.watches[old.code()];
+        let pos = list
+            .iter()
+            .position(|w| w.cref() == cref)
+            .expect("attached clause has a watcher on each watched literal");
+        list.swap_remove(pos);
+        let k = (2..self.arena.len(cref))
+            .find(|&k| self.arena.lit(cref, k) == l)
+            .expect("literal is in the clause");
+        self.arena.swap_lits(cref, 0, k);
+        let blocker = self.arena.lit(cref, 1);
+        self.watches[l.code()].push(Watcher::new(cref, blocker, false));
     }
 
     /// A clause is locked while it is the reason of a trail literal.
@@ -1405,6 +1730,17 @@ impl State {
             true
         });
         self.learnts = learnts;
+        // The touched work list forwards like the ref lists (its
+        // entries were relocated above); collected clauses drop out.
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.retain_mut(|c| match self.arena.forwarded(*c) {
+            Some(nc) => {
+                *c = nc;
+                true
+            }
+            None => false,
+        });
+        self.touched = touched;
         // 2a. Rewrite watchers; watchers of collected clauses drop here.
         for list in &mut self.watches {
             list.retain_mut(|w| match self.arena.forwarded(w.cref()) {
@@ -1478,6 +1814,30 @@ impl State {
         );
     }
 
+    /// Whether the per-call budget has run out: conflicts checked every
+    /// time (cheap), wall clock and stop flag amortized to every 256th
+    /// conflict. Used identically by the analysis and repair paths.
+    fn budget_exhausted(&self, budget: &Budget, start: &Instant, conflicts_at_start: u64) -> bool {
+        if let Some(max) = budget.max_conflicts {
+            if self.stats.conflicts - conflicts_at_start >= max {
+                return true;
+            }
+        }
+        if self.stats.conflicts.is_multiple_of(256) {
+            if let Some(max) = budget.max_time {
+                if start.elapsed() >= max {
+                    return true;
+                }
+            }
+            if let Some(stop) = &budget.stop {
+                if stop.load(Ordering::Relaxed) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
     fn solve(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
         self.assumption_conflict.clear();
         if self.root_unsat {
@@ -1505,32 +1865,88 @@ impl State {
         }
         let start = Instant::now();
         let conflicts_at_start = self.stats.conflicts;
-        let mut conflicts_since_restart = 0u64;
-        let mut restart_budget = self.config.restart_base * luby(self.stats.restarts);
+        let mut sched = RestartSched::new(&self.config, self.stats.restarts);
+        self.oob_active = self.config.use_chrono
+            && self.stats.conflicts >= self.config.chrono_activation_conflicts;
         loop {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
-                conflicts_since_restart += 1;
-                if self.decision_level() == 0 {
+                self.oob_active = self.config.use_chrono
+                    && self.stats.conflicts >= self.config.chrono_activation_conflicts;
+                // Target-phase snapshot: remember the polarities of the
+                // deepest trail seen (growth-gated so the copies stay
+                // logarithmic per rephase epoch).
+                if self.config.use_rephasing && self.rephase.improves(self.trail.len()) {
+                    self.rephase.record(self.trail.len());
+                    for &l in &self.trail {
+                        self.target_phase[l.var().index()] = !l.is_neg();
+                    }
+                }
+                let trail_at_conflict = self.trail.len();
+                // With a level-sorted trail a falsified clause always
+                // conflicts at the current decision level; out-of-order
+                // assignments can produce conflicts whose literals all
+                // live below it. Analysis must run at the true conflict
+                // level, so back down to it first (the clause stays
+                // falsified there).
+                let conflict_level = if self.oob_active {
+                    self.max_level_in(confl)
+                } else {
+                    self.decision_level()
+                };
+                if conflict_level == 0 {
                     self.root_unsat = true;
                     return SolveOutcome::Unsat;
                 }
+                if self.oob_active {
+                    if conflict_level < self.decision_level() {
+                        self.cancel_until(conflict_level);
+                    }
+                    // A falsified clause with a single literal at the
+                    // conflict level is a *missed lower implication*:
+                    // below that level the clause is unit, so there is
+                    // nothing to resolve at the conflict level and the
+                    // 1UIP analysis would only re-learn (a weakening
+                    // of) the falsified clause itself. Resolve the
+                    // conflict chronologically without that useless
+                    // learning: pop just the conflict level to free the
+                    // lone literal and re-propagate it from the clause
+                    // that implied it all along — the recovery that
+                    // makes out-of-order C-bt lose nothing (the
+                    // conservative variant's lost-implications
+                    // problem). The conflict still counts against the
+                    // budget like any other (it is one — the repair is
+                    // merely the cheapest sound way to resolve it) and
+                    // is reported separately in `missed_implications`.
+                    // Repairs cannot loop: each one either strictly
+                    // lowers the level the next falsified clause
+                    // conflicts at or yields to a real analysis.
+                    if let Some(lone) = self.lone_literal_at(confl, conflict_level) {
+                        self.stats.missed_implications += 1;
+                        self.ensure_watched_first(confl, lone);
+                        self.cancel_until(conflict_level - 1);
+                        self.enqueue(lone, confl);
+                        if self.budget_exhausted(budget, &start, conflicts_at_start) {
+                            return SolveOutcome::Unknown;
+                        }
+                        continue;
+                    }
+                }
                 let (bt, lbd) = self.analyze(confl);
-                // Chronological backtracking (conservative C-bt): when
-                // the backjump would discard far-away levels, back up a
-                // single level instead. The learnt clause is still
-                // asserting there (every non-UIP literal lives at a
-                // level ≤ bt), so the search keeps the intermediate
-                // assignments instead of re-deriving them. Unit learnts
-                // are exempt: a fact enqueued without a reason above
-                // level 0 would look like a decision to later conflict
-                // analyses.
+                sched.on_conflict(lbd, trail_at_conflict);
+                // Chronological backtracking: when the backjump would
+                // discard more than `chrono_threshold` levels, back up
+                // a single level instead and keep the intermediate
+                // assignments. The asserting literal asserts at the
+                // backtrack level (the chronological choice: keeping
+                // its implications local is what preserves the cheap
+                // conflict cascade; enqueueing at the distant true
+                // assertion level `bt` measured 2.5× slower on the
+                // T-factory probe). Unit learnts are the exception —
+                // they are root facts and assert at level 0, possibly
+                // out-of-order below the kept levels.
                 let dl = self.decision_level();
-                let target = if self.config.use_chrono
-                    && self.stats.conflicts >= self.config.chrono_activation_conflicts
-                    && self.learnt_buf.len() > 1
-                    && dl - bt > self.config.chrono_threshold.max(1)
-                {
+                let target = if self.oob_active && dl - bt > self.config.chrono_threshold.max(1) {
                     self.stats.chrono_backtracks += 1;
                     dl - 1
                 } else {
@@ -1539,49 +1955,52 @@ impl State {
                 self.cancel_until(target);
                 let learnt = std::mem::take(&mut self.learnt_buf);
                 if learnt.len() == 1 {
-                    self.enqueue(learnt[0], ClauseRef::NONE);
+                    self.enqueue_at(learnt[0], ClauseRef::NONE, 0);
                 } else {
                     let cref = self.attach_clause(&learnt, true, lbd);
                     self.bump_clause(cref);
-                    self.enqueue(learnt[0], cref);
+                    self.enqueue_at(learnt[0], cref, target.min(self.decision_level()));
                 }
                 self.learnt_buf = learnt; // hand the scratch back
                 self.var_inc /= self.config.var_decay;
                 self.cla_inc /= self.config.clause_decay;
-                // Budget checks: conflicts every time (cheap), clock and
-                // stop flag amortized.
-                if let Some(max) = budget.max_conflicts {
-                    if self.stats.conflicts - conflicts_at_start >= max {
-                        return SolveOutcome::Unknown;
-                    }
-                }
-                if self.stats.conflicts.is_multiple_of(256) {
-                    if let Some(max) = budget.max_time {
-                        if start.elapsed() >= max {
-                            return SolveOutcome::Unknown;
-                        }
-                    }
-                    if let Some(stop) = &budget.stop {
-                        if stop.load(Ordering::Relaxed) {
-                            return SolveOutcome::Unknown;
-                        }
-                    }
+                if self.budget_exhausted(budget, &start, conflicts_at_start) {
+                    return SolveOutcome::Unknown;
                 }
             } else {
-                if self.config.use_restarts && conflicts_since_restart >= restart_budget {
-                    self.stats.restarts += 1;
-                    conflicts_since_restart = 0;
-                    restart_budget = self.config.restart_base * luby(self.stats.restarts);
-                    self.cancel_until(0);
-                    // Inprocessing runs at restart boundaries: the
-                    // solver sits at level 0 with no assumptions
-                    // applied, so everything it derives is a
-                    // consequence of the clauses alone and stays sound
-                    // across the incremental session.
-                    self.maybe_inprocess();
-                    if self.root_unsat {
-                        return SolveOutcome::Unsat;
+                let decision = if self.config.use_restarts {
+                    sched.decide(&self.config, self.stats.conflicts)
+                } else {
+                    RestartDecision::Continue
+                };
+                match decision {
+                    RestartDecision::Restart => {
+                        self.stats.restarts += 1;
+                        sched.on_restart(&self.config, self.stats.restarts);
+                        self.cancel_until(0);
+                        // Inprocessing runs at restart boundaries: the
+                        // solver sits at level 0 with no assumptions
+                        // applied, so everything it derives is a
+                        // consequence of the clauses alone and stays
+                        // sound across the incremental session.
+                        self.maybe_inprocess();
+                        if self.root_unsat {
+                            return SolveOutcome::Unsat;
+                        }
+                        self.maybe_rephase();
+                        // Root-level out-of-order assignments survive
+                        // the backtrack with their watchers pending:
+                        // reach the propagation fixpoint before
+                        // deciding.
+                        if self.qhead < self.trail.len() {
+                            continue;
+                        }
                     }
+                    RestartDecision::Block => {
+                        self.stats.restarts_blocked += 1;
+                        sched.on_block();
+                    }
+                    RestartDecision::Continue => {}
                 }
                 if self.config.use_clause_deletion && self.learnts.len() as f64 >= self.max_learnts
                 {
@@ -1661,14 +2080,6 @@ mod tests {
             }
         }
         c
-    }
-
-    #[test]
-    fn luby_sequence_prefix() {
-        let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
-        for (i, &e) in expected.iter().enumerate() {
-            assert_eq!(luby(i as u64), e, "luby({i})");
-        }
     }
 
     #[test]
@@ -2232,6 +2643,114 @@ mod tests {
             st.stats
         );
         st.check_watcher_integrity();
+    }
+
+    /// Out-of-order enqueue below the current decision level: the
+    /// literal records its assertion level, survives a partial
+    /// backtrack to that level (compacted down the trail), and is
+    /// re-queued for propagation exactly when this pass never reached
+    /// it.
+    #[test]
+    fn enqueue_below_level_survives_partial_backtrack() {
+        let c = cnf(&[&[1, 2, 3, 4, 5]]); // keeps vars 0..5 alive
+        let mut st = State::new(&c, CdclConfig::default());
+        st.propagate();
+        let (a, b, u) = (lit(1), lit(2), lit(3));
+        st.trail_lim.push(st.trail.len());
+        st.enqueue(a, ClauseRef::NONE); // decision @1
+        st.propagate();
+        st.trail_lim.push(st.trail.len());
+        st.enqueue(b, ClauseRef::NONE); // decision @2
+        st.propagate();
+        st.enqueue_at(u, ClauseRef::NONE, 1); // out-of-order @1
+        assert_eq!(st.level[u.var().index()], 1);
+        assert_eq!(st.stats.oob_enqueues, 1);
+        let bound = st.trail_lim[1];
+        st.cancel_until(1);
+        // `b` (level 2) is gone, `u` (level 1) survives, compacted to
+        // the old bound, and — never propagated — re-queued there.
+        assert_eq!(st.value(b), 0);
+        assert_eq!(st.value(u), 1);
+        assert_eq!(st.decision_level(), 1);
+        assert_eq!(*st.trail.last().expect("non-empty"), u);
+        assert_eq!(st.qhead, bound, "unpropagated kept literal re-queued");
+        // A second backtrack to the root drops it too.
+        st.cancel_until(0);
+        assert_eq!(st.value(u), 0);
+        assert_eq!(st.qhead, st.trail.len());
+    }
+
+    /// `analyze` resolves only on conflict-level literals even when an
+    /// out-of-order assignment is interleaved *above* them on the
+    /// trail: the lower-level literal goes into the learnt clause (it
+    /// has no reason to resolve through) and the backtrack level is its
+    /// level.
+    #[test]
+    fn analyze_picks_true_levels_through_out_of_order_trail() {
+        // R = (¬c ∨ d), K = (¬c ∨ ¬d ∨ ¬u): deciding c propagates d,
+        // falsifying K once u is true out-of-order at level 1.
+        let (a, b, cc, u) = (lit(1), lit(2), lit(3), lit(4));
+        let c = cnf(&[&[-3, 5], &[-3, -5, -4], &[1, 2, 3, 4, 5]]);
+        let mut st = State::new(&c, CdclConfig::default());
+        st.propagate();
+        st.trail_lim.push(st.trail.len());
+        st.enqueue(a, ClauseRef::NONE); // decision @1
+        st.propagate();
+        st.trail_lim.push(st.trail.len());
+        st.enqueue(b, ClauseRef::NONE); // decision @2
+        st.propagate();
+        st.trail_lim.push(st.trail.len());
+        st.enqueue(cc, ClauseRef::NONE); // decision @3
+                                         // Out-of-order: u asserts at level 1 but sits on the trail
+                                         // *above* the level-3 decision (and above it, once c
+                                         // propagates, the level-3 implication d).
+        st.enqueue_at(u, ClauseRef::NONE, 1);
+        let confl = st.propagate().expect("K is falsified");
+        assert_eq!(st.max_level_in(confl), 3, "conflict at the true level");
+        assert_eq!(
+            st.lone_literal_at(confl, 3),
+            None,
+            "two literals at the conflict level: a real conflict"
+        );
+        let (bt, lbd) = st.analyze(confl);
+        // 1UIP is ¬c; the other learnt literal is ¬u at its true
+        // out-of-order level 1 — which is the backtrack level.
+        assert_eq!(st.learnt_buf[0], !cc);
+        assert_eq!(st.learnt_buf.len(), 2);
+        assert_eq!(st.learnt_buf[1], !u);
+        assert_eq!(bt, 1);
+        assert_eq!(lbd, 2);
+    }
+
+    /// A falsified clause whose literals all sit below the current
+    /// decision level is repaired as a missed implication (when unit
+    /// below) rather than analyzed — and the search stays sound.
+    #[test]
+    fn out_of_order_solves_remain_sound_and_exercise_repairs() {
+        let config = CdclConfig {
+            chrono_threshold: 0,
+            chrono_activation_conflicts: 0,
+            restart_policy: RestartPolicy::Ema,
+            restart_activation_conflicts: 0,
+            ema_min_interval: 2,
+            restart_base: 2,
+            max_learnts_floor: 8.0,
+            ..CdclConfig::default()
+        };
+        let mut st = State::new(&pigeonhole(7), config.clone());
+        assert!(st.solve(&[], &Budget::default()).is_unsat());
+        assert!(st.stats.chrono_backtracks > 0, "{:?}", st.stats);
+        assert!(
+            st.stats.oob_enqueues + st.stats.missed_implications > 0,
+            "out-of-order machinery must fire: {:?}",
+            st.stats
+        );
+        st.check_watcher_integrity();
+        // SAT side: models stay valid under the same aggressive config.
+        let sat_cnf = cnf(&[&[1, 2, 3], &[-1, -2], &[-2, -3], &[-1, -3], &[2, 3]]);
+        let mut s = CdclSolver::with_config(config);
+        let m = s.solve_with(&sat_cnf, &[], &Budget::default()).expect_sat();
+        assert!(sat_cnf.eval(&m));
     }
 
     #[test]

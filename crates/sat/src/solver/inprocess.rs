@@ -92,25 +92,62 @@ impl State {
                 .saturating_mul(self.inprocess_passes + 1);
     }
 
-    /// Backward subsumption + self-subsuming resolution over the whole
-    /// live clause database, bounded by
+    /// Backward subsumption + self-subsuming resolution, bounded by
     /// [`CdclConfig::subsumption_check_budget`] literal comparisons.
     /// Returns whether any clause was deleted or rewritten.
+    ///
+    /// With [`CdclConfig::subsumption_touched_only`] the *subsumer
+    /// queue* is restricted to clauses touched since the previous pass
+    /// (learnt, strengthened, vivified, user-added) — steady-state
+    /// passes stop re-matching the same quiesced database against
+    /// itself, which was the dominant inprocessing overhead on the
+    /// T-factory instances. The occurrence index still spans every
+    /// live clause (anything may be subsumed *by* a touched clause),
+    /// and every [`CdclConfig::subsumption_full_sweep_interval`]-th
+    /// pass (including the first) sweeps the full database to pick up
+    /// the old-subsumes-new direction touched-only passes cannot see.
     fn subsume(&mut self) -> bool {
         debug_assert_eq!(self.decision_level(), 0);
         let mut changed = false;
-        let mut queue: Vec<ClauseRef> = self
-            .clauses
-            .iter()
-            .chain(self.learnts.iter())
-            .copied()
-            .filter(|&c| !self.arena.is_deleted(c))
-            .collect();
+        let full_sweep = !self.config.subsumption_touched_only
+            || (self.config.subsumption_full_sweep_interval > 0
+                && self
+                    .subsumption_passes
+                    .is_multiple_of(self.config.subsumption_full_sweep_interval));
+        self.subsumption_passes += 1;
+        // The touched list is consumed either way: a full sweep
+        // supersedes it. Replacements attached mid-pass re-enter the
+        // fresh list and seed the next pass. An empty queue returns
+        // before the O(database) occurrence index is built (the pass
+        // still counted toward the full-sweep cadence).
+        let touched = std::mem::take(&mut self.touched);
+        let mut queue: Vec<ClauseRef> = if full_sweep {
+            self.clauses
+                .iter()
+                .chain(self.learnts.iter())
+                .copied()
+                .filter(|&c| !self.arena.is_deleted(c))
+                .collect()
+        } else {
+            touched
+                .into_iter()
+                .filter(|&c| !self.arena.is_deleted(c))
+                .collect()
+        };
+        if queue.is_empty() {
+            return false;
+        }
         // Short clauses are the strongest subsumers; try them first.
         queue.sort_by_key(|&c| self.arena.len(c));
+        // The occurrence index and signatures span every live clause —
+        // anything may be subsumed *by* a queued clause.
         let mut occs: Vec<Vec<ClauseRef>> = vec![Vec::new(); 2 * self.num_vars];
-        let mut sigs: HashMap<u32, u64> = HashMap::with_capacity(2 * queue.len());
-        for &c in &queue {
+        let mut sigs: HashMap<u32, u64> =
+            HashMap::with_capacity(2 * (self.clauses.len() + self.learnts.len()));
+        for &c in self.clauses.iter().chain(self.learnts.iter()) {
+            if self.arena.is_deleted(c) {
+                continue;
+            }
             let mut sig = 0u64;
             for i in 0..self.arena.len(c) {
                 let l = self.arena.lit(c, i);

@@ -3,14 +3,15 @@
 //! inprocessing config-matrix torture harness.
 
 use proptest::prelude::*;
-use sat::{Backend, Budget, CdclConfig, CdclSolver, Cnf, CnfBuilder, Lit, Var};
+use sat::{Backend, Budget, CdclConfig, CdclSolver, Cnf, CnfBuilder, Lit, RestartPolicy, Var};
 
 /// The baseline solver configuration for the differential tests. With
 /// `LASSYNTH_FORCE_INPROCESS` set in the environment (CI runs the
 /// whole suite a second time that way) it turns into an aggressive
 /// inprocessing configuration — restart every other conflict, an
 /// inprocessing pass at every restart boundary, fully chronological
-/// backtracking — so every differential property in this file also
+/// (out-of-order) backtracking, adaptive EMA restarts and eager
+/// rephasing — so every differential property in this file also
 /// tortures the new code paths.
 fn base_config() -> CdclConfig {
     let mut config = CdclConfig::default();
@@ -20,31 +21,47 @@ fn base_config() -> CdclConfig {
         config.chrono_threshold = 0;
         config.chrono_activation_conflicts = 0;
         config.max_learnts_floor = 8.0;
+        config.restart_policy = RestartPolicy::Ema;
+        config.restart_activation_conflicts = 0;
+        config.ema_min_interval = 2;
+        config.rephase_interval = 8;
     }
     config
 }
 
-/// The full inprocessing matrix: vivification × subsumption ×
-/// chronological backtracking, each on/off, under schedules aggressive
+/// The full search/inprocessing matrix: vivification × subsumption ×
+/// out-of-order chronological backtracking × restart policy
+/// (Luby / adaptive EMA), each on/off, under schedules aggressive
 /// enough that the tiny torture instances actually reach the code
 /// (inprocess at every restart, restart every other conflict, chrono
-/// on every eligible conflict, GC-heavy learnt budget).
+/// on every eligible conflict, EMA restarts and rephasing active from
+/// the first conflict, GC-heavy learnt budget).
 fn inprocessing_matrix() -> Vec<CdclConfig> {
-    let mut configs = Vec::with_capacity(8);
+    let mut configs = Vec::with_capacity(16);
     for viv in [false, true] {
         for sub in [false, true] {
             for chrono in [false, true] {
-                configs.push(CdclConfig {
-                    use_vivification: viv,
-                    use_subsumption: sub,
-                    use_chrono: chrono,
-                    chrono_threshold: 0,
-                    chrono_activation_conflicts: 0,
-                    inprocess_interval: 0,
-                    restart_base: 1,
-                    max_learnts_floor: 8.0,
-                    ..CdclConfig::default()
-                });
+                for ema in [false, true] {
+                    configs.push(CdclConfig {
+                        use_vivification: viv,
+                        use_subsumption: sub,
+                        use_chrono: chrono,
+                        chrono_threshold: 0,
+                        chrono_activation_conflicts: 0,
+                        inprocess_interval: 0,
+                        restart_base: 1,
+                        max_learnts_floor: 8.0,
+                        restart_policy: if ema {
+                            RestartPolicy::Ema
+                        } else {
+                            RestartPolicy::Luby
+                        },
+                        restart_activation_conflicts: 0,
+                        ema_min_interval: 2,
+                        rephase_interval: if ema { 8 } else { 10_000 },
+                        ..CdclConfig::default()
+                    });
+                }
             }
         }
     }
@@ -357,12 +374,12 @@ proptest! {
 
     /// Config-matrix torture harness for the *incremental* API: a
     /// random interleaving of clause additions and assumption solves is
-    /// executed by one retained incremental session per inprocessing
-    /// combination (vivification × subsumption × chronological
-    /// backtracking, each on/off, under schedules that fire on tiny
-    /// instances), and every solve is compared against a fresh
-    /// `CdclSolver` on the accumulated formula and the vendored varisat
-    /// shim. SAT models are checked against the formula and the
+    /// executed by one retained incremental session per search/
+    /// inprocessing combination (vivification × subsumption ×
+    /// out-of-order chronological backtracking × Luby/EMA restarts,
+    /// each on/off, under schedules that fire on tiny instances), and
+    /// every solve is compared against a fresh `CdclSolver` on the
+    /// accumulated formula and the vendored varisat shim. SAT models are checked against the formula and the
     /// assumptions; on UNSAT every session's failing-assumption subset
     /// must itself refute on a fresh solver.
     #[test]

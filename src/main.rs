@@ -3,10 +3,12 @@
 //!
 //! ```text
 //! lassynth synth  <spec.json>  [--out DIR] [--timeout SECS] [--seeds N|auto] [--stats] [--varisat]
+//!                              [--restart-policy luby|ema] [--chrono on|off]
 //! lassynth verify <design.lasre>
 //! lassynth render <design.lasre>
 //! lassynth dimacs <spec.json>
 //! lassynth depth  <spec.json> --lo L --hi H [--start S] [--timeout SECS] [--no-incremental] [--stats]
+//!                              [--restart-policy luby|ema] [--chrono on|off]
 //! ```
 //!
 //! `synth` writes `<name>.lasre` and `<name>.gltf` into `--out`
@@ -19,6 +21,11 @@
 //! by default (learnt clauses shared across probes);
 //! `--no-incremental` re-encodes and re-solves every probe from
 //! scratch, and `--stats` prints each probe's search counters.
+//!
+//! `--restart-policy luby|ema` and `--chrono on|off` override the CDCL
+//! restart schedule and chronological backtracking for every solver of
+//! the run (including portfolio workers), so per-instance tuning needs
+//! no rebuild.
 
 use lassynth::synth::{optimize, BackendChoice, SynthOptions, SynthResult, Synthesizer};
 use lassynth::{lasre, sat, viz};
@@ -59,6 +66,24 @@ fn options_from(args: &[String]) -> Result<SynthOptions, String> {
     let mut options = SynthOptions::default();
     if let Some(t) = flag_value(args, "--timeout").and_then(|s| s.parse().ok()) {
         options.budget.max_time = Some(Duration::from_secs(t));
+    }
+    if let Some(policy) = flag_value(args, "--restart-policy") {
+        options.restart_policy = Some(match policy.as_str() {
+            "luby" => sat::RestartPolicy::Luby,
+            "ema" => sat::RestartPolicy::Ema,
+            other => {
+                return Err(format!(
+                    "--restart-policy expects \"luby\" or \"ema\", got {other:?}"
+                ))
+            }
+        });
+    }
+    if let Some(chrono) = flag_value(args, "--chrono") {
+        options.chrono = Some(match chrono.as_str() {
+            "on" => true,
+            "off" => false,
+            other => return Err(format!("--chrono expects \"on\" or \"off\", got {other:?}")),
+        });
     }
     if args.iter().any(|a| a == "--varisat") {
         if !cfg!(feature = "varisat") {
@@ -105,6 +130,10 @@ fn print_stats(stats: sat::SolverStats, seed: Option<u64>) {
         stats.subsumed_clauses,
         stats.strengthened_clauses,
         stats.chrono_backtracks
+    );
+    println!(
+        "  oob_enqueues={} missed_implications={} restarts_blocked={} rephases={}",
+        stats.oob_enqueues, stats.missed_implications, stats.restarts_blocked, stats.rephases
     );
 }
 
@@ -187,7 +216,7 @@ fn cmd_synth(args: &[String]) -> i32 {
     let Some(path) = args.first() else {
         eprintln!(
             "usage: lassynth synth <spec.json> [--out DIR] [--timeout SECS] \
-             [--seeds N|auto] [--stats]"
+             [--seeds N|auto] [--stats] [--restart-policy luby|ema] [--chrono on|off]"
         );
         return 2;
     };
@@ -336,7 +365,7 @@ fn cmd_depth(args: &[String]) -> i32 {
     let Some(path) = args.first() else {
         eprintln!(
             "usage: lassynth depth <spec.json> --lo L --hi H [--start S] \
-             [--no-incremental] [--stats]"
+             [--no-incremental] [--stats] [--restart-policy luby|ema] [--chrono on|off]"
         );
         return 2;
     };
@@ -399,7 +428,8 @@ fn cmd_depth(args: &[String]) -> i32 {
                         Some(s) => println!(
                             "    conflicts={} propagations={} decisions={} restarts={} learned={} \
                              vivified_lits={} subsumed_clauses={} strengthened_clauses={} \
-                             chrono_backtracks={}",
+                             chrono_backtracks={} missed_implications={} restarts_blocked={} \
+                             rephases={}",
                             s.conflicts,
                             s.propagations,
                             s.decisions,
@@ -408,7 +438,10 @@ fn cmd_depth(args: &[String]) -> i32 {
                             s.vivified_lits,
                             s.subsumed_clauses,
                             s.strengthened_clauses,
-                            s.chrono_backtracks
+                            s.chrono_backtracks,
+                            s.missed_implications,
+                            s.restarts_blocked,
+                            s.rephases
                         ),
                         None => println!("    (no solver stats for this backend)"),
                     }
