@@ -5,6 +5,8 @@
 //! common pieces: CLI parsing, wall-clock timing, and aligned table
 //! printing so the binaries emit the same rows/series the paper reports.
 
+#![forbid(unsafe_code)]
+
 pub mod cli;
 pub mod report;
 pub mod timing;

@@ -107,7 +107,7 @@ pub fn bench_out_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .expect("crates/bench sits two levels below the workspace root")
+        .expect("crates/bench sits two levels below the workspace root") // lint:allow(no-panic)
         .to_path_buf()
 }
 

@@ -40,6 +40,16 @@ pub struct Encoding {
     pub stats: EncodeStats,
 }
 
+impl Encoding {
+    /// Runs the CNF structural analyzer ([`sat::analyze`]) over the
+    /// compiled instance: unconstrained variables, duplicate /
+    /// tautological clauses, contradictory root units, connectivity.
+    /// An encoder regression shows up here before any solving does.
+    pub fn lint(&self) -> sat::CnfReport {
+        sat::analyze::analyze(&self.cnf)
+    }
+}
+
 /// Encodes a validated specification.
 ///
 /// # Errors
@@ -107,6 +117,19 @@ impl LayeredEncoding {
             .enumerate()
             .map(|(i, &a)| if self.lo + i < depth { a } else { !a })
             .collect()
+    }
+
+    /// [`Encoding::lint`] plus the layered-specific check: every
+    /// activation literal must gate at least one payload clause
+    /// (otherwise the depth it selects collapses onto its neighbour —
+    /// see [`sat::analyze::ungated_activation`]).
+    pub fn lint(&self) -> sat::CnfReport {
+        let mut report = self.encoding.lint();
+        report.push(sat::analyze::ungated_activation(
+            &self.encoding.cnf,
+            &self.activation,
+        ));
+        report
     }
 }
 
@@ -527,6 +550,56 @@ mod tests {
     use super::*;
     use lasre::fixtures::{cnot_design, cnot_spec};
     use sat::Backend as _;
+
+    #[test]
+    fn cnot_encoding_lints_without_fatal_findings() {
+        // The real encoder must never emit the trivially-broken shapes:
+        // no contradictory roots, no empty clauses, no tautologies, and
+        // one dominant dependency component.
+        let enc = encode(&cnot_spec()).unwrap();
+        let report = enc.lint();
+        assert_eq!(report.count(sat::analyze::LINT_CONTRADICTORY_UNITS), 0);
+        assert_eq!(report.count(sat::analyze::LINT_EMPTY_CLAUSE), 0);
+        assert_eq!(report.count(sat::analyze::LINT_TAUTOLOGICAL_CLAUSE), 0);
+        // Emission-time constant folding leaves fixed variables in
+        // singleton components (their unit clause connects nothing) and
+        // strips some variables entirely — `unconstrained-var` firing
+        // here is expected, informational output. The *search* still
+        // has to live in one dominant component.
+        assert!(report.largest_component * 3 > report.num_vars, "{report}");
+    }
+
+    #[test]
+    fn layered_activation_literals_all_gate() {
+        let layered = encode_layered(&cnot_spec(), 2, 5).unwrap();
+        let report = layered.lint();
+        assert_eq!(
+            report.count(sat::analyze::LINT_UNGATED_ACTIVATION),
+            0,
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn ungated_activation_detected_on_seeded_bug() {
+        // Simulate the encoder bug the lint exists for: an activation
+        // literal allocated (and chained) but whose gated clauses were
+        // dropped. Splice a fresh variable into the activation list.
+        let mut layered = encode_layered(&cnot_spec(), 2, 5).unwrap();
+        let ghost = Lit::pos(sat::Var(layered.encoding.cnf.num_vars() as u32));
+        layered.encoding.cnf.ensure_vars(ghost.var().index() + 1);
+        // Chain it below the first real layer so only the pure-chain
+        // clause mentions it.
+        let first = layered.activation[0];
+        layered.encoding.cnf.add_clause([ghost, !first]);
+        layered.activation.insert(0, ghost);
+        let report = layered.lint();
+        assert_eq!(
+            report.count(sat::analyze::LINT_UNGATED_ACTIVATION),
+            1,
+            "{report}"
+        );
+    }
 
     #[test]
     fn cnot_encoding_has_sane_size() {

@@ -28,6 +28,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod decode;
 pub mod encode;
 pub mod optimize;

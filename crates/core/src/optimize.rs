@@ -352,6 +352,7 @@ pub fn explore_port_orders(
             })
             .collect();
         for h in handles {
+            // lint:allow(no-panic)
             match h.join().expect("worker panicked") {
                 Ok(Some(d)) => {
                     if found.is_none() {
@@ -367,7 +368,7 @@ pub fn explore_port_orders(
             }
         }
     })
-    .expect("scope");
+    .expect("scope"); // lint:allow(no-panic)
     match (found, first_error) {
         (Some(d), _) => Ok(Some(d)),
         (None, Some(e)) => Err(e),
@@ -474,7 +475,7 @@ pub fn solve_portfolio_detailed(
             }),
         }
     })
-    .expect("portfolio scope")
+    .expect("portfolio scope") // lint:allow(no-panic)
 }
 
 /// All permutations of `0..n` (for small `n`), a convenience for

@@ -19,6 +19,8 @@
 //! assert_eq!(m.rank(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod bitmat;
 mod bitvec;
 

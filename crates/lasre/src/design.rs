@@ -355,7 +355,7 @@ impl LasDesign {
                     let o = [false, true]
                         .into_iter()
                         .find(|&o| (red_normal_axis(Axis::K, o) == n) == h_red_n)
-                        .expect("one orientation matches");
+                        .expect("one orientation matches"); // lint:allow(no-panic)
                     if let Some(&prev) = fixed.get(&endref) {
                         assert_eq!(
                             prev, o,

@@ -30,7 +30,7 @@ pub fn cnot_spec() -> LasSpec {
         ],
         stabilizers: ["Z.Z.", ".ZZZ", "X.XX", ".X.X"]
             .iter()
-            .map(|s| s.parse().expect("valid pauli"))
+            .map(|s| s.parse().expect("valid pauli")) // lint:allow(no-panic)
             .collect(),
         forbidden_cubes: vec![Coord::new(0, 0, 0), Coord::new(1, 1, 0)],
         allow_y_cubes: true,

@@ -57,7 +57,7 @@ impl Axis {
         *Axis::ALL
             .iter()
             .find(|&&a| a != self && a != other)
-            .expect("three axes")
+            .expect("three axes") // lint:allow(no-panic)
     }
 
     /// Parses `"I"`, `"J"` or `"K"` (case-insensitive).

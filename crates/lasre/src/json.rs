@@ -85,7 +85,7 @@ pub fn to_lasre(design: &LasDesign) -> String {
         domain_walls,
         verified: design.verified(),
     };
-    serde_json::to_string_pretty(&doc).expect("lasre serializes")
+    serde_json::to_string_pretty(&doc).expect("lasre serializes") // lint:allow(no-panic)
 }
 
 /// Loads a design from the `.lasre` JSON format, re-running the K-color

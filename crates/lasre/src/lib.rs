@@ -15,6 +15,8 @@
 //! The synthesizer that fills in a `LasDesign` from a `LasSpec` lives in
 //! the `lassynth-core` crate; this crate is pure representation.
 
+#![forbid(unsafe_code)]
+
 mod design;
 pub mod fixtures;
 pub mod geom;

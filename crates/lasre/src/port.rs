@@ -42,7 +42,7 @@ impl Port {
     pub fn parse(i: i32, j: i32, k: i32, dir: &str, z: Axis) -> Port {
         Port::new(
             Coord::new(i, j, k),
-            Dir::parse(dir).expect("valid direction"),
+            Dir::parse(dir).expect("valid direction"), // lint:allow(no-panic)
             z,
         )
     }

@@ -21,6 +21,8 @@
 //! # Ok::<(), pauli::ParsePauliError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod phase;
 mod string;
 

@@ -53,8 +53,8 @@ pub fn write<W: Write>(cnf: &Cnf, out: &mut W) -> io::Result<()> {
 /// Renders `cnf` as a DIMACS string.
 pub fn to_string(cnf: &Cnf) -> String {
     let mut buf = Vec::new();
-    write(cnf, &mut buf).expect("writing to Vec cannot fail");
-    String::from_utf8(buf).expect("dimacs output is ascii")
+    write(cnf, &mut buf).expect("writing to Vec cannot fail"); // lint:allow(no-panic)
+    String::from_utf8(buf).expect("dimacs output is ascii") // lint:allow(no-panic)
 }
 
 /// Parses a DIMACS CNF.

@@ -34,6 +34,9 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub mod analyze;
 mod builder;
 mod cnf;
 pub mod dimacs;
@@ -42,6 +45,7 @@ mod types;
 #[cfg(feature = "varisat")]
 mod varisat_backend;
 
+pub use analyze::{CnfLint, CnfReport};
 pub use builder::CnfBuilder;
 pub use cnf::Cnf;
 pub use solver::{CdclConfig, CdclSolver, RestartPolicy, SolverStats};

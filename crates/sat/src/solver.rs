@@ -142,8 +142,11 @@ use rand::{RngExt, SeedableRng};
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
+mod audit;
 mod inprocess;
 mod restart;
+
+use audit::AuditPoint;
 
 pub use restart::RestartPolicy;
 use restart::{RephaseKind, RephaseSched, RestartDecision, RestartSched};
@@ -254,6 +257,21 @@ pub struct CdclConfig {
     pub vivify_propagation_budget: u64,
     /// Literal-comparison budget of one subsumption pass.
     pub subsumption_check_budget: u64,
+    /// Enable the deep solver-state auditor (see [`solver::audit`](self)):
+    /// after propagation, conflict analysis, backtracking, garbage
+    /// collection and every inprocessing pass the full state is checked
+    /// against the watcher/trail/reason/arena/heap invariants, and SAT
+    /// answers are model-checked against the clause database. Off by
+    /// default (the checkpoints then cost one predictable branch);
+    /// `LASSYNTH_AUDIT=1` in the environment turns the auditor on for
+    /// every solver regardless of this flag.
+    pub audit: bool,
+    /// Throttle for the hot audit checkpoints (propagate / analyze /
+    /// backtrack): only every n-th such checkpoint runs the full check,
+    /// so the differential torture matrix can keep the auditor on
+    /// without quadratic slowdown. Structural checkpoints (GC,
+    /// inprocessing, SAT answers) always run. `0` is treated as `1`.
+    pub audit_interval: u64,
 }
 
 impl Default for CdclConfig {
@@ -287,6 +305,8 @@ impl Default for CdclConfig {
             inprocess_interval: 20_000,
             vivify_propagation_budget: 100_000,
             subsumption_check_budget: 1_000_000,
+            audit: false,
+            audit_interval: 1,
         }
     }
 }
@@ -478,7 +498,7 @@ impl CdclSolver {
         if self.session.is_none() {
             self.session = Some(State::empty(self.config.clone()));
         }
-        self.session.as_mut().expect("session just created")
+        self.session.as_mut().expect("session just created") // lint:allow(no-panic)
     }
 
     /// Number of variables in the incremental session (0 before the
@@ -742,7 +762,7 @@ impl VarOrder {
 
     fn pop_max(&mut self) -> Option<u32> {
         let top = *self.heap.first()?;
-        let last = self.heap.pop().expect("non-empty");
+        let last = self.heap.pop().expect("non-empty"); // lint:allow(no-panic)
         self.pos[top as usize] = -1;
         if !self.heap.is_empty() {
             self.heap[0] = last;
@@ -879,6 +899,12 @@ struct State {
     num_added_clauses: usize,
     /// The failing assumption subset of the last UNSAT solve.
     assumption_conflict: Vec<Lit>,
+    /// Whether the deep state auditor is active (`CdclConfig::audit` or
+    /// `LASSYNTH_AUDIT=1`); sampled once at construction.
+    audit_on: bool,
+    /// Count of throttled audit checkpoints reached, compared against
+    /// `CdclConfig::audit_interval`.
+    audit_tick: u64,
 }
 
 impl State {
@@ -889,6 +915,7 @@ impl State {
         let max_learnts = config.max_learnts_floor;
         let next_inprocess = config.inprocess_interval;
         let rephase = RephaseSched::new(&config);
+        let audit_on = config.audit || audit::env_enabled();
         State {
             config,
             stats: SolverStats::default(),
@@ -929,6 +956,8 @@ impl State {
             root_unsat: false,
             num_added_clauses: 0,
             assumption_conflict: Vec::new(),
+            audit_on,
+            audit_tick: 0,
         }
     }
 
@@ -1085,7 +1114,7 @@ impl State {
             let pos = list
                 .iter()
                 .position(|w| w.cref() == cref)
-                .expect("attached clause has a watcher on each watched literal");
+                .expect("attached clause has a watcher on each watched literal"); // lint:allow(no-panic)
             list.swap_remove(pos);
         }
     }
@@ -1119,6 +1148,11 @@ impl State {
         self.trail_lim.len() as u32
     }
 
+    // lint:hot-path — propagate/analyze/backtrack are the inner loop of
+    // the search; every scratch buffer is preallocated and reused
+    // (`std::mem::take` round-trips), so an allocation call appearing
+    // below is a performance bug. `cargo run -p xtask -- lint` enforces
+    // this until the matching `lint:hot-path-end` marker.
     fn propagate(&mut self) -> Option<ClauseRef> {
         let dl = self.decision_level();
         while self.qhead < self.trail.len() {
@@ -1431,7 +1465,7 @@ impl State {
                 } else {
                     // Dead end: undo the marks of this check only.
                     while self.to_clear.len() > top {
-                        let v = self.to_clear.pop().expect("non-empty") as usize;
+                        let v = self.to_clear.pop().expect("non-empty") as usize; // lint:allow(no-panic)
                         self.seen[v] = false;
                     }
                     self.analyze_stack.clear();
@@ -1493,6 +1527,7 @@ impl State {
         self.qhead = bound + kept_propagated;
         self.trail_keep = kept;
     }
+    // lint:hot-path-end
 
     /// MiniSat's `analyzeFinal`: the assumption `p` came back false
     /// while being applied, so the current trail (all pseudo-decision
@@ -1613,7 +1648,7 @@ impl State {
         (0..self.arena.len(cref))
             .map(|k| self.level[self.arena.lit(cref, k).var().index()])
             .max()
-            .expect("clauses are non-empty")
+            .expect("clauses are non-empty") // lint:allow(no-panic)
     }
 
     /// If exactly one literal of the falsified clause sits at `level`,
@@ -1654,11 +1689,11 @@ impl State {
         let pos = list
             .iter()
             .position(|w| w.cref() == cref)
-            .expect("attached clause has a watcher on each watched literal");
+            .expect("attached clause has a watcher on each watched literal"); // lint:allow(no-panic)
         list.swap_remove(pos);
         let k = (2..self.arena.len(cref))
             .find(|&k| self.arena.lit(cref, k) == l)
-            .expect("literal is in the clause");
+            .expect("literal is in the clause"); // lint:allow(no-panic)
         self.arena.swap_lits(cref, 0, k);
         let blocker = self.arena.lit(cref, 1);
         self.watches[l.code()].push(Watcher::new(cref, blocker, false));
@@ -1758,13 +1793,14 @@ impl State {
                 *r = self
                     .arena
                     .forwarded(*r)
-                    .expect("reason clause collected by GC");
+                    .expect("reason clause collected by GC"); // lint:allow(no-panic)
             }
         }
         // 3. Swap buffers; the old arena becomes the next spare.
         self.gc_buf = std::mem::replace(&mut self.arena.data, dst);
         self.stats.gc_passes += 1;
         self.stats.gc_reclaimed_words += (old_words - self.arena.data.len()) as u64;
+        self.audit_checkpoint(AuditPoint::Gc);
         #[cfg(debug_assertions)]
         self.check_watcher_integrity();
     }
@@ -1870,6 +1906,7 @@ impl State {
             && self.stats.conflicts >= self.config.chrono_activation_conflicts;
         loop {
             if let Some(confl) = self.propagate() {
+                self.audit_checkpoint(AuditPoint::Propagate);
                 self.stats.conflicts += 1;
                 self.oob_active = self.config.use_chrono
                     && self.stats.conflicts >= self.config.chrono_activation_conflicts;
@@ -1901,6 +1938,7 @@ impl State {
                 if self.oob_active {
                     if conflict_level < self.decision_level() {
                         self.cancel_until(conflict_level);
+                        self.audit_checkpoint(AuditPoint::Backtrack);
                     }
                     // A falsified clause with a single literal at the
                     // conflict level is a *missed lower implication*:
@@ -1926,6 +1964,7 @@ impl State {
                         self.ensure_watched_first(confl, lone);
                         self.cancel_until(conflict_level - 1);
                         self.enqueue(lone, confl);
+                        self.audit_checkpoint(AuditPoint::Backtrack);
                         if self.budget_exhausted(budget, &start, conflicts_at_start) {
                             return SolveOutcome::Unknown;
                         }
@@ -1933,6 +1972,7 @@ impl State {
                     }
                 }
                 let (bt, lbd) = self.analyze(confl);
+                self.audit_checkpoint(AuditPoint::Analyze);
                 sched.on_conflict(lbd, trail_at_conflict);
                 // Chronological backtracking: when the backjump would
                 // discard more than `chrono_threshold` levels, back up
@@ -1962,12 +2002,14 @@ impl State {
                     self.enqueue_at(learnt[0], cref, target.min(self.decision_level()));
                 }
                 self.learnt_buf = learnt; // hand the scratch back
+                self.audit_checkpoint(AuditPoint::Backtrack);
                 self.var_inc /= self.config.var_decay;
                 self.cla_inc /= self.config.clause_decay;
                 if self.budget_exhausted(budget, &start, conflicts_at_start) {
                     return SolveOutcome::Unknown;
                 }
             } else {
+                self.audit_checkpoint(AuditPoint::Propagate);
                 let decision = if self.config.use_restarts {
                     sched.decide(&self.config, self.stats.conflicts)
                 } else {
@@ -1978,6 +2020,7 @@ impl State {
                         self.stats.restarts += 1;
                         sched.on_restart(&self.config, self.stats.restarts);
                         self.cancel_until(0);
+                        self.audit_checkpoint(AuditPoint::Backtrack);
                         // Inprocessing runs at restart boundaries: the
                         // solver sits at level 0 with no assumptions
                         // applied, so everything it derives is a
@@ -2033,6 +2076,7 @@ impl State {
                         self.enqueue(lit, ClauseRef::NONE);
                     }
                     None => {
+                        self.audit_checkpoint(AuditPoint::Sat);
                         let values = (0..self.num_vars)
                             .map(|v| self.lit_val[2 * v] == 1)
                             .collect();

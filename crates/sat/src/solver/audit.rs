@@ -1,0 +1,677 @@
+//! Deep solver-state auditor.
+//!
+//! The differential torture matrix only sees final answers; this module
+//! checks the *intermediate* state the relaxed out-of-order machinery
+//! (PR 5) and arena-mutating inprocessing (PR 4) must preserve. It is
+//! enabled by [`CdclConfig::audit`] or `LASSYNTH_AUDIT=1` in the
+//! environment and costs one predictable branch per checkpoint when
+//! off — the solver never reads any audit result, so search behaviour
+//! (conflicts, decisions, learnt clauses) is bit-identical either way.
+//!
+//! Checkpoints fire after propagation, conflict analysis, every
+//! backtrack in the search loop, garbage collection, each inprocessing
+//! pass, and on every SAT answer. The hot checkpoints (propagate /
+//! analyze / backtrack) are throttled by [`CdclConfig::audit_interval`];
+//! the structural ones always run. Each checkpoint audits:
+//!
+//! * **Arena liveness** — clause sizes tile the arena exactly, no
+//!   forwarding address ([`RELOCATED`]) survives a GC pass, and every
+//!   `ClauseRef` held by the ref lists, the touched work list, the
+//!   watcher lists, and the trail reasons points at a clause start.
+//! * **Watch lists** — every live non-unit clause is watched on exactly
+//!   its first two literals, binary tags match clause length, binary
+//!   blockers are the other watched literal, and long-clause blockers
+//!   are literals of their clause.
+//! * **Relaxed trail invariant** — the trail is a permutation of the
+//!   assigned variables, `trail_lim` is monotone, every literal's
+//!   recorded level is bounded by the level of the trail segment it
+//!   sits in (out-of-order compaction must never leave a literal
+//!   *above* its recorded level), and real decisions sit exactly at
+//!   their level boundary.
+//! * **Reason soundness** — each implied literal's reason clause
+//!   contains it in a watched slot, every other literal is false,
+//!   assigned *earlier* on the trail, and at a level no higher than the
+//!   implication's — i.e. the reason is unit under the trail prefix at
+//!   the recorded assertion level.
+//! * **VSIDS heap shape** — the position index inverts the heap, the
+//!   max-heap ordering holds, and every unassigned variable is present
+//!   (so `decide` can never go blind).
+//! * **Model soundness** — on SAT, every variable is assigned and every
+//!   original (and learnt) clause is satisfied.
+//!
+//! During an inprocessing pass clauses are marked deleted (and
+//! detached) before the closing GC reclaims them, so the `Inprocess`
+//! checkpoint tolerates tombstones in the ref lists — but still rejects
+//! them in watch lists and trail reasons, where a tombstone would be a
+//! live bug. The occurrence-index/signature agreement check is called
+//! from `subsume` itself, right after the index is built.
+
+use super::*;
+// Audited, not hot: the occurrence-index check mirrors `subsume`'s own
+// map type. lint:allow(no-std-hashmap)
+use std::collections::HashMap;
+
+/// Which search event triggered a checkpoint. Controls throttling and
+/// the tombstone tolerance of the `Inprocess` point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(super) enum AuditPoint {
+    /// Propagation reached a fixpoint or returned a conflict.
+    Propagate,
+    /// Conflict analysis produced a learnt clause (not yet attached).
+    Analyze,
+    /// A `cancel_until` in the search loop completed (including the
+    /// repair and backjump paths, after their re-enqueue).
+    Backtrack,
+    /// A compacting GC pass rewrote every clause reference.
+    Gc,
+    /// An inprocessing pass (subsumption or vivification) finished,
+    /// *before* the closing GC reclaims its tombstones.
+    Inprocess,
+    /// The solver is about to answer SAT.
+    Sat,
+}
+
+impl AuditPoint {
+    /// Hot-loop points honour `audit_interval`; structural points
+    /// always run.
+    fn throttled(self) -> bool {
+        matches!(
+            self,
+            AuditPoint::Propagate | AuditPoint::Analyze | AuditPoint::Backtrack
+        )
+    }
+}
+
+/// Whether `LASSYNTH_AUDIT` requests auditing (any value but `0`).
+pub(super) fn env_enabled() -> bool {
+    std::env::var_os("LASSYNTH_AUDIT").is_some_and(|v| v != "0")
+}
+
+impl State {
+    /// The checkpoint hook: a single predictable branch when auditing
+    /// is off.
+    #[inline]
+    pub(super) fn audit_checkpoint(&mut self, point: AuditPoint) {
+        if self.audit_on {
+            self.audit_checkpoint_slow(point);
+        }
+    }
+
+    #[cold]
+    fn audit_checkpoint_slow(&mut self, point: AuditPoint) {
+        if point.throttled() {
+            self.audit_tick += 1;
+            if !self
+                .audit_tick
+                .is_multiple_of(self.config.audit_interval.max(1))
+            {
+                return;
+            }
+        }
+        self.audit_now(point);
+    }
+
+    /// Runs every audit check unconditionally (the mutation tests call
+    /// this directly, bypassing the enable flag and the throttle).
+    fn audit_now(&self, point: AuditPoint) {
+        let allow_tombstones = point == AuditPoint::Inprocess;
+        let starts = self.audit_arena(point);
+        self.audit_refs(point, &starts, allow_tombstones);
+        self.audit_watches(point, allow_tombstones);
+        self.audit_trail(point);
+        self.audit_reasons(point);
+        self.audit_heap(point);
+        if point == AuditPoint::Sat {
+            self.audit_model(point);
+        }
+    }
+
+    /// Walks the arena front to back, returning every valid clause
+    /// start. Rejects forwarding addresses and misaligned tails.
+    fn audit_arena(&self, point: AuditPoint) -> Vec<u32> {
+        let mut starts = Vec::new();
+        let mut off = 0usize;
+        while off < self.arena.data.len() {
+            let header = self.arena.data[off];
+            assert_ne!(
+                header, RELOCATED,
+                "audit({point:?}): GC forwarding address survives at arena word {off}"
+            );
+            let len = (header >> LEN_SHIFT) as usize;
+            assert!(
+                len >= 2,
+                "audit({point:?}): stored clause of length {len} at arena word {off} \
+                 (units live on the trail, never in the arena)"
+            );
+            starts.push(off as u32);
+            off += HEADER_WORDS + len;
+        }
+        assert_eq!(
+            off,
+            self.arena.data.len(),
+            "audit({point:?}): clause sizes do not tile the arena"
+        );
+        starts
+    }
+
+    /// Every `ClauseRef` the solver holds must point at a clause start;
+    /// ref lists must agree with the learnt bit. Tombstones are allowed
+    /// in ref lists only mid-inprocessing.
+    fn audit_refs(&self, point: AuditPoint, starts: &[u32], allow_tombstones: bool) {
+        let valid = |c: ClauseRef| starts.binary_search(&c.0).is_ok();
+        for (what, refs, learnt) in [
+            ("original ref list", &self.clauses, false),
+            ("learnt ref list", &self.learnts, true),
+        ] {
+            for &c in refs {
+                assert!(
+                    valid(c),
+                    "audit({point:?}): dangling ClauseRef {} in {what}",
+                    c.0
+                );
+                if self.arena.is_deleted(c) {
+                    assert!(
+                        allow_tombstones,
+                        "audit({point:?}): tombstone {} in {what} outside inprocessing",
+                        c.0
+                    );
+                } else {
+                    assert_eq!(
+                        self.arena.is_learnt(c),
+                        learnt,
+                        "audit({point:?}): clause {} has the wrong learnt bit for {what}",
+                        c.0
+                    );
+                }
+            }
+        }
+        for &c in &self.touched {
+            assert!(
+                valid(c),
+                "audit({point:?}): dangling ClauseRef {} in touched list",
+                c.0
+            );
+        }
+        for list in &self.watches {
+            for w in list {
+                assert!(
+                    valid(w.cref()),
+                    "audit({point:?}): dangling ClauseRef {} in a watch list",
+                    w.cref().0
+                );
+            }
+        }
+        for &l in &self.trail {
+            let r = self.reason[l.var().index()];
+            assert!(
+                r == ClauseRef::NONE || valid(r),
+                "audit({point:?}): dangling reason ClauseRef {} for {l}",
+                r.0
+            );
+        }
+    }
+
+    /// Watch-list integrity: exactly the first two literals of every
+    /// live attached clause are watched, tags and blockers agree.
+    fn audit_watches(&self, point: AuditPoint, allow_tombstones: bool) {
+        let mut watcher_count = 0usize;
+        for (code, list) in self.watches.iter().enumerate() {
+            let lit = Lit::from_code(code);
+            for w in list {
+                watcher_count += 1;
+                let c = w.cref();
+                assert!(
+                    !self.arena.is_deleted(c),
+                    "audit({point:?}): watcher of {lit} on deleted clause {}",
+                    c.0
+                );
+                let len = self.arena.len(c);
+                assert_eq!(
+                    w.is_binary(),
+                    len == 2,
+                    "audit({point:?}): binary tag mismatch on clause {} (len {len})",
+                    c.0
+                );
+                let (l0, l1) = (self.arena.lit(c, 0), self.arena.lit(c, 1));
+                assert!(
+                    l0 == lit || l1 == lit,
+                    "audit({point:?}): {lit} watches clause {} but is not in slot 0/1",
+                    c.0
+                );
+                if w.is_binary() {
+                    let other = if l0 == lit { l1 } else { l0 };
+                    assert_eq!(
+                        w.blocker, other,
+                        "audit({point:?}): binary blocker of clause {} is not the other literal",
+                        c.0
+                    );
+                } else {
+                    assert!(
+                        (0..len).any(|k| self.arena.lit(c, k) == w.blocker),
+                        "audit({point:?}): blocker {} not a literal of clause {}",
+                        w.blocker,
+                        c.0
+                    );
+                }
+            }
+        }
+        let mut attached = 0usize;
+        for &c in self.clauses.iter().chain(&self.learnts) {
+            if self.arena.is_deleted(c) {
+                continue; // tombstone legality checked in audit_refs
+            }
+            attached += 1;
+            for k in 0..2 {
+                let l = self.arena.lit(c, k);
+                assert!(
+                    self.watches[l.code()].iter().any(|w| w.cref() == c),
+                    "audit({point:?}): clause {} missing its watcher on {l}",
+                    c.0
+                );
+            }
+        }
+        assert_eq!(
+            watcher_count,
+            2 * attached,
+            "audit({point:?}): watcher count disagrees with attached clause count"
+        );
+        if !allow_tombstones {
+            let live_words: usize = self
+                .clauses
+                .iter()
+                .chain(&self.learnts)
+                .map(|&c| HEADER_WORDS + self.arena.len(c))
+                .sum();
+            assert_eq!(
+                self.arena.data.len(),
+                live_words,
+                "audit({point:?}): arena holds words beyond the live clauses"
+            );
+        }
+    }
+
+    /// The relaxed trail invariant: assignment-ordered, level-bounded.
+    fn audit_trail(&self, point: AuditPoint) {
+        assert!(
+            self.qhead <= self.trail.len(),
+            "audit({point:?}): propagation queue head past the trail"
+        );
+        // Note: `trail_lim.len()` is NOT bounded by `num_vars` —
+        // satisfied (or repeated) assumptions open empty levels.
+        let mut prev = 0usize;
+        for (d, &lim) in self.trail_lim.iter().enumerate() {
+            assert!(
+                lim >= prev && lim <= self.trail.len(),
+                "audit({point:?}): trail_lim[{d}] out of order"
+            );
+            prev = lim;
+        }
+        let assigned = self.lit_val.iter().step_by(2).filter(|&&v| v != 0).count();
+        assert_eq!(
+            assigned,
+            self.trail.len(),
+            "audit({point:?}): trail length disagrees with assigned-variable count"
+        );
+        let mut on_trail = vec![false; self.num_vars];
+        let mut seg = 0usize; // level of the current trail segment
+        for (i, &l) in self.trail.iter().enumerate() {
+            while seg < self.trail_lim.len() && self.trail_lim[seg] <= i {
+                seg += 1;
+            }
+            let v = l.var().index();
+            assert!(
+                !on_trail[v],
+                "audit({point:?}): {} assigned twice on the trail",
+                l.var()
+            );
+            on_trail[v] = true;
+            assert_eq!(
+                self.value(l),
+                1,
+                "audit({point:?}): trail literal {l} is not true"
+            );
+            let lv = self.level[v] as usize;
+            assert!(
+                lv <= seg,
+                "audit({point:?}): {l} sits in trail segment {seg} above its recorded \
+                 level {lv} — compaction left a literal above its level"
+            );
+            if self.reason[v] == ClauseRef::NONE && lv > 0 {
+                assert_eq!(
+                    self.trail_lim[lv - 1],
+                    i,
+                    "audit({point:?}): decision {l} of level {lv} is not at its level boundary"
+                );
+            }
+        }
+        for (v, &assigned) in on_trail.iter().enumerate() {
+            if !assigned {
+                assert_eq!(
+                    self.lit_val[2 * v],
+                    0,
+                    "audit({point:?}): {} assigned but not on the trail",
+                    Var(v as u32)
+                );
+                assert_eq!(
+                    self.reason[v],
+                    ClauseRef::NONE,
+                    "audit({point:?}): unassigned {} retains a reason",
+                    Var(v as u32)
+                );
+            }
+        }
+    }
+
+    /// Reason soundness: each implied literal's reason is unit under
+    /// the trail prefix at the recorded assertion level.
+    fn audit_reasons(&self, point: AuditPoint) {
+        let mut pos = vec![usize::MAX; self.num_vars];
+        for (i, &l) in self.trail.iter().enumerate() {
+            pos[l.var().index()] = i;
+        }
+        for &l in &self.trail {
+            let v = l.var().index();
+            let r = self.reason[v];
+            if r == ClauseRef::NONE {
+                continue;
+            }
+            assert!(
+                !self.arena.is_deleted(r),
+                "audit({point:?}): reason of {l} is a deleted clause"
+            );
+            assert!(
+                self.arena.lit(r, 0) == l || self.arena.lit(r, 1) == l,
+                "audit({point:?}): {l} is not in a watched slot of its reason clause"
+            );
+            for k in 0..self.arena.len(r) {
+                let q = self.arena.lit(r, k);
+                if q == l {
+                    continue;
+                }
+                assert_ne!(
+                    q.var(),
+                    l.var(),
+                    "audit({point:?}): reason of {l} contains both polarities of {}",
+                    l.var()
+                );
+                let qv = q.var().index();
+                assert_eq!(
+                    self.value(q),
+                    -1,
+                    "audit({point:?}): reason of {l} is not unit — {q} is not false"
+                );
+                assert!(
+                    pos[qv] < pos[v],
+                    "audit({point:?}): reason literal {q} assigned after its implication {l}"
+                );
+                assert!(
+                    self.level[qv] <= self.level[v],
+                    "audit({point:?}): {l} asserts at level {} below reason literal {q} \
+                     at level {}",
+                    self.level[v],
+                    self.level[qv]
+                );
+            }
+        }
+    }
+
+    /// VSIDS heap shape: `pos` inverts `heap`, the max-heap ordering
+    /// holds, and no unassigned variable is missing.
+    fn audit_heap(&self, point: AuditPoint) {
+        let o = &self.order;
+        assert_eq!(
+            o.pos.len(),
+            self.num_vars,
+            "audit({point:?}): heap position index has the wrong size"
+        );
+        let in_heap = o.pos.iter().filter(|&&p| p >= 0).count();
+        assert_eq!(
+            in_heap,
+            o.heap.len(),
+            "audit({point:?}): heap position index disagrees with heap size"
+        );
+        for (i, &v) in o.heap.iter().enumerate() {
+            assert!(
+                (v as usize) < self.num_vars,
+                "audit({point:?}): heap holds unknown variable {v}"
+            );
+            assert_eq!(
+                o.pos[v as usize], i as i64,
+                "audit({point:?}): heap position of v{v} is stale"
+            );
+            if i > 0 {
+                let parent = o.heap[(i - 1) / 2];
+                assert!(
+                    !o.better(v, parent),
+                    "audit({point:?}): heap ordering violated at index {i}"
+                );
+            }
+        }
+        for v in 0..self.num_vars {
+            if self.is_unassigned(v) {
+                assert!(
+                    o.contains(v as u32),
+                    "audit({point:?}): unassigned {} missing from the decision heap",
+                    Var(v as u32)
+                );
+            }
+        }
+    }
+
+    /// On SAT: total assignment, every clause satisfied.
+    fn audit_model(&self, point: AuditPoint) {
+        for v in 0..self.num_vars {
+            assert!(
+                !self.is_unassigned(v),
+                "audit({point:?}): SAT answer leaves {} unassigned",
+                Var(v as u32)
+            );
+        }
+        for (what, refs) in [("original", &self.clauses), ("learnt", &self.learnts)] {
+            for &c in refs {
+                let sat = (0..self.arena.len(c)).any(|k| self.value(self.arena.lit(c, k)) == 1);
+                assert!(
+                    sat,
+                    "audit({point:?}): SAT model falsifies {what} clause {}",
+                    c.0
+                );
+            }
+        }
+    }
+
+    /// Occurrence-index/signature agreement, called from `subsume`
+    /// right after the index is built: the index covers exactly the
+    /// live clauses, each entry under the literals it contains, with
+    /// matching signatures.
+    // lint:allow(no-std-hashmap)
+    pub(super) fn audit_occ_index(&self, occs: &[Vec<ClauseRef>], sigs: &HashMap<u32, u64>) {
+        let mut live = 0usize;
+        for &c in self.clauses.iter().chain(&self.learnts) {
+            if self.arena.is_deleted(c) {
+                continue;
+            }
+            live += 1;
+            let mut sig = 0u64;
+            for k in 0..self.arena.len(c) {
+                let l = self.arena.lit(c, k);
+                sig |= 1u64 << (l.var().0 & 63);
+                assert!(
+                    occs[l.code()].contains(&c),
+                    "audit(occ-index): live clause {} missing from the occurrence list of {l}",
+                    c.0
+                );
+            }
+            assert_eq!(
+                sigs.get(&c.0),
+                Some(&sig),
+                "audit(occ-index): stale signature for clause {}",
+                c.0
+            );
+        }
+        assert_eq!(
+            sigs.len(),
+            live,
+            "audit(occ-index): signature table covers a different clause set"
+        );
+        for (code, list) in occs.iter().enumerate() {
+            let lit = Lit::from_code(code);
+            for &c in list {
+                assert!(
+                    !self.arena.is_deleted(c),
+                    "audit(occ-index): tombstone {} indexed under {lit}",
+                    c.0
+                );
+                assert!(
+                    (0..self.arena.len(c)).any(|k| self.arena.lit(c, k) == lit),
+                    "audit(occ-index): clause {} indexed under {lit} it does not contain",
+                    c.0
+                );
+            }
+        }
+    }
+}
+
+/// Mutation tests: corrupt one invariant at a time and assert the
+/// auditor catches that corruption class. A clean-state control runs
+/// first in each so a pass can only come from the seeded fault.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cnf;
+
+    fn lit(i: i64) -> Lit {
+        Lit::from_dimacs(i)
+    }
+
+    /// A small audited state with a decision and three implications:
+    /// deciding 1 propagates 2 (binary reason), then 3, then 4.
+    fn audited_state() -> State {
+        let mut c = Cnf::new(0);
+        c.add_clause([lit(-1), lit(2)]);
+        c.add_clause([lit(-1), lit(-2), lit(3)]);
+        c.add_clause([lit(-2), lit(-3), lit(4)]);
+        c.add_clause([lit(-4), lit(5), lit(6)]);
+        let config = CdclConfig {
+            audit: true,
+            ..CdclConfig::default()
+        };
+        let mut st = State::new(&c, config);
+        st.trail_lim.push(st.trail.len());
+        st.enqueue(lit(1), ClauseRef::NONE);
+        assert!(st.propagate().is_none());
+        assert_eq!(st.trail.len(), 4);
+        st.audit_now(AuditPoint::Propagate); // control: clean state passes
+        st
+    }
+
+    #[test]
+    #[should_panic(expected = "watcher")]
+    fn corrupted_watch_list_is_caught() {
+        let mut st = audited_state();
+        let victim = st
+            .watches
+            .iter()
+            .position(|l| !l.is_empty())
+            .expect("attached clauses have watchers");
+        st.watches[victim].pop();
+        st.audit_now(AuditPoint::Propagate);
+    }
+
+    #[test]
+    #[should_panic(expected = "above its recorded level")]
+    fn corrupted_trail_level_is_caught() {
+        let mut st = audited_state();
+        // Pretend the decision's first implication was assigned at a
+        // level that does not exist: its segment (level 1) now sits
+        // *below* the recorded level, the compaction bug class.
+        let v = st.trail[1].var().index();
+        st.level[v] = 7;
+        st.audit_now(AuditPoint::Backtrack);
+    }
+
+    #[test]
+    #[should_panic(expected = "reason")]
+    fn corrupted_reason_ref_is_caught() {
+        let mut st = audited_state();
+        // Rewire an implication's reason to a clause that does not
+        // contain it (the binary clause {¬1, 2} for implied literal 3).
+        let v = lit(3).var().index();
+        assert_ne!(st.reason[v], ClauseRef::NONE);
+        st.reason[v] = st.clauses[0];
+        st.audit_now(AuditPoint::Analyze);
+    }
+
+    #[test]
+    #[should_panic(expected = "forwarding address")]
+    fn corrupted_gc_forwarding_is_caught() {
+        let mut st = audited_state();
+        // Relocate a clause out of the arena without rewriting any of
+        // the references through the forwarding address — exactly the
+        // half-finished GC state the protocol must never leak.
+        let mut scratch = Vec::new();
+        let c = st.clauses[3];
+        st.arena.relocate(c, &mut scratch);
+        st.audit_now(AuditPoint::Gc);
+    }
+
+    #[test]
+    fn auditor_is_invisible_to_the_search() {
+        // Identical configs except `audit` must produce identical
+        // statistics: the auditor reads, never steers.
+        let mut c = Cnf::new(0);
+        for cl in [
+            [lit(1), lit(2), lit(3)],
+            [lit(-1), lit(-2), lit(3)],
+            [lit(1), lit(-2), lit(-3)],
+            [lit(-1), lit(2), lit(-3)],
+        ] {
+            c.add_clause(cl);
+        }
+        let quiet = CdclConfig::default();
+        let loud = CdclConfig {
+            audit: true,
+            audit_interval: 2,
+            ..CdclConfig::default()
+        };
+        let mut a = CdclSolver::with_config(quiet);
+        let mut b = CdclSolver::with_config(loud);
+        assert!(a.solve(&c).is_sat());
+        assert!(b.solve(&c).is_sat());
+        assert_eq!(a.stats.conflicts, b.stats.conflicts);
+        assert_eq!(a.stats.decisions, b.stats.decisions);
+        assert_eq!(a.stats.propagations, b.stats.propagations);
+    }
+
+    #[test]
+    fn audited_solve_stays_correct_under_pressure() {
+        // Drive a full audited search through restarts, GC and
+        // inprocessing on a pigeonhole instance: every checkpoint must
+        // hold on real (not hand-built) states.
+        let holes = 4i64;
+        let p = |i: i64, j: i64| (i - 1) * holes + j;
+        let mut c = Cnf::new(0);
+        for i in 1..=holes + 1 {
+            c.add_clause((1..=holes).map(|j| lit(p(i, j))));
+        }
+        for j in 1..=holes {
+            for i in 1..=holes + 1 {
+                for k in i + 1..=holes + 1 {
+                    c.add_clause([lit(-p(i, j)), lit(-p(k, j))]);
+                }
+            }
+        }
+        let config = CdclConfig {
+            audit: true,
+            restart_base: 2,
+            restart_policy: RestartPolicy::Luby,
+            restart_activation_conflicts: 0,
+            max_learnts_floor: 4.0,
+            inprocess_interval: 8,
+            chrono_activation_conflicts: 0,
+            ..CdclConfig::default()
+        };
+        let mut s = CdclSolver::with_config(config);
+        assert!(s.solve(&c).is_unsat());
+        assert!(s.stats.conflicts > 0);
+    }
+}

@@ -40,7 +40,7 @@
 //! deletable learnt would let `reduce_db` silently drop a constraint.
 
 use super::*;
-use std::collections::HashMap;
+use std::collections::HashMap; // lint:allow(no-std-hashmap): cold, one transient map per inprocessing pass
 
 /// Outcome of matching a subsumer `C` against a candidate `D`.
 enum SubMatch {
@@ -70,9 +70,17 @@ impl State {
         let mut changed = false;
         if self.config.use_subsumption && !self.root_unsat {
             changed |= self.subsume();
+            // Tombstones are legal here (the closing GC reclaims them);
+            // the checkpoint still rejects them in watches and reasons.
+            if !self.root_unsat {
+                self.audit_checkpoint(AuditPoint::Inprocess);
+            }
         }
         if self.config.use_vivification && !self.root_unsat {
             changed |= self.vivify();
+            if !self.root_unsat {
+                self.audit_checkpoint(AuditPoint::Inprocess);
+            }
         }
         // Reclaim everything the passes marked deleted. Safe even when
         // a root conflict was derived: locked clauses are never marked,
@@ -142,8 +150,8 @@ impl State {
         // The occurrence index and signatures span every live clause —
         // anything may be subsumed *by* a queued clause.
         let mut occs: Vec<Vec<ClauseRef>> = vec![Vec::new(); 2 * self.num_vars];
-        let mut sigs: HashMap<u32, u64> =
-            HashMap::with_capacity(2 * (self.clauses.len() + self.learnts.len()));
+        let mut sigs: HashMap<u32, u64> = // lint:allow(no-std-hashmap)
+            HashMap::with_capacity(2 * (self.clauses.len() + self.learnts.len())); // lint:allow(no-std-hashmap)
         for &c in self.clauses.iter().chain(self.learnts.iter()) {
             if self.arena.is_deleted(c) {
                 continue;
@@ -155,6 +163,9 @@ impl State {
                 sig |= 1u64 << (l.var().0 & 63);
             }
             sigs.insert(c.0, sig);
+        }
+        if self.audit_on {
+            self.audit_occ_index(&occs, &sigs);
         }
         let mut budget = self.config.subsumption_check_budget as i64;
         let mut qi = 0;
@@ -169,10 +180,10 @@ impl State {
             let min_lit = (0..c_len)
                 .map(|i| self.arena.lit(c, i))
                 .min_by_key(|l| occs[l.code()].len())
-                .expect("clauses have at least two literals");
-            // Clauses containing `min_lit` are subsumption (and
-            // strengthening-elsewhere) candidates; clauses containing
-            // `¬min_lit` can only be strengthened *at* `min_lit`.
+                .expect("clauses have at least two literals"); // lint:allow(no-panic)
+                                                               // Clauses containing `min_lit` are subsumption (and
+                                                               // strengthening-elsewhere) candidates; clauses containing
+                                                               // `¬min_lit` can only be strengthened *at* `min_lit`.
             for probe in [min_lit, !min_lit] {
                 // Snapshot the length: strengthened replacements append
                 // to these lists mid-loop and get their own queue turn.
@@ -283,7 +294,7 @@ impl State {
             .learnts
             .iter()
             .position(|&x| x == c)
-            .expect("promoted clause is in the learnt list");
+            .expect("promoted clause is in the learnt list"); // lint:allow(no-panic)
         self.learnts.swap_remove(pos);
         self.clauses.push(c);
         self.arena.data[c.0 as usize] &= !LEARNT_BIT;

@@ -193,7 +193,7 @@ impl SolveOutcome {
     pub fn expect_sat(self) -> Model {
         match self {
             SolveOutcome::Sat(m) => m,
-            other => panic!("expected SAT, got {other:?}"),
+            other => panic!("expected SAT, got {other:?}"), // lint:allow(no-panic)
         }
     }
 }

@@ -25,6 +25,8 @@
 //! # Ok::<(), pauli::ParsePauliError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod sim;
 
 pub use sim::{MeasurementOutcome, Tableau};

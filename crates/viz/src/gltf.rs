@@ -70,7 +70,7 @@ pub fn to_gltf(scene: &Scene) -> String {
              "type": "SCALAR"}
         ]
     });
-    serde_json::to_string_pretty(&doc).expect("gltf json serializes")
+    serde_json::to_string_pretty(&doc).expect("gltf json serializes") // lint:allow(no-panic)
 }
 
 fn bounds(positions: &[f32]) -> (Vec<f32>, Vec<f32>) {

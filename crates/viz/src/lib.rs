@@ -12,6 +12,8 @@
 //!   boxes, optionally overlaying one stabilizer's correlation surface
 //!   (paper Fig. 10).
 
+#![forbid(unsafe_code)]
+
 pub mod gltf;
 pub mod obj;
 pub mod scene;

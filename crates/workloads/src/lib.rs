@@ -12,6 +12,8 @@
 //!   (Fig. 2/8/10), graph states (Fig. 13/14), the majority gate
 //!   (Fig. 15) and the 15-to-1 T-factory (Figs. 16–18).
 
+#![forbid(unsafe_code)]
+
 pub mod baseline;
 pub mod graphs;
 pub mod mis;

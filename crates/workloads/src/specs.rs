@@ -166,7 +166,7 @@ pub fn t_factory_flows() -> Vec<PauliString> {
     ];
     TABLE
         .iter()
-        .map(|s| s.parse().expect("valid table row"))
+        .map(|s| s.parse().expect("valid table row")) // lint:allow(no-panic)
         .collect()
 }
 

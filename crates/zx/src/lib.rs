@@ -36,6 +36,8 @@
 //! assert!(flows.contains_letters(&".ZZZ".parse().unwrap()));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod diagram;
 mod flows;
 mod rewrite;

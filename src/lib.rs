@@ -31,6 +31,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use gf2;
 pub use lasre;
 pub use pauli;

@@ -3,12 +3,13 @@
 //!
 //! ```text
 //! lassynth synth  <spec.json>  [--out DIR] [--timeout SECS] [--seeds N|auto] [--stats] [--varisat]
-//!                              [--restart-policy luby|ema] [--chrono on|off]
+//!                              [--restart-policy luby|ema] [--chrono on|off] [--audit-cnf]
 //! lassynth verify <design.lasre>
 //! lassynth render <design.lasre>
 //! lassynth dimacs <spec.json>
 //! lassynth depth  <spec.json> --lo L --hi H [--start S] [--timeout SECS] [--no-incremental] [--stats]
-//!                              [--restart-policy luby|ema] [--chrono on|off]
+//!                              [--restart-policy luby|ema] [--chrono on|off] [--audit-cnf]
+//! lassynth lint-cnf <spec.json|file.cnf> [--lo L --hi H]
 //! ```
 //!
 //! `synth` writes `<name>.lasre` and `<name>.gltf` into `--out`
@@ -26,6 +27,14 @@
 //! restart schedule and chronological backtracking for every solver of
 //! the run (including portfolio workers), so per-instance tuning needs
 //! no rebuild.
+//!
+//! `lint-cnf` runs the CNF structural analyzer (`sat::analyze`) over a
+//! spec's encoding — layered when `--lo`/`--hi` are given — or over a
+//! raw DIMACS file (`.cnf`/`.dimacs`), and exits non-zero on fatal
+//! findings (contradictory root units, empty clauses). `--audit-cnf` on
+//! `synth`/`depth` prints the same report before solving.
+
+#![forbid(unsafe_code)]
 
 use lassynth::synth::{optimize, BackendChoice, SynthOptions, SynthResult, Synthesizer};
 use lassynth::{lasre, sat, viz};
@@ -39,8 +48,9 @@ fn main() {
         Some("render") => cmd_render(&args[1..]),
         Some("dimacs") => cmd_dimacs(&args[1..]),
         Some("depth") => cmd_depth(&args[1..]),
+        Some("lint-cnf") => cmd_lint_cnf(&args[1..]),
         _ => {
-            eprintln!("usage: lassynth <synth|verify|render|dimacs|depth> <file> [flags]");
+            eprintln!("usage: lassynth <synth|verify|render|dimacs|depth|lint-cnf> <file> [flags]");
             eprintln!("       see `src/main.rs` docs or README.md");
             2
         }
@@ -216,7 +226,8 @@ fn cmd_synth(args: &[String]) -> i32 {
     let Some(path) = args.first() else {
         eprintln!(
             "usage: lassynth synth <spec.json> [--out DIR] [--timeout SECS] \
-             [--seeds N|auto] [--stats] [--restart-policy luby|ema] [--chrono on|off]"
+             [--seeds N|auto] [--stats] [--restart-policy luby|ema] [--chrono on|off] \
+             [--audit-cnf]"
         );
         return 2;
     };
@@ -237,6 +248,15 @@ fn cmd_synth(args: &[String]) -> i32 {
     };
     let name = spec.name.clone();
     let want_stats = args.iter().any(|a| a == "--stats");
+    if args.iter().any(|a| a == "--audit-cnf") {
+        match lassynth::synth::encode::encode(&spec) {
+            Ok(enc) => println!("{}", enc.lint()),
+            Err(e) => {
+                eprintln!("invalid spec: {e}");
+                return 1;
+            }
+        }
+    }
     let mode = match parse_seeds_flag(flag_value(args, "--seeds").as_deref()) {
         Ok(m) => m,
         Err(e) => {
@@ -361,11 +381,76 @@ fn cmd_dimacs(args: &[String]) -> i32 {
     }
 }
 
+/// Whether a lint report contains findings that make the instance
+/// unsolvable (everything else is informational).
+fn lint_is_fatal(report: &sat::CnfReport) -> bool {
+    report.count(sat::analyze::LINT_CONTRADICTORY_UNITS) > 0
+        || report.count(sat::analyze::LINT_EMPTY_CLAUSE) > 0
+}
+
+fn cmd_lint_cnf(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: lassynth lint-cnf <spec.json|file.cnf> [--lo L --hi H]");
+        return 2;
+    };
+    let report = if path.ends_with(".cnf") || path.ends_with(".dimacs") {
+        match std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {path}: {e}"))
+            .and_then(|t| sat::dimacs::parse_str(&t).map_err(|e| format!("parsing {path}: {e}")))
+        {
+            Ok(cnf) => sat::analyze::analyze(&cnf),
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        }
+    } else {
+        let spec = match load_spec(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        };
+        let lo = flag_value(args, "--lo").and_then(|s| s.parse().ok());
+        let hi = flag_value(args, "--hi").and_then(|s| s.parse().ok());
+        let layered = lo.is_some() || hi.is_some();
+        let report = if layered {
+            // Same defaults as `depth`, so the linted CNF is the one a
+            // depth search would solve.
+            let lo = lo.unwrap_or(1).max(1);
+            let hi = hi.unwrap_or(spec.max_k + 2);
+            if lo > hi {
+                eprintln!("--lo {lo} must not exceed --hi {hi}");
+                return 2;
+            }
+            lassynth::synth::encode::encode_layered(&spec, lo, hi).map(|l| l.lint())
+        } else {
+            lassynth::synth::encode::encode(&spec).map(|e| e.lint())
+        };
+        match report {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("invalid spec: {e}");
+                return 1;
+            }
+        }
+    };
+    println!("{report}");
+    if lint_is_fatal(&report) {
+        eprintln!("fatal encoder lints fired");
+        1
+    } else {
+        0
+    }
+}
+
 fn cmd_depth(args: &[String]) -> i32 {
     let Some(path) = args.first() else {
         eprintln!(
             "usage: lassynth depth <spec.json> --lo L --hi H [--start S] \
-             [--no-incremental] [--stats] [--restart-policy luby|ema] [--chrono on|off]"
+             [--no-incremental] [--stats] [--restart-policy luby|ema] [--chrono on|off] \
+             [--audit-cnf]"
         );
         return 2;
     };
@@ -410,6 +495,16 @@ fn cmd_depth(args: &[String]) -> i32 {
         options.incremental = false;
     }
     let want_stats = args.iter().any(|a| a == "--stats");
+    if args.iter().any(|a| a == "--audit-cnf") {
+        // Lint the layered CNF the incremental search will solve.
+        match lassynth::synth::encode::encode_layered(&spec, lo, hi) {
+            Ok(layered) => println!("{}", layered.lint()),
+            Err(e) => {
+                eprintln!("invalid spec: {e}");
+                return 1;
+            }
+        }
+    }
     match optimize::find_min_depth(&spec, lo, hi, start, &options) {
         Ok(search) => {
             for p in &search.probes {

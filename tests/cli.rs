@@ -278,6 +278,100 @@ fn solver_override_flags_work_on_synth_and_depth() {
     }
 }
 
+/// `lint-cnf` analyzes both spec files (flat and layered) and raw
+/// DIMACS, exits 0 on informational lints, and exits 1 only when a
+/// fatal lint (contradictory root units / empty clause) fires.
+#[test]
+fn lint_cnf_reports_and_exit_codes() {
+    // Flat spec encoding: real encodings legitimately carry
+    // unconstrained (constant-folded) variables, which is
+    // informational, not fatal.
+    let out = bin()
+        .arg("lint-cnf")
+        .arg(cnot_spec_path())
+        .output()
+        .expect("run lassynth lint-cnf");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.starts_with("cnf: "), "report header: {text}");
+    assert!(text.contains("component"), "component summary: {text}");
+    assert!(
+        !text.contains("contradictory-root-units") && !text.contains("empty-clause"),
+        "no fatal lints on a real encoding: {text}"
+    );
+
+    // Layered encoding: the activation chain must fully gate.
+    let layered = bin()
+        .arg("lint-cnf")
+        .arg(cnot_spec_path())
+        .args(["--lo", "2", "--hi", "4"])
+        .output()
+        .expect("run lassynth lint-cnf --lo --hi");
+    assert!(layered.status.success());
+    let text = String::from_utf8_lossy(&layered.stdout);
+    assert!(
+        !text.contains("ungated-activation"),
+        "every activation literal gates a payload: {text}"
+    );
+
+    // Raw DIMACS with contradictory root units is fatal (exit 1).
+    let dir = std::env::temp_dir().join(format!("lassynth-cli-lint-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let bad = dir.join("contradict.cnf");
+    std::fs::write(&bad, "p cnf 2 3\n1 0\n-1 0\n1 2 0\n").expect("write cnf");
+    let fatal = bin()
+        .arg("lint-cnf")
+        .arg(&bad)
+        .output()
+        .expect("run lassynth lint-cnf on a contradictory CNF");
+    assert_eq!(fatal.status.code(), Some(1), "fatal lints exit 1");
+    let text = String::from_utf8_lossy(&fatal.stdout);
+    assert!(text.contains("contradictory-root-units"), "{text}");
+
+    // A clean DIMACS file passes silently.
+    let good = dir.join("clean.cnf");
+    std::fs::write(&good, "p cnf 2 2\n1 2 0\n-1 2 0\n").expect("write cnf");
+    let clean = bin()
+        .arg("lint-cnf")
+        .arg(&good)
+        .output()
+        .expect("run lassynth lint-cnf on a clean CNF");
+    assert!(clean.status.success());
+    assert!(
+        String::from_utf8_lossy(&clean.stdout).contains("clean: no encoder lints fired"),
+        "clean verdict printed"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--audit-cnf` prints the encoder-lint report before solving and does
+/// not change the verdict.
+#[test]
+fn audit_cnf_flag_reports_before_solving() {
+    let out = bin()
+        .arg("depth")
+        .arg(cnot_spec_path())
+        .args(["--lo", "2", "--hi", "4", "--start", "3", "--audit-cnf"])
+        .output()
+        .expect("run lassynth depth --audit-cnf");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.starts_with("cnf: "), "lint report leads: {text}");
+    assert!(
+        text.contains("optimal depth: 3"),
+        "verdict unchanged: {text}"
+    );
+}
+
 #[test]
 fn usage_errors_exit_nonzero() {
     let out = bin().output().expect("run lassynth");

@@ -6,6 +6,8 @@
 //! mean/min wall-clock times — honest measurements, none of criterion's
 //! statistics.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Re-export so benches can use `criterion::black_box`.

@@ -6,6 +6,8 @@
 //! crossbeam's `scope` returns a `Result` and its spawn closures take a
 //! scope argument (callers here ignore it with `|_|`).
 
+#![forbid(unsafe_code)]
+
 pub mod thread {
     use std::thread::Result;
 

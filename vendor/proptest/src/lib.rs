@@ -7,6 +7,8 @@
 //! deterministic per-test seed. There is **no shrinking**: a failure
 //! reports the case number and message instead of a minimized input.
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod strategy;
 

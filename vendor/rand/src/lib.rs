@@ -5,6 +5,8 @@
 //! `random_bool`/`random_range`, and [`seq::SliceRandom::shuffle`] —
 //! exactly the surface the solver, tableau and workloads use.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// A source of random 64-bit words.

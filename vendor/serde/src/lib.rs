@@ -11,6 +11,8 @@
 //! JSON documents this project reads (specs and `.lasre` files are
 //! small compared to the SAT solving around them).
 
+#![forbid(unsafe_code)]
+
 pub mod de;
 pub mod ser;
 

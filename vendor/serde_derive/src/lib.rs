@@ -8,6 +8,8 @@
 //! No `syn`/`quote` (offline build): the struct is parsed directly from
 //! the token stream and the impls are emitted as source text.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// `None` = required, `Some(None)` = `Default::default()`,

@@ -6,6 +6,8 @@
 //! insertion order (like serde_json's `preserve_order` feature), which
 //! keeps `.lasre` documents byte-stable across round trips.
 
+#![forbid(unsafe_code)]
+
 mod macros;
 mod parse;
 mod print;

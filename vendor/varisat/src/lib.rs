@@ -7,6 +7,8 @@
 //! code with the `sat` crate, behind varisat's `Solver`/`CnfFormula`
 //! API surface.
 
+#![forbid(unsafe_code)]
+
 /// A literal in DIMACS-compatible encoding (`code = 2*var + negated`).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct Lit {
