@@ -29,6 +29,18 @@
 //!
 //! Baselines with no fresh counterpart are reported but do not fail:
 //! CI's smoke job only runs a subset of the benches.
+//!
+//! A second mode renders the committed records as a reproduction
+//! table instead of gating:
+//!
+//! ```text
+//! bench_trend --table [dir]
+//! ```
+//!
+//! prints a markdown table (one row per `BENCH_*.json` in `dir`,
+//! default `.`) suitable for committing as `REPRODUCTION.md` — the
+//! ROADMAP's "REPRODUCTION.md-style table produced by the existing
+//! bench bins" deliverable.
 
 use bench_support::report::BenchRecord;
 use std::path::Path;
@@ -56,14 +68,72 @@ fn load_records(dir: &Path) -> Vec<(String, BenchRecord)> {
     out
 }
 
+/// The paper anchor each tracked benchmark reproduces, for the
+/// `--table` report. Names without an entry still get a table row.
+fn paper_anchor(name: &str) -> &'static str {
+    match name {
+        "BENCH_encode_majority_3x3x5.json" => "Fig. 15 instance, encode only",
+        "BENCH_solve_majority_3x3x5.json" => "Fig. 15 majority gate, single solve",
+        "BENCH_min_depth_majority_3x3x5_incremental.json" => "Fig. 15, min-depth (incremental)",
+        "BENCH_min_depth_majority_3x3x5_scratch.json" => "Fig. 15, min-depth (from scratch)",
+        "BENCH_t_factory_budgeted.json" => "Fig. 17 probe, 60k-conflict budget",
+        _ => "\u{2014}",
+    }
+}
+
+/// Renders all records in `dir` as a markdown reproduction table.
+fn print_table(dir: &Path) -> ExitCode {
+    let records = load_records(dir);
+    if records.is_empty() {
+        eprintln!("error: no BENCH_*.json records in {}", dir.display());
+        return ExitCode::from(2);
+    }
+    println!("# Benchmark reproduction record");
+    println!();
+    println!(
+        "Committed `BENCH_*.json` measurements, one row per tracked\n\
+         benchmark. Regenerate with `cargo bench -p lassynth-bench` (plus\n\
+         the ignored budgeted probe test), then re-render this file with\n\
+         `cargo run -p lassynth-bench --bin bench_trend -- --table`.\n\
+         Conflicts and propagations are deterministic per code + seed;\n\
+         wall times are from the committing machine."
+    );
+    println!();
+    println!(
+        "| benchmark | paper anchor | wall (ms) | conflicts | propagations | props/conflict |"
+    );
+    println!("|---|---|---:|---:|---:|---:|");
+    for (file, r) in &records {
+        let props_per_conflict = if r.conflicts > 0 {
+            format!("{:.1}", r.propagations as f64 / r.conflicts as f64)
+        } else {
+            "\u{2014}".to_string()
+        };
+        println!(
+            "| {} | {} | {:.3} | {} | {} | {} |",
+            r.name,
+            paper_anchor(file),
+            r.wall_ms,
+            r.conflicts,
+            r.propagations,
+            props_per_conflict
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional: Vec<String> = Vec::new();
     let mut max_ratio_arg: Option<String> = None;
     let mut max_conflict_ratio_arg: Option<String> = None;
+    let mut table = false;
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--max-ratio" {
+        if args[i] == "--table" {
+            table = true;
+            i += 1;
+        } else if args[i] == "--max-ratio" {
             max_ratio_arg = args.get(i + 1).cloned();
             i += 2;
         } else if args[i] == "--max-conflict-ratio" {
@@ -74,10 +144,14 @@ fn main() -> ExitCode {
             i += 1;
         }
     }
+    if table {
+        let dir = positional.first().map_or(".", String::as_str);
+        return print_table(Path::new(dir));
+    }
     let [baseline_dir, fresh_dir] = &positional[..] else {
         eprintln!(
             "usage: bench_trend <baseline-dir> <fresh-dir> [--max-ratio R] \
-             [--max-conflict-ratio C]"
+             [--max-conflict-ratio C] | bench_trend --table [dir]"
         );
         return ExitCode::from(2);
     };

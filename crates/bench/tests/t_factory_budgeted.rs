@@ -86,6 +86,11 @@ fn t_factory_budgeted_probe() {
         stats.gc_passes
     );
     println!(
+        "simplification: eliminated_vars={} elim_resolvents={} probed_literals={} \
+         failed_literals={}",
+        stats.eliminated_vars, stats.elim_resolvents, stats.probed_literals, stats.failed_literals
+    );
+    println!(
         "search: decisions={} restarts={} restarts_blocked={} rephases={} oob_enqueues={} \
          missed_implications={}",
         stats.decisions,

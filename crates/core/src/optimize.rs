@@ -201,6 +201,12 @@ impl IncrementalSession {
         let layered = encode_layered(spec, lo, hi).map_err(SynthError::Spec)?;
         let mut solver = CdclSolver::with_config(config.clone());
         solver.add_cnf(&layered.encoding.cnf);
+        // Activation literals come back as assumptions on every probe,
+        // so bounded variable elimination must never resolve them away:
+        // declare them frozen for the lifetime of the session.
+        for &a in &layered.activation {
+            solver.freeze(a.var());
+        }
         Ok(IncrementalSession { layered, solver })
     }
 

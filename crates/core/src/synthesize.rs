@@ -11,6 +11,10 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Which SAT backend to use.
+// Constructed a handful of times per run; the embedded CdclConfig is
+// large but boxing it would push indirection into every call site for
+// no measurable gain.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum BackendChoice {
     /// The in-tree CDCL solver with the given configuration.

@@ -55,11 +55,29 @@
 //! header. Each clause occupies `HEADER_WORDS + len` words:
 //!
 //! ```text
-//! word 0   len << 2 | deleted << 1 | learnt      (packed header)
+//! word 0   len << 6 | tier << 4 | used << 2 | deleted << 1 | learnt
 //! word 1   LBD (literal block distance)
 //! word 2   activity (f32 bit pattern)
 //! word 3…  literal codes (Lit::code), the two watched lits in slots 0/1
 //! ```
+//!
+//! # Three-tier learnt-clause database
+//!
+//! Past [`CdclConfig::simplify_activation_conflicts`] the learnt
+//! clauses split into the three retention tiers of
+//! COMiniSatPS/MapleSAT (Oh's scheme): **core** (LBD ≤ 3, kept
+//! forever), **tier2** (LBD ≤ 6, demoted to local when unused for two
+//! `reduce_db` intervals — the 2-bit `used` counter in the header is
+//! reset on every conflict-analysis participation and counted down by
+//! the tier-maintenance sweep), and **local** (everything else,
+//! activity-sorted, halved by `reduce_db`). Clauses promote when their
+//! LBD improves: conflict analysis recomputes the LBD of every clause
+//! it resolves on and keeps the minimum, and the sweep re-files each
+//! clause by its current header LBD. Before activation all learnts
+//! live in the local tier and `reduce_db` applies the classic
+//! single-list policy, so small lucky-trajectory instances keep their
+//! exact conflict trajectories (same rationale as
+//! [`CdclConfig::chrono_activation_conflicts`]).
 //!
 //! # Garbage collection protocol
 //!
@@ -70,10 +88,10 @@
 //! 1. every live clause is copied front-to-back into a spare buffer and
 //!    its old header is overwritten with a forwarding address
 //!    (`RELOCATED` sentinel in word 0, new offset in word 1);
-//! 2. the `clauses`/`learnts` ref lists, every watcher list, and every
-//!    trail `reason` are rewritten through the forwarding addresses —
-//!    watchers of collected clauses are dropped here, so tombstones
-//!    never survive into `propagate`;
+//! 2. the `clauses` ref list, the three learnt tier lists, every
+//!    watcher list, and every trail `reason` are rewritten through the
+//!    forwarding addresses — watchers of collected clauses are dropped
+//!    here, so tombstones never survive into `propagate`;
 //! 3. the buffers are swapped (the old arena becomes the next GC's
 //!    spare buffer, so steady-state GC allocates nothing).
 //!
@@ -135,6 +153,15 @@
 //! returns the subset of the assumptions the refutation actually used
 //! (MiniSat's `analyzeFinal`), empty when the clauses are contradictory
 //! on their own.
+//!
+//! Inprocessing-time bounded variable elimination (see [`elim`])
+//! removes variables from the live formula; a session that will
+//! mention a variable in *future* clauses or assumptions must declare
+//! it via [`CdclSolver::freeze`] (and may [`CdclSolver::melt`] it
+//! later). Variables of the current call's assumptions are protected
+//! automatically, and a clause or assumption arriving over an already
+//! eliminated variable reintroduces it from the elimination stack
+//! before solving.
 
 use crate::{Backend, Budget, Cnf, Lit, Model, SolveOutcome, Var};
 use rand::rngs::SmallRng;
@@ -143,10 +170,38 @@ use std::sync::atomic::Ordering;
 use std::time::Instant;
 
 mod audit;
+mod elim;
 mod inprocess;
 mod restart;
 
 use audit::AuditPoint;
+use elim::ElimFrame;
+
+/// Multiply-shift hasher for clause-keyed side tables: the keys are
+/// arena offsets (already well spread), and SipHash is a measurable
+/// slice of every inprocessing index build at eager pass cadence.
+#[derive(Default)]
+pub(crate) struct OffsetHash(u64);
+
+impl std::hash::Hasher for OffsetHash {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.0 = u64::from(v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 29;
+    }
+}
+
+/// Clause signature map (arena offset → 64-bit variable signature),
+/// rebuilt by each subsumption pass.
+pub(crate) type SigMap =
+    std::collections::HashMap<u32, u64, std::hash::BuildHasherDefault<OffsetHash>>; // lint:allow(no-std-hashmap): cold, one transient map per inprocessing pass
 
 pub use restart::RestartPolicy;
 use restart::{RephaseKind, RephaseSched, RestartDecision, RestartSched};
@@ -257,6 +312,56 @@ pub struct CdclConfig {
     pub vivify_propagation_budget: u64,
     /// Literal-comparison budget of one subsumption pass.
     pub subsumption_check_budget: u64,
+    /// Minimum conflicts between two subsumption runs. Inprocessing
+    /// passes arriving earlier skip the subsumption stage (but still
+    /// run the cheaper dirty-tracked stages), so an eager
+    /// [`CdclConfig::inprocess_interval`] tuned for variable
+    /// elimination does not multiply the cost of the full-database
+    /// sweeps. `0` runs subsumption on every pass.
+    pub subsume_conflict_gap: u64,
+    /// Minimum conflicts between two vivification runs, like
+    /// [`CdclConfig::subsume_conflict_gap`]. `0` vivifies on every
+    /// pass.
+    pub vivify_conflict_gap: u64,
+    /// Enable the three-tier learnt-clause database (core / tier2 /
+    /// local) past [`CdclConfig::simplify_activation_conflicts`]. See
+    /// the [module docs](self).
+    pub use_tiers: bool,
+    /// Enable inprocessing-time bounded variable elimination (the
+    /// resolution half of SatELite; see [`elim`]).
+    pub use_elim: bool,
+    /// Enable level-0 failed-literal probing on the roots of the
+    /// binary implication graph during inprocessing (see [`elim`]).
+    pub use_probing: bool,
+    /// Session conflicts before the tier database, variable
+    /// elimination and failed-literal probing activate. Like
+    /// [`CdclConfig::chrono_activation_conflicts`], these are long-run
+    /// optimizations: gating them keeps small lucky-trajectory
+    /// instances on their exact legacy trajectories. `0` activates
+    /// immediately.
+    pub simplify_activation_conflicts: u64,
+    /// Variable elimination only considers variables with at most this
+    /// many positive and this many negative occurrences.
+    pub elim_occurrence_cap: usize,
+    /// Variable elimination skips variables occurring in any clause
+    /// longer than this (long resolvents are rarely worth the growth).
+    pub elim_clause_size_cap: usize,
+    /// Literal-comparison budget of one variable-elimination pass.
+    pub elim_check_budget: u64,
+    /// Allowed clause-count growth per eliminated variable: a
+    /// variable is eliminated when its non-tautological resolvents
+    /// number at most the clauses they replace *plus this margin*
+    /// (`0` is the classic never-grow rule).
+    pub elim_grow: usize,
+    /// Elimination rounds per inprocessing pass: each round's
+    /// resolvents can turn their variables into fresh candidates, so
+    /// extra rounds reach variables the occurrence index marked stale
+    /// mid-round. The dirty-set makes repeat rounds cheap (they only
+    /// index candidate variables); each round gets its own
+    /// [`CdclConfig::elim_check_budget`].
+    pub elim_rounds: usize,
+    /// Unit-propagation budget of one failed-literal probing pass.
+    pub probe_propagation_budget: u64,
     /// Enable the deep solver-state auditor (see [`solver::audit`](self)):
     /// after propagation, conflict analysis, backtracking, garbage
     /// collection and every inprocessing pass the full state is checked
@@ -295,16 +400,36 @@ impl Default for CdclConfig {
             random_var_freq: 0.0,
             random_polarity_freq: 0.0,
             max_learnts_floor: 1000.0,
-            use_vivification: true,
+            // The reference inprocessing mix is A/B-tuned on the
+            // budgeted Fig. 17 probe: eager, wide-margin variable
+            // elimination under the tier database wins ~1.4x in
+            // propagations per conflict, subsumption on every pass
+            // protects that trajectory, while vivification and
+            // probing (kept for the portfolio and the torture matrix)
+            // cost more than they return there and sit off in the
+            // reference configuration.
+            use_vivification: false,
             use_subsumption: true,
             subsumption_touched_only: true,
             subsumption_full_sweep_interval: 5,
             use_chrono: true,
             chrono_threshold: 0,
             chrono_activation_conflicts: 2000,
-            inprocess_interval: 20_000,
+            inprocess_interval: 3_000,
             vivify_propagation_budget: 100_000,
-            subsumption_check_budget: 1_000_000,
+            subsumption_check_budget: 500_000,
+            subsume_conflict_gap: 0,
+            vivify_conflict_gap: 0,
+            use_tiers: true,
+            use_elim: true,
+            use_probing: false,
+            simplify_activation_conflicts: 2000,
+            elim_occurrence_cap: 30,
+            elim_clause_size_cap: 24,
+            elim_check_budget: 16_000_000,
+            elim_grow: 12,
+            elim_rounds: 1,
+            probe_propagation_budget: 100_000,
             audit: false,
             audit_interval: 1,
         }
@@ -350,16 +475,26 @@ impl CdclConfig {
                 config.use_subsumption = false;
                 config.use_chrono = false;
                 config.use_rephasing = false;
+                config.use_tiers = false;
+                config.use_elim = false;
+                config.use_probing = false;
             }
             _ => {
                 // Slow decay with a strong random-walk component, eager
                 // rephasing and eager, bigger-budget full-database
-                // inprocessing.
+                // inprocessing with every pass enabled (vivification
+                // and probing are off in the reference configuration;
+                // this arm keeps them in the portfolio).
                 config.var_decay = 0.99;
                 config.random_var_freq = 0.1;
                 config.inprocess_interval = 500;
+                config.use_vivification = true;
+                config.use_probing = true;
                 config.vivify_propagation_budget = 400_000;
                 config.subsumption_check_budget = 4_000_000;
+                config.elim_check_budget = 4_000_000;
+                config.probe_propagation_budget = 400_000;
+                config.simplify_activation_conflicts = 0;
                 config.subsumption_touched_only = false;
                 config.use_chrono = false;
                 config.rephase_interval = 2_000;
@@ -415,6 +550,16 @@ pub struct SolverStats {
     /// Rephase passes applied (saved phases reset to the best-trail
     /// snapshot / inverted / random).
     pub rephases: u64,
+    /// Variables removed by bounded variable elimination (net of
+    /// reintroductions forced by later clauses or assumptions).
+    pub eliminated_vars: u64,
+    /// Resolvent clauses added by variable elimination.
+    pub elim_resolvents: u64,
+    /// Literals probed by failed-literal probing.
+    pub probed_literals: u64,
+    /// Probed literals whose propagation conflicted — each one learns
+    /// a root-level unit (the literal's negation).
+    pub failed_literals: u64,
 }
 
 impl SolverStats {
@@ -452,6 +597,10 @@ impl SolverStats {
                 .restarts_blocked
                 .saturating_sub(earlier.restarts_blocked),
             rephases: self.rephases.saturating_sub(earlier.rephases),
+            eliminated_vars: self.eliminated_vars.saturating_sub(earlier.eliminated_vars),
+            elim_resolvents: self.elim_resolvents.saturating_sub(earlier.elim_resolvents),
+            probed_literals: self.probed_literals.saturating_sub(earlier.probed_literals),
+            failed_literals: self.failed_literals.saturating_sub(earlier.failed_literals),
         }
     }
 }
@@ -570,6 +719,32 @@ impl CdclSolver {
             .as_ref()
             .map_or(&[], |s| s.assumption_conflict.as_slice())
     }
+
+    /// Declares that `v` must survive inprocessing: bounded variable
+    /// elimination will never resolve it away. Callers that will
+    /// mention a variable in *future* `add_clause`/`solve_assuming`
+    /// calls (activation literals of a layered encoding, selector
+    /// variables) must freeze it up front; variables of the current
+    /// call's assumptions are protected automatically. Freezing an
+    /// already eliminated variable reintroduces it first. Grows the
+    /// variable space on demand.
+    pub fn freeze(&mut self, v: Var) {
+        let state = self.session_mut();
+        state.ensure_vars(v.index() + 1);
+        state.freeze_var(v);
+    }
+
+    /// Releases a [`CdclSolver::freeze`] declaration: `v` becomes
+    /// eligible for elimination again at the next inprocessing pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session does not have `v`.
+    pub fn melt(&mut self, v: Var) {
+        let state = self.session_mut();
+        assert!(v.index() < state.num_vars, "melt of unknown variable {v}");
+        state.frozen[v.index()] = false;
+    }
 }
 
 impl Backend for CdclSolver {
@@ -595,14 +770,35 @@ impl ClauseRef {
 }
 
 /// Words of metadata preceding a clause's literals: packed
-/// `len/deleted/learnt`, LBD, and activity (f32 bits).
+/// `len/tier/used/deleted/learnt`, LBD, and activity (f32 bits).
 const HEADER_WORDS: usize = 3;
 const LEARNT_BIT: u32 = 1;
 const DELETED_BIT: u32 = 2;
-const LEN_SHIFT: u32 = 2;
+/// 2-bit saturating `used` counter: reset to 2 when conflict analysis
+/// resolves on the clause, counted down by the tier-maintenance sweep
+/// of `reduce_db` — a tier2 clause reaching 0 demotes to local.
+const USED_SHIFT: u32 = 2;
+const USED_MASK: u32 = 0b11 << USED_SHIFT;
+/// 2-bit retention tier ([`TIER_CORE`]/[`TIER_TIER2`]/[`TIER_LOCAL`]),
+/// meaningful for learnt clauses only. The tier bits always agree with
+/// the ref list holding the clause (an audited invariant).
+const TIER_SHIFT: u32 = 4;
+const TIER_MASK: u32 = 0b11 << TIER_SHIFT;
+const LEN_SHIFT: u32 = 6;
+/// Learnt-clause retention tiers, indexing `State::learnts`.
+const TIER_CORE: usize = 0;
+const TIER_TIER2: usize = 1;
+const TIER_LOCAL: usize = 2;
+/// Conflict interval between tiered `reduce_db` sweeps (Glucose's
+/// schedule), used instead of the `max_learnts` size trigger while the
+/// tier database is active.
+const TIER_REDUCE_BASE: u64 = 2000;
+/// Per-sweep stretch of the tiered reduce interval.
+const TIER_REDUCE_STEP: u64 = 300;
 /// Written into header word 0 during GC once a clause has been copied
 /// out; word 1 then holds the new offset. Unreachable as a real header
-/// (it would imply a ~2³⁰-literal clause with both flags set).
+/// (`alloc` caps clause length below the 26-bit field, so a real
+/// header never has all length bits set).
 const RELOCATED: u32 = u32::MAX;
 
 /// The flat clause store. See the [module docs](self) for the layout.
@@ -619,6 +815,12 @@ impl ClauseArena {
         assert!(
             off + HEADER_WORDS + lits.len() < (1usize << 31),
             "clause arena exceeds 31-bit addressing"
+        );
+        // The length field is 26 bits wide; keeping the all-ones value
+        // unreachable is what makes RELOCATED unambiguous.
+        assert!(
+            lits.len() < (1 << 26) - 1,
+            "clause exceeds the header length field"
         );
         let header = ((lits.len() as u32) << LEN_SHIFT) | (learnt as u32 * LEARNT_BIT);
         self.data.push(header);
@@ -647,9 +849,37 @@ impl ClauseArena {
         self.data[c.0 as usize] |= DELETED_BIT;
     }
 
+    /// Retention tier of a learnt clause (meaningless for originals).
+    #[inline]
+    fn tier(&self, c: ClauseRef) -> usize {
+        ((self.data[c.0 as usize] & TIER_MASK) >> TIER_SHIFT) as usize
+    }
+
+    fn set_tier(&mut self, c: ClauseRef, tier: usize) {
+        let h = &mut self.data[c.0 as usize];
+        *h = (*h & !TIER_MASK) | ((tier as u32) << TIER_SHIFT);
+    }
+
+    /// The 2-bit `used` counter (conflict-analysis participation since
+    /// the last tier-maintenance sweeps).
+    #[inline]
+    fn used(&self, c: ClauseRef) -> u32 {
+        (self.data[c.0 as usize] & USED_MASK) >> USED_SHIFT
+    }
+
+    fn set_used(&mut self, c: ClauseRef, used: u32) {
+        debug_assert!(used <= 3);
+        let h = &mut self.data[c.0 as usize];
+        *h = (*h & !USED_MASK) | (used << USED_SHIFT);
+    }
+
     #[inline]
     fn lbd(&self, c: ClauseRef) -> u32 {
         self.data[c.0 as usize + 1]
+    }
+
+    fn set_lbd(&mut self, c: ClauseRef, lbd: u32) {
+        self.data[c.0 as usize + 1] = lbd;
     }
 
     #[inline]
@@ -829,8 +1059,11 @@ struct State {
     arena: ClauseArena,
     /// Refs of the original (problem) clauses, in attach order.
     clauses: Vec<ClauseRef>,
-    /// Refs of the live learnt clauses.
-    learnts: Vec<ClauseRef>,
+    /// Refs of the live learnt clauses, split into the three retention
+    /// tiers (core / tier2 / local — see the module docs). Until
+    /// `tiers_active` flips, every learnt clause lives in
+    /// [`TIER_LOCAL`] and the other two lists stay empty.
+    learnts: [Vec<ClauseRef>; 3],
     watches: Vec<Vec<Watcher>>,
     /// Assignment value per *literal* code (`1` true, `-1` false,
     /// `0` unassigned): the blocker test in `propagate` is the hottest
@@ -862,6 +1095,11 @@ struct State {
     /// Until this flips, the trail is level-sorted and `propagate`
     /// skips all assertion-level bookkeeping.
     oob_active: bool,
+    /// Whether the three-tier learnt database is live: `use_tiers`
+    /// enabled *and* past `simplify_activation_conflicts`. Until this
+    /// flips, attach/analyze/reduce keep the exact legacy single-list
+    /// behavior.
+    tiers_active: bool,
     /// Per-variable polarity snapshot of the deepest trail seen since
     /// the last rephase (the *target phases*).
     target_phase: Vec<bool>,
@@ -877,6 +1115,18 @@ struct State {
     next_inprocess: u64,
     /// Inprocessing passes run so far — stretches the interval.
     inprocess_passes: u64,
+    /// Conflict count that re-arms the subsumption stage
+    /// ([`CdclConfig::subsume_conflict_gap`]).
+    next_subsume: u64,
+    /// Conflict count that re-arms the vivification stage
+    /// ([`CdclConfig::vivify_conflict_gap`]).
+    next_vivify: u64,
+    /// Conflict count that triggers the next tier maintenance +
+    /// local-tier halving while the tier database is active (0 until
+    /// the first post-activation check seeds it).
+    next_reduce: u64,
+    /// Tiered `reduce_db` sweeps run so far — stretches the interval.
+    reductions: u64,
     /// Rotation cursor into the vivification candidate order, persisted
     /// across passes so budget-limited passes cover the whole database
     /// over time instead of re-probing the same head clauses.
@@ -894,6 +1144,38 @@ struct State {
     /// search's saved polarities.
     phase_probing: bool,
     root_unsat: bool,
+    /// Per-variable freeze marks ([`CdclSolver::freeze`]): frozen
+    /// variables are never eliminated.
+    frozen: Vec<bool>,
+    /// Per-variable elimination marks: an eliminated variable has no
+    /// live clause mentioning it, is never decided on, and stays
+    /// unassigned until reconstruction (or reintroduction) — all
+    /// audited invariants.
+    eliminated: Vec<bool>,
+    /// Transient per-solve marks of the current call's assumption
+    /// variables — protected from elimination like frozen ones, but
+    /// cleared (via `last_assumed`) when the next call starts, so a
+    /// variable assumed once is not fenced off forever.
+    assumed: Vec<bool>,
+    /// The variables marked in `assumed`, for O(assumptions) clearing.
+    last_assumed: Vec<u32>,
+    /// Elimination stack for model reconstruction: one frame per
+    /// eliminated variable holding every original clause that
+    /// mentioned it, in elimination order. SAT models are completed by
+    /// walking the stack in reverse (see [`elim`]); reintroduction
+    /// pops frames LIFO.
+    elim_stack: Vec<ElimFrame>,
+    /// Per-variable retry marks for bounded variable elimination:
+    /// `true` means the variable's *original* occurrences changed since
+    /// its last elimination attempt, so the next pass should retry it.
+    /// Every site that adds, deletes, strengthens, or promotes an
+    /// original clause marks its variables — steady-state passes then
+    /// skip the (vast) quiesced majority instead of re-running the
+    /// quadratic resolve-and-check on every variable.
+    elim_dirty: Vec<bool>,
+    /// Rotation cursor into the probe candidate order, persisted across
+    /// passes like `vivify_cursor`.
+    probe_cursor: usize,
     /// Clauses added so far (before root simplification) — sizes the
     /// learnt-clause budget at each solve.
     num_added_clauses: usize,
@@ -923,7 +1205,7 @@ impl State {
             num_vars: 0,
             arena: ClauseArena::default(),
             clauses: Vec::new(),
-            learnts: Vec::new(),
+            learnts: [Vec::new(), Vec::new(), Vec::new()],
             watches: Vec::new(),
             lit_val: Vec::new(),
             level: Vec::new(),
@@ -942,6 +1224,7 @@ impl State {
             learnt_buf: Vec::new(),
             trail_keep: Vec::new(),
             oob_active: false,
+            tiers_active: false,
             target_phase: Vec::new(),
             rephase,
             lbd_stamp: vec![0],
@@ -949,11 +1232,22 @@ impl State {
             gc_buf: Vec::new(),
             next_inprocess,
             inprocess_passes: 0,
+            next_subsume: 0,
+            next_vivify: 0,
+            next_reduce: 0,
+            reductions: 0,
             vivify_cursor: 0,
             touched: Vec::new(),
             subsumption_passes: 0,
             phase_probing: false,
             root_unsat: false,
+            frozen: Vec::new(),
+            eliminated: Vec::new(),
+            assumed: Vec::new(),
+            last_assumed: Vec::new(),
+            elim_stack: Vec::new(),
+            elim_dirty: Vec::new(),
+            probe_cursor: 0,
             num_added_clauses: 0,
             assumption_conflict: Vec::new(),
             audit_on,
@@ -994,6 +1288,10 @@ impl State {
         self.polarity.push(false);
         self.target_phase.push(false);
         self.seen.push(false);
+        self.frozen.push(false);
+        self.eliminated.push(false);
+        self.assumed.push(false);
+        self.elim_dirty.push(true);
         // One stamp per possible decision level (0..=num_vars).
         self.lbd_stamp.push(0);
         self.order.pos.push(-1);
@@ -1011,13 +1309,23 @@ impl State {
     }
 
     /// Adds a clause between solves: backtracks to level 0 first, then
-    /// root-simplifies and attaches. A root-level contradiction latches
-    /// `root_unsat` permanently.
+    /// root-simplifies and attaches. A clause mentioning an eliminated
+    /// variable reintroduces it (and, LIFO, everything eliminated
+    /// after it) before the clause attaches. A root-level
+    /// contradiction latches `root_unsat` permanently.
     fn add_clause_checked(&mut self, lits: &[Lit]) {
         if self.root_unsat {
             return;
         }
         self.cancel_until(0);
+        for &l in lits {
+            if self.eliminated[l.var().index()] {
+                self.restore_var(l.var().index());
+                if self.root_unsat {
+                    return;
+                }
+            }
+        }
         self.num_added_clauses += 1;
         if !self.add_original_clause(lits) {
             self.root_unsat = true;
@@ -1068,6 +1376,11 @@ impl State {
                 true
             }
             _ => {
+                // A new original changes its variables' resolution
+                // partner sets: queue them for the next BVE pass.
+                for &l in &c {
+                    self.elim_dirty[l.var().index()] = true;
+                }
                 self.attach_clause(&c, false, 0);
                 true
             }
@@ -1091,7 +1404,20 @@ impl State {
         self.watches[lits[0].code()].push(Watcher::new(cref, lits[1], binary));
         self.watches[lits[1].code()].push(Watcher::new(cref, lits[0], binary));
         if learnt {
-            self.learnts.push(cref);
+            // Route by LBD once the tier database is live; until then
+            // everything goes to local (the legacy single list). A
+            // fresh learnt starts with a full `used` countdown — it
+            // just participated in the conflict that derived it.
+            let tier = if self.tiers_active {
+                Self::tier_for_lbd(lbd)
+            } else {
+                TIER_LOCAL
+            };
+            self.arena.set_tier(cref, tier);
+            if self.tiers_active {
+                self.arena.set_used(cref, 2);
+            }
+            self.learnts[tier].push(cref);
         } else {
             self.clauses.push(cref);
         }
@@ -1308,12 +1634,44 @@ impl State {
         let a = self.arena.activity(cref) + self.cla_inc as f32;
         self.arena.set_activity(cref, a);
         if a > 1e20 {
-            for i in 0..self.learnts.len() {
-                let c = self.learnts[i];
-                let scaled = self.arena.activity(c) * 1e-20;
-                self.arena.set_activity(c, scaled);
+            for t in 0..self.learnts.len() {
+                for i in 0..self.learnts[t].len() {
+                    let c = self.learnts[t][i];
+                    let scaled = self.arena.activity(c) * 1e-20;
+                    self.arena.set_activity(c, scaled);
+                }
             }
             self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// Tier bookkeeping at conflict-analysis participation (the tier
+    /// database's `bump`): reset the `used` countdown and recompute the
+    /// clause's LBD from the current levels, keeping the minimum —
+    /// LBD improvements are what promote clauses at the next
+    /// tier-maintenance sweep. Every literal of `cref` is assigned
+    /// here (conflict and reason clauses both are), so the level read
+    /// is total.
+    fn mark_used(&mut self, cref: ClauseRef) {
+        if !self.arena.is_learnt(cref) {
+            return;
+        }
+        self.arena.set_used(cref, 2);
+        self.lbd_gen = self.lbd_gen.wrapping_add(1);
+        if self.lbd_gen == 0 {
+            self.lbd_stamp.fill(0);
+            self.lbd_gen = 1;
+        }
+        let mut lbd = 0u32;
+        for k in 0..self.arena.len(cref) {
+            let lev = self.level[self.arena.lit(cref, k).var().index()] as usize;
+            if self.lbd_stamp[lev] != self.lbd_gen {
+                self.lbd_stamp[lev] = self.lbd_gen;
+                lbd += 1;
+            }
+        }
+        if lbd < self.arena.lbd(cref) {
+            self.arena.set_lbd(cref, lbd);
         }
     }
 
@@ -1331,6 +1689,9 @@ impl State {
         let mut idx = self.trail.len();
         loop {
             self.bump_clause(confl);
+            if self.tiers_active {
+                self.mark_used(confl);
+            }
             let len = self.arena.len(confl);
             for k in 0..len {
                 let q = self.arena.lit(confl, k);
@@ -1591,13 +1952,13 @@ impl State {
         {
             for _ in 0..8 {
                 let v = self.rng.random_range(0..self.num_vars);
-                if self.is_unassigned(v) {
+                if self.is_unassigned(v) && !self.eliminated[v] {
                     return Some(self.choose_polarity(v));
                 }
             }
         }
         while let Some(v) = self.order.pop_max() {
-            if self.is_unassigned(v as usize) {
+            if self.is_unassigned(v as usize) && !self.eliminated[v as usize] {
                 return Some(self.choose_polarity(v as usize));
             }
         }
@@ -1710,22 +2071,78 @@ impl State {
         })
     }
 
-    /// Halves the learnt database (worst LBD, then lowest activity) and
-    /// immediately garbage-collects the arena.
+    /// Total live learnt clauses across the three tiers.
+    fn num_learnts(&self) -> usize {
+        self.learnts.iter().map(Vec::len).sum()
+    }
+
+    /// The retention tier a learnt clause's LBD assigns it to.
+    fn tier_for_lbd(lbd: u32) -> usize {
+        match lbd {
+            0..=3 => TIER_CORE,
+            4..=6 => TIER_TIER2,
+            _ => TIER_LOCAL,
+        }
+    }
+
+    /// Tier-maintenance sweep, run at each `reduce_db` while the tier
+    /// database is live: re-files every learnt clause from its header
+    /// LBD (promotion on improvement — core is never left again) and
+    /// counts down the `used` countdown of tier2 clauses, demoting
+    /// those that sat out two consecutive sweeps to local.
+    fn tier_maintenance(&mut self) {
+        let all: Vec<ClauseRef> = self.learnts.iter().flatten().copied().collect();
+        for list in &mut self.learnts {
+            list.clear();
+        }
+        for c in all {
+            let by_lbd = Self::tier_for_lbd(self.arena.lbd(c));
+            // `min` promotes (LBD only improves) and keeps core sticky.
+            let mut tier = self.arena.tier(c).min(by_lbd);
+            if tier == TIER_TIER2 {
+                let used = self.arena.used(c);
+                if used == 0 {
+                    tier = TIER_LOCAL;
+                } else {
+                    self.arena.set_used(c, used - 1);
+                }
+            }
+            self.arena.set_tier(c, tier);
+            self.learnts[tier].push(c);
+        }
+    }
+
+    /// Halves the deletable learnt clauses and immediately
+    /// garbage-collects the arena. With the tier database live, a
+    /// maintenance sweep re-files the tiers first and only the local
+    /// tier is halved, lowest activity first; before activation the
+    /// classic single-list policy applies (worst LBD, then lowest
+    /// activity, sparing everything with LBD ≤ 3).
     fn reduce_db(&mut self) {
-        let mut candidates: Vec<ClauseRef> = self
-            .learnts
+        if self.tiers_active {
+            self.tier_maintenance();
+        }
+        let tiers_active = self.tiers_active;
+        let mut candidates: Vec<ClauseRef> = self.learnts[TIER_LOCAL]
             .iter()
             .copied()
-            .filter(|&c| self.arena.len(c) > 2 && self.arena.lbd(c) > 3 && !self.is_locked(c))
+            .filter(|&c| {
+                self.arena.len(c) > 2
+                    && (tiers_active || self.arena.lbd(c) > 3)
+                    && !self.is_locked(c)
+            })
             .collect();
         candidates.sort_by(|&a, &b| {
-            self.arena.lbd(b).cmp(&self.arena.lbd(a)).then(
-                self.arena
-                    .activity(a)
-                    .partial_cmp(&self.arena.activity(b))
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
+            let by_activity = self
+                .arena
+                .activity(a)
+                .partial_cmp(&self.arena.activity(b))
+                .unwrap_or(std::cmp::Ordering::Equal);
+            if tiers_active {
+                by_activity
+            } else {
+                self.arena.lbd(b).cmp(&self.arena.lbd(a)).then(by_activity)
+            }
         });
         let remove = candidates.len() / 2;
         for &c in &candidates[..remove] {
@@ -1756,14 +2173,19 @@ impl State {
             true
         });
         self.clauses = clauses;
+        // Tier order (core, tier2, local) keeps the pre-activation
+        // layout identical to the legacy single list: the first two
+        // tiers are empty until the tier database activates.
         let mut learnts = std::mem::take(&mut self.learnts);
-        learnts.retain_mut(|c| {
-            if self.arena.is_deleted(*c) {
-                return false;
-            }
-            *c = self.arena.relocate(*c, &mut dst);
-            true
-        });
+        for list in &mut learnts {
+            list.retain_mut(|c| {
+                if self.arena.is_deleted(*c) {
+                    return false;
+                }
+                *c = self.arena.relocate(*c, &mut dst);
+                true
+            });
+        }
         self.learnts = learnts;
         // The touched work list forwards like the ref lists (its
         // entries were relocated above); collected clauses drop out.
@@ -1813,7 +2235,7 @@ impl State {
         let live_words: usize = self
             .clauses
             .iter()
-            .chain(&self.learnts)
+            .chain(self.learnts.iter().flatten())
             .map(|&c| HEADER_WORDS + self.arena.len(c))
             .sum();
         assert_eq!(
@@ -1845,7 +2267,7 @@ impl State {
         }
         assert_eq!(
             watcher_count,
-            2 * (self.clauses.len() + self.learnts.len()),
+            2 * (self.clauses.len() + self.num_learnts()),
             "every attached clause has exactly two watchers"
         );
     }
@@ -1890,6 +2312,25 @@ impl State {
         // decision level (and leave the trail fully assigned on SAT);
         // every call starts back at the root.
         self.cancel_until(0);
+        // Re-mark this call's assumption variables (protecting them
+        // from mid-solve elimination) and reintroduce any that a
+        // previous call's inprocessing eliminated.
+        while let Some(v) = self.last_assumed.pop() {
+            self.assumed[v as usize] = false;
+        }
+        for a in assumptions {
+            let v = a.var().index();
+            if !self.assumed[v] {
+                self.assumed[v] = true;
+                self.last_assumed.push(v as u32);
+            }
+            if self.eliminated[v] {
+                self.restore_var(v);
+                if self.root_unsat {
+                    return SolveOutcome::Unsat;
+                }
+            }
+        }
         // Size the learnt budget to the clauses added so far, without
         // undoing growth from previous `reduce_db` passes.
         self.max_learnts = self
@@ -1904,12 +2345,16 @@ impl State {
         let mut sched = RestartSched::new(&self.config, self.stats.restarts);
         self.oob_active = self.config.use_chrono
             && self.stats.conflicts >= self.config.chrono_activation_conflicts;
+        self.tiers_active = self.config.use_tiers
+            && self.stats.conflicts >= self.config.simplify_activation_conflicts;
         loop {
             if let Some(confl) = self.propagate() {
                 self.audit_checkpoint(AuditPoint::Propagate);
                 self.stats.conflicts += 1;
                 self.oob_active = self.config.use_chrono
                     && self.stats.conflicts >= self.config.chrono_activation_conflicts;
+                self.tiers_active = self.config.use_tiers
+                    && self.stats.conflicts >= self.config.simplify_activation_conflicts;
                 // Target-phase snapshot: remember the polarities of the
                 // deepest trail seen (growth-gated so the copies stay
                 // logarithmic per rephase epoch).
@@ -2045,9 +2490,28 @@ impl State {
                     }
                     RestartDecision::Continue => {}
                 }
-                if self.config.use_clause_deletion && self.learnts.len() as f64 >= self.max_learnts
-                {
-                    self.reduce_db();
+                // With the tier database live, reduction runs on a
+                // Glucose-style conflict-interval schedule (stretching
+                // by `TIER_REDUCE_STEP` per sweep) rather than waiting
+                // for the size trigger: the budgeted T-factory run
+                // never reaches `max_learnts` (seeded at added/3) and
+                // would otherwise drag tens of thousands of stale
+                // local clauses through every propagation. Core and
+                // tier2 are bounded by their LBD admission instead.
+                if self.config.use_clause_deletion {
+                    if self.tiers_active {
+                        if self.next_reduce == 0 {
+                            self.next_reduce = self.stats.conflicts + TIER_REDUCE_BASE;
+                        } else if self.stats.conflicts >= self.next_reduce {
+                            self.reduce_db();
+                            self.reductions += 1;
+                            self.next_reduce = self.stats.conflicts
+                                + TIER_REDUCE_BASE
+                                + TIER_REDUCE_STEP * self.reductions;
+                        }
+                    } else if self.num_learnts() as f64 >= self.max_learnts {
+                        self.reduce_db();
+                    }
                 }
                 // Re-apply assumptions as pseudo-decisions.
                 if (self.decision_level() as usize) < assumptions.len() {
@@ -2077,9 +2541,16 @@ impl State {
                     }
                     None => {
                         self.audit_checkpoint(AuditPoint::Sat);
-                        let values = (0..self.num_vars)
+                        let mut values: Vec<bool> = (0..self.num_vars)
                             .map(|v| self.lit_val[2 * v] == 1)
                             .collect();
+                        // Complete the model over the eliminated
+                        // variables from the elimination stack (and,
+                        // audited, re-check every stacked clause).
+                        self.reconstruct_model(&mut values);
+                        if self.audit_on {
+                            self.audit_reconstruction(&values);
+                        }
                         return SolveOutcome::Sat(Model::new(values));
                     }
                 }
@@ -2167,6 +2638,111 @@ mod tests {
         assert!(arena.is_learnt(nb));
         assert_eq!(arena.lit(nb, 0), lit(-1));
         assert_eq!(arena.lit(nb, 1), lit(-2));
+    }
+
+    #[test]
+    fn arena_roundtrips_tier_and_used_bits() {
+        let mut arena = ClauseArena::default();
+        let c = arena.alloc(&[lit(1), lit(-2)], true, 5);
+        assert_eq!(arena.tier(c), TIER_CORE); // alloc zeroes the tier bits
+        assert_eq!(arena.used(c), 0);
+        arena.set_tier(c, TIER_TIER2);
+        arena.set_used(c, 2);
+        assert_eq!(arena.tier(c), TIER_TIER2);
+        assert_eq!(arena.used(c), 2);
+        // Neither field bleeds into its header neighbours.
+        assert_eq!(arena.len(c), 2);
+        assert_eq!(arena.lbd(c), 5);
+        assert!(arena.is_learnt(c));
+        assert!(!arena.is_deleted(c));
+        arena.set_used(c, 1);
+        assert_eq!(arena.used(c), 1);
+        assert_eq!(arena.tier(c), TIER_TIER2);
+        // Both survive relocation verbatim.
+        let mut dst = Vec::new();
+        let nc = arena.relocate(c, &mut dst);
+        arena.data = dst;
+        assert_eq!(arena.tier(nc), TIER_TIER2);
+        assert_eq!(arena.used(nc), 1);
+        assert_eq!(arena.lbd(nc), 5);
+        assert!(arena.is_learnt(nc));
+    }
+
+    #[test]
+    fn tier_for_lbd_arithmetic() {
+        for (lbd, tier) in [
+            (0, TIER_CORE),
+            (1, TIER_CORE),
+            (3, TIER_CORE),
+            (4, TIER_TIER2),
+            (6, TIER_TIER2),
+            (7, TIER_LOCAL),
+            (30, TIER_LOCAL),
+        ] {
+            assert_eq!(State::tier_for_lbd(lbd), tier, "lbd {lbd}");
+        }
+    }
+
+    #[test]
+    fn tier_maintenance_promotes_and_demotes() {
+        let c = cnf(&[&[1, 2, 3]]);
+        let mut st = State::new(&c, CdclConfig::default());
+        st.tiers_active = true;
+        let core = st.attach_clause_quiet(&[lit(1), lit(2)], true, 2);
+        let t2 = st.attach_clause_quiet(&[lit(1), lit(3)], true, 5);
+        let local = st.attach_clause_quiet(&[lit(2), lit(3)], true, 9);
+        assert_eq!(st.arena.tier(core), TIER_CORE);
+        assert_eq!(st.arena.tier(t2), TIER_TIER2);
+        assert_eq!(st.arena.tier(local), TIER_LOCAL);
+        assert!(st.learnts[TIER_TIER2].contains(&t2));
+        // An LBD improvement (recorded by `mark_used` during analysis)
+        // promotes at the next sweep.
+        st.arena.set_lbd(local, 4);
+        st.tier_maintenance();
+        assert_eq!(st.arena.tier(local), TIER_TIER2);
+        assert!(st.learnts[TIER_TIER2].contains(&local));
+        // Fresh clauses carry a used countdown of 2 and survive exactly
+        // two sweeps without participation; the third demotes.
+        assert_eq!(st.arena.used(t2), 1);
+        st.tier_maintenance();
+        assert_eq!(st.arena.used(t2), 0);
+        assert_eq!(st.arena.tier(t2), TIER_TIER2);
+        st.tier_maintenance();
+        assert_eq!(st.arena.tier(t2), TIER_LOCAL);
+        assert!(st.learnts[TIER_LOCAL].contains(&t2));
+        // `mark_used` resets the countdown and keeps the minimum LBD.
+        st.mark_used(core);
+        assert_eq!(st.arena.used(core), 2);
+        assert_eq!(st.arena.lbd(core), 1); // all literals at level 0
+                                           // Core is sticky: sweeps never move it.
+        for _ in 0..3 {
+            st.tier_maintenance();
+        }
+        assert_eq!(st.arena.tier(core), TIER_CORE);
+        assert!(st.learnts[TIER_CORE].contains(&core));
+    }
+
+    #[test]
+    fn used_bits_and_tier_lists_survive_gc() {
+        let c = cnf(&[&[1, 2, 3]]);
+        let mut st = State::new(&c, CdclConfig::default());
+        st.tiers_active = true;
+        let t2 = st.attach_clause_quiet(&[lit(1), lit(3)], true, 5);
+        st.attach_clause_quiet(&[lit(1), lit(2)], true, 2);
+        let doomed = st.attach_clause_quiet(&[lit(2), lit(3)], true, 9);
+        st.arena.set_used(t2, 1);
+        st.arena.mark_deleted(doomed);
+        st.detach_clause(doomed);
+        st.collect_garbage();
+        assert_eq!(st.learnts[TIER_CORE].len(), 1);
+        assert_eq!(st.learnts[TIER_TIER2].len(), 1);
+        assert!(st.learnts[TIER_LOCAL].is_empty());
+        let core = st.learnts[TIER_CORE][0];
+        let t2 = st.learnts[TIER_TIER2][0];
+        assert_eq!(st.arena.tier(core), TIER_CORE);
+        assert_eq!(st.arena.used(core), 2);
+        assert_eq!(st.arena.tier(t2), TIER_TIER2);
+        assert_eq!(st.arena.used(t2), 1);
     }
 
     #[test]
@@ -2618,6 +3194,10 @@ mod tests {
             chrono_threshold: 0,
             chrono_activation_conflicts: 0,
             max_learnts_floor: 8.0,
+            // Every pass on, including the two the reference
+            // configuration leaves off.
+            use_vivification: true,
+            use_probing: true,
             ..CdclConfig::default()
         }
     }

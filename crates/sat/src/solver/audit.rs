@@ -35,9 +35,16 @@
 //!   the recorded assertion level.
 //! * **VSIDS heap shape** — the position index inverts the heap, the
 //!   max-heap ordering holds, and every unassigned variable is present
-//!   (so `decide` can never go blind).
-//! * **Model soundness** — on SAT, every variable is assigned and every
-//!   original (and learnt) clause is satisfied.
+//!   (so `decide` can never go blind). Eliminated variables are exempt:
+//!   `decide` skips them whether or not they sit in the heap.
+//! * **Elimination discipline** — the elimination stack carries exactly
+//!   one frame per eliminated variable, eliminated variables are
+//!   unassigned, reason-free, unfrozen, and appear in no live clause.
+//! * **Model soundness** — on SAT, every non-eliminated variable is
+//!   assigned and every original (and learnt) clause is satisfied. The
+//!   *reconstructed* model (extended over the eliminated variables) is
+//!   checked separately by `audit_reconstruction` against the clauses
+//!   stored on the elimination stack.
 //!
 //! During an inprocessing pass clauses are marked deleted (and
 //! detached) before the closing GC reclaims them, so the `Inprocess`
@@ -49,7 +56,6 @@
 use super::*;
 // Audited, not hot: the occurrence-index check mirrors `subsume`'s own
 // map type. lint:allow(no-std-hashmap)
-use std::collections::HashMap;
 
 /// Which search event triggered a checkpoint. Controls throttling and
 /// the tombstone tolerance of the `Inprocess` point.
@@ -64,8 +70,9 @@ pub(super) enum AuditPoint {
     Backtrack,
     /// A compacting GC pass rewrote every clause reference.
     Gc,
-    /// An inprocessing pass (subsumption or vivification) finished,
-    /// *before* the closing GC reclaims its tombstones.
+    /// An inprocessing pass (subsumption, variable elimination,
+    /// vivification or probing) finished, *before* the closing GC
+    /// reclaims its tombstones.
     Inprocess,
     /// The solver is about to answer SAT.
     Sat,
@@ -121,6 +128,7 @@ impl State {
         self.audit_trail(point);
         self.audit_reasons(point);
         self.audit_heap(point);
+        self.audit_elim(point);
         if point == AuditPoint::Sat {
             self.audit_model(point);
         }
@@ -159,9 +167,26 @@ impl State {
     /// in ref lists only mid-inprocessing.
     fn audit_refs(&self, point: AuditPoint, starts: &[u32], allow_tombstones: bool) {
         let valid = |c: ClauseRef| starts.binary_search(&c.0).is_ok();
-        for (what, refs, learnt) in [
-            ("original ref list", &self.clauses, false),
-            ("learnt ref list", &self.learnts, true),
+        for (what, refs, learnt, tier) in [
+            ("original ref list", &self.clauses, false, None),
+            (
+                "core learnt list",
+                &self.learnts[TIER_CORE],
+                true,
+                Some(TIER_CORE),
+            ),
+            (
+                "tier2 learnt list",
+                &self.learnts[TIER_TIER2],
+                true,
+                Some(TIER_TIER2),
+            ),
+            (
+                "local learnt list",
+                &self.learnts[TIER_LOCAL],
+                true,
+                Some(TIER_LOCAL),
+            ),
         ] {
             for &c in refs {
                 assert!(
@@ -182,6 +207,14 @@ impl State {
                         "audit({point:?}): clause {} has the wrong learnt bit for {what}",
                         c.0
                     );
+                    if let Some(t) = tier {
+                        assert_eq!(
+                            self.arena.tier(c),
+                            t,
+                            "audit({point:?}): clause {} has the wrong header tier for {what}",
+                            c.0
+                        );
+                    }
                 }
             }
         }
@@ -256,7 +289,7 @@ impl State {
             }
         }
         let mut attached = 0usize;
-        for &c in self.clauses.iter().chain(&self.learnts) {
+        for &c in self.clauses.iter().chain(self.learnts.iter().flatten()) {
             if self.arena.is_deleted(c) {
                 continue; // tombstone legality checked in audit_refs
             }
@@ -279,7 +312,7 @@ impl State {
             let live_words: usize = self
                 .clauses
                 .iter()
-                .chain(&self.learnts)
+                .chain(self.learnts.iter().flatten())
                 .map(|&c| HEADER_WORDS + self.arena.len(c))
                 .sum();
             assert_eq!(
@@ -448,7 +481,7 @@ impl State {
             }
         }
         for v in 0..self.num_vars {
-            if self.is_unassigned(v) {
+            if self.is_unassigned(v) && !self.eliminated[v] {
                 assert!(
                     o.contains(v as u32),
                     "audit({point:?}): unassigned {} missing from the decision heap",
@@ -458,16 +491,72 @@ impl State {
         }
     }
 
-    /// On SAT: total assignment, every clause satisfied.
+    /// Variable-elimination discipline: one elimination-stack frame per
+    /// eliminated variable, eliminated variables unassigned,
+    /// reason-free, unfrozen, and absent from every live clause.
+    fn audit_elim(&self, point: AuditPoint) {
+        let eliminated = self.eliminated.iter().filter(|&&e| e).count();
+        assert_eq!(
+            self.elim_stack.len(),
+            eliminated,
+            "audit({point:?}): elimination stack does not carry one frame per eliminated variable"
+        );
+        for frame in &self.elim_stack {
+            let v = frame.var.index();
+            assert!(
+                self.eliminated[v],
+                "audit({point:?}): elimination stack frame for non-eliminated {}",
+                frame.var
+            );
+            assert!(
+                self.is_unassigned(v),
+                "audit({point:?}): eliminated {} is assigned",
+                frame.var
+            );
+            assert_eq!(
+                self.reason[v],
+                ClauseRef::NONE,
+                "audit({point:?}): eliminated {} retains a reason",
+                frame.var
+            );
+            assert!(
+                !self.frozen[v],
+                "audit({point:?}): frozen {} was eliminated",
+                frame.var
+            );
+        }
+        for &c in self.clauses.iter().chain(self.learnts.iter().flatten()) {
+            if self.arena.is_deleted(c) {
+                continue;
+            }
+            for k in 0..self.arena.len(c) {
+                let l = self.arena.lit(c, k);
+                assert!(
+                    !self.eliminated[l.var().index()],
+                    "audit({point:?}): live clause {} mentions eliminated {}",
+                    c.0,
+                    l.var()
+                );
+            }
+        }
+    }
+
+    /// On SAT: total assignment over the non-eliminated variables,
+    /// every clause satisfied.
     fn audit_model(&self, point: AuditPoint) {
         for v in 0..self.num_vars {
             assert!(
-                !self.is_unassigned(v),
+                !self.is_unassigned(v) || self.eliminated[v],
                 "audit({point:?}): SAT answer leaves {} unassigned",
                 Var(v as u32)
             );
         }
-        for (what, refs) in [("original", &self.clauses), ("learnt", &self.learnts)] {
+        for (what, refs) in [
+            ("original", &self.clauses),
+            ("core learnt", &self.learnts[TIER_CORE]),
+            ("tier2 learnt", &self.learnts[TIER_TIER2]),
+            ("local learnt", &self.learnts[TIER_LOCAL]),
+        ] {
             for &c in refs {
                 let sat = (0..self.arena.len(c)).any(|k| self.value(self.arena.lit(c, k)) == 1);
                 assert!(
@@ -484,9 +573,9 @@ impl State {
     /// live clauses, each entry under the literals it contains, with
     /// matching signatures.
     // lint:allow(no-std-hashmap)
-    pub(super) fn audit_occ_index(&self, occs: &[Vec<ClauseRef>], sigs: &HashMap<u32, u64>) {
+    pub(super) fn audit_occ_index(&self, occs: &[Vec<ClauseRef>], sigs: &SigMap) {
         let mut live = 0usize;
-        for &c in self.clauses.iter().chain(&self.learnts) {
+        for &c in self.clauses.iter().chain(self.learnts.iter().flatten()) {
             if self.arena.is_deleted(c) {
                 continue;
             }
@@ -612,6 +701,37 @@ mod tests {
         let c = st.clauses[3];
         st.arena.relocate(c, &mut scratch);
         st.audit_now(AuditPoint::Gc);
+    }
+
+    #[test]
+    #[should_panic(expected = "elimination stack")]
+    fn corrupted_elimination_stack_is_caught() {
+        // (1 ∨ 2), (¬1 ∨ 3): variable 1 is eliminable, its frame keeps
+        // both clauses and the database keeps the resolvent (2 ∨ 3).
+        let mut c = Cnf::new(0);
+        c.add_clause([lit(1), lit(2)]);
+        c.add_clause([lit(-1), lit(3)]);
+        let config = CdclConfig {
+            audit: true,
+            ..CdclConfig::default()
+        };
+        let mut st = State::new(&c, config);
+        assert!(st.eliminate_vars());
+        assert!(st.eliminated[0]);
+        st.collect_garbage();
+        st.audit_now(AuditPoint::Gc); // control: eliminated-var invariants hold
+                                      // Control: a model of the remaining formula (2 true satisfies
+                                      // the resolvent) reconstructs and audits cleanly.
+        let mut values = vec![false, true, false];
+        st.reconstruct_model(&mut values);
+        st.audit_reconstruction(&values);
+        // Corrupt the frame so no single polarity of variable 1 can
+        // satisfy all stored clauses; the reconstruction audit must
+        // name the elimination stack.
+        st.elim_stack[0].clauses = vec![vec![lit(1)], vec![lit(-1)]];
+        let mut values = vec![false, true, false];
+        st.reconstruct_model(&mut values);
+        st.audit_reconstruction(&values);
     }
 
     #[test]

@@ -1,0 +1,737 @@
+//! Bounded variable elimination and failed-literal probing.
+//!
+//! The second half of the SatELite preprocessing pair (subsumption and
+//! self-subsuming resolution landed with `inprocess.rs`), run as
+//! *inprocessing*: at restart boundaries, on the live clause database,
+//! interleaved with search.
+//!
+//! * **Bounded variable elimination** ([`State::eliminate_vars`]):
+//!   a variable `v` is eliminated by replacing every original clause
+//!   containing `v` with the non-tautological resolvents of the
+//!   positive × negative occurrence pairs (distribution). The pass is
+//!   *bounded*: a variable is only eliminated when the resolvent count
+//!   does not exceed the clause count it replaces (never-grow rule),
+//!   both occurrence sides are small, and every participating clause
+//!   is short. Learnt clauses containing `v` are consequences of the
+//!   originals and are simply deleted. Pure literals fall out as the
+//!   zero-resolvent special case.
+//!
+//!   Eliminating a variable changes the *model*, not just the search:
+//!   the deleted original clauses are pushed onto an **elimination
+//!   stack** ([`ElimFrame`]) and a SAT answer walks the stack backwards
+//!   to extend the assignment over the eliminated variables
+//!   ([`State::reconstruct_model`]). The incremental API restores
+//!   eliminated variables on demand ([`State::restore_var`]): a new
+//!   clause or assumption mentioning one pops stack frames LIFO —
+//!   popping in reverse elimination order guarantees a popped frame's
+//!   clauses never mention a variable that is still eliminated — and
+//!   re-adds the stored clauses. Frozen variables
+//!   ([`CdclSolver::freeze`]) are never eliminated in the first place;
+//!   the synthesis layers freeze their activation literals and
+//!   assumption variables up front.
+//!
+//! * **Failed-literal probing** ([`State::probe_failed_literals`]):
+//!   at level 0, assume a literal `l` at a pseudo-decision level and
+//!   propagate; if propagation conflicts, `¬l` is a root-level
+//!   consequence and is asserted as a unit. Candidates are restricted
+//!   to *binary-implication roots* — literals whose assignment drives
+//!   at least one binary watcher but which no binary clause implies —
+//!   so one probe covers its whole binary implication subtree.
+//!   Budgeted by propagation count; a rotating cursor resumes where
+//!   the previous pass stopped. Phase saving is suspended during
+//!   probes, so probing is invisible to the search heuristics.
+//!
+//! Both passes run only at decision level 0 with no assumptions
+//! applied, so everything they derive is a consequence of the added
+//! clauses alone. Both are scheduled by `maybe_inprocess` and gated on
+//! [`CdclConfig::simplify_activation_conflicts`], mirroring
+//! `chrono_activation_conflicts`: below the gate the clause database
+//! evolves exactly as it did before this module existed, keeping the
+//! small benchmark records conflict-identical.
+
+use super::*;
+
+/// One eliminated variable: the original clauses that mentioned it,
+/// recorded in elimination order. [`State::reconstruct_model`] walks
+/// frames newest-first to complete a model; [`State::restore_var`]
+/// pops them (strictly LIFO) to reintroduce a variable the incremental
+/// API needs back.
+#[derive(Clone, Debug)]
+pub(super) struct ElimFrame {
+    /// The eliminated variable.
+    pub(super) var: Var,
+    /// Literal vectors of every original clause that contained
+    /// [`ElimFrame::var`] when it was eliminated (both polarities).
+    pub(super) clauses: Vec<Vec<Lit>>,
+}
+
+impl State {
+    /// Queues every variable of `c` for retry at the next BVE pass —
+    /// called wherever an *original* clause is deleted, strengthened,
+    /// or promoted, since that changes its variables' resolution
+    /// partner sets. (Additions mark through `add_original_clause`.)
+    pub(super) fn elim_touch_clause(&mut self, c: ClauseRef) {
+        for i in 0..self.arena.len(c) {
+            self.elim_dirty[self.arena.lit(c, i).var().index()] = true;
+        }
+    }
+
+    /// Marks a variable as frozen (exempt from elimination). If it was
+    /// already eliminated in an earlier pass, it is restored first —
+    /// freezing promises the caller can mention the variable in future
+    /// clauses and assumptions without surprises.
+    pub(super) fn freeze_var(&mut self, v: Var) {
+        let i = v.index();
+        if self.eliminated[i] {
+            self.restore_var(i);
+        }
+        self.frozen[i] = true;
+    }
+
+    /// Reintroduces an eliminated variable by popping elimination-stack
+    /// frames LIFO until the variable's own frame has been replayed.
+    /// LIFO order is what makes replay sound: a frame's stored clauses
+    /// can only mention variables that were live when it was pushed,
+    /// and every variable eliminated later sits above it on the stack.
+    pub(super) fn restore_var(&mut self, v: usize) {
+        while self.eliminated[v] {
+            self.restore_last_eliminated();
+            if self.root_unsat {
+                return;
+            }
+        }
+    }
+
+    /// Pops the top elimination frame and re-adds its clauses. The
+    /// added resolvents stay — they are consequences of the restored
+    /// clauses, so the formula only tightens. A root contradiction
+    /// while replaying latches `root_unsat`.
+    fn restore_last_eliminated(&mut self) {
+        let frame = self
+            .elim_stack
+            .pop()
+            .expect("restore_last_eliminated with an empty elimination stack"); // lint:allow(no-panic)
+        let v = frame.var.index();
+        debug_assert!(self.eliminated[v]);
+        self.eliminated[v] = false;
+        // `eliminated_vars` reports the *net* count so `--stats` agrees
+        // with the number of variables the search actually skips.
+        self.stats.eliminated_vars = self.stats.eliminated_vars.saturating_sub(1);
+        self.order.insert(v as u32);
+        for lits in &frame.clauses {
+            if !self.add_original_clause(lits) {
+                self.root_unsat = true;
+                return;
+            }
+        }
+    }
+
+    /// One bounded-variable-elimination pass. Returns whether any
+    /// clause was deleted (the caller then runs the compacting GC).
+    ///
+    /// The occurrence index is built once per pass; committing an
+    /// elimination adds resolvents the index does not know about, so
+    /// every variable of a resolvent is marked *dirty* and skipped for
+    /// the remainder of the pass (its index entry is incomplete — a
+    /// missed resolution partner would make elimination unsound).
+    /// Deleted clauses, by contrast, stay harmlessly in the index as
+    /// tombstones and are filtered on use.
+    pub(super) fn eliminate_vars(&mut self) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if self.root_unsat || self.num_vars == 0 {
+            return false;
+        }
+        // Candidate set first: only variables whose original
+        // occurrences changed since their last attempt (see
+        // `elim_dirty`) are retried, and the occurrence index is built
+        // for *their* literals only — a quiesced database costs one
+        // cheap scan, not a full index rebuild.
+        let mut candidate = vec![false; self.num_vars];
+        let mut any = false;
+        for (v, cand) in candidate.iter_mut().enumerate() {
+            if self.elim_dirty[v]
+                && self.is_unassigned(v)
+                && !self.frozen[v]
+                && !self.assumed[v]
+                && !self.eliminated[v]
+            {
+                *cand = true;
+                any = true;
+            }
+        }
+        if !any {
+            return false;
+        }
+        let mut occs: Vec<Vec<ClauseRef>> = vec![Vec::new(); 2 * self.num_vars];
+        for &c in self.clauses.iter().chain(self.learnts.iter().flatten()) {
+            if self.arena.is_deleted(c) {
+                continue;
+            }
+            for i in 0..self.arena.len(c) {
+                let l = self.arena.lit(c, i);
+                if candidate[l.var().index()] {
+                    occs[l.code()].push(c);
+                }
+            }
+        }
+        // Within-pass staleness: committing an elimination adds
+        // resolvents the occurrence index does not know about, so every
+        // variable of a resolvent is skipped for the remainder of the
+        // pass (a missed resolution partner would make elimination
+        // unsound). Deleted clauses, by contrast, stay harmlessly in
+        // the index as tombstones and are filtered on use. The
+        // *cross-pass* work list is `self.elim_dirty`: variables whose
+        // original occurrences are unchanged since their last attempt
+        // are skipped outright.
+        let mut index_stale = vec![false; self.num_vars];
+        // Stamped marks over literal codes, shared by the tautology
+        // check and resolvent construction (one stamp per positive
+        // clause, never cleared).
+        let mut mark = vec![0u32; 2 * self.num_vars];
+        let mut stamp = 0u32;
+        let mut budget = self.config.elim_check_budget as i64;
+        let mut changed = false;
+        for v in 0..self.num_vars {
+            if budget <= 0 || self.root_unsat {
+                break;
+            }
+            if !candidate[v] || index_stale[v] || self.eliminated[v] || !self.is_unassigned(v) {
+                continue;
+            }
+            let pos_lit = Lit::pos(Var(v as u32));
+            let neg_lit = Lit::neg(Var(v as u32));
+            // Resolution partners are the *original* clauses only;
+            // learnt clauses are consequences and need no resolvents.
+            let mut sides: [Vec<ClauseRef>; 2] = [Vec::new(), Vec::new()];
+            let mut capped = false;
+            for (side, lit) in [pos_lit, neg_lit].into_iter().enumerate() {
+                for &c in &occs[lit.code()] {
+                    budget -= 1;
+                    if self.arena.is_deleted(c) || self.arena.is_learnt(c) {
+                        continue;
+                    }
+                    if self.arena.len(c) > self.config.elim_clause_size_cap
+                        || sides[side].len() >= self.config.elim_occurrence_cap
+                    {
+                        capped = true;
+                        break;
+                    }
+                    sides[side].push(c);
+                }
+                if capped {
+                    break;
+                }
+            }
+            if capped {
+                // Conclusive: only a shrinking occurrence list can
+                // change the verdict, and deletions re-mark the dirty
+                // bit.
+                self.elim_dirty[v] = false;
+                continue;
+            }
+            let [pos, neg] = sides;
+            // Never-grow rule: count the non-tautological resolvents
+            // and give up on this variable as soon as they exceed the
+            // clauses they would replace.
+            let limit = pos.len() + neg.len() + self.config.elim_grow;
+            let mut count = 0usize;
+            let mut grew = false;
+            // lint:hot-path — the resolve-and-check loop is quadratic
+            // in the occurrence lists and runs over the whole variable
+            // range; it touches only the preallocated stamp marks.
+            'count: for &p in &pos {
+                stamp += 1;
+                let p_len = self.arena.len(p);
+                for i in 0..p_len {
+                    mark[self.arena.lit(p, i).code()] = stamp;
+                }
+                for &q in &neg {
+                    let q_len = self.arena.len(q);
+                    budget -= (p_len + q_len) as i64;
+                    let mut taut = false;
+                    for j in 0..q_len {
+                        let l = self.arena.lit(q, j);
+                        if l != neg_lit && mark[(!l).code()] == stamp {
+                            taut = true;
+                            break;
+                        }
+                    }
+                    if !taut {
+                        count += 1;
+                        if count > limit {
+                            grew = true;
+                            break 'count;
+                        }
+                    }
+                }
+            }
+            // lint:hot-path-end
+            if grew {
+                self.elim_dirty[v] = false;
+                continue;
+            }
+            if budget <= 0 {
+                // Inconclusive — the dirty bit stays set so the next
+                // pass retries this variable with a fresh budget.
+                continue;
+            }
+            self.elim_dirty[v] = false;
+            // Commit. Record the frame first (reconstruction needs the
+            // clauses exactly as they were), then delete every live
+            // clause containing `v` — originals and learnts alike — and
+            // only then add the resolvents, so no propagation can ever
+            // assign the variable being eliminated.
+            let mut frame = ElimFrame {
+                var: Var(v as u32),
+                clauses: Vec::with_capacity(limit),
+            };
+            let mut resolvents: Vec<Vec<Lit>> = Vec::with_capacity(count);
+            for &p in &pos {
+                stamp += 1;
+                let p_len = self.arena.len(p);
+                for i in 0..p_len {
+                    mark[self.arena.lit(p, i).code()] = stamp;
+                }
+                for &q in &neg {
+                    let q_len = self.arena.len(q);
+                    let mut taut = false;
+                    for j in 0..q_len {
+                        let l = self.arena.lit(q, j);
+                        if l != neg_lit && mark[(!l).code()] == stamp {
+                            taut = true;
+                            break;
+                        }
+                    }
+                    if taut {
+                        continue;
+                    }
+                    let mut r: Vec<Lit> = Vec::with_capacity(p_len + q_len - 2);
+                    for i in 0..p_len {
+                        let l = self.arena.lit(p, i);
+                        if l != pos_lit {
+                            r.push(l);
+                        }
+                    }
+                    for j in 0..q_len {
+                        let l = self.arena.lit(q, j);
+                        // The stamp marks double as the dedup filter.
+                        if l != neg_lit && mark[l.code()] != stamp {
+                            r.push(l);
+                        }
+                    }
+                    resolvents.push(r);
+                }
+            }
+            debug_assert_eq!(resolvents.len(), count);
+            for side in [&pos, &neg] {
+                for &c in side {
+                    frame.clauses.push(
+                        (0..self.arena.len(c))
+                            .map(|i| self.arena.lit(c, i))
+                            .collect(),
+                    );
+                }
+            }
+            for lit in [pos_lit, neg_lit] {
+                // `v` is done after this loop, so its occurrence lists
+                // can be consumed (no later candidate reads them).
+                let side = std::mem::take(&mut occs[lit.code()]);
+                for &c in &side {
+                    if self.arena.is_deleted(c) {
+                        continue;
+                    }
+                    // A clause with an unassigned literal can never be
+                    // the reason of a trail literal.
+                    debug_assert!(!self.is_locked(c));
+                    // The deletion shrinks every co-occurring
+                    // variable's partner set — queue them for retry.
+                    if !self.arena.is_learnt(c) {
+                        self.elim_touch_clause(c);
+                    }
+                    self.arena.mark_deleted(c);
+                    self.detach_clause(c);
+                    changed = true;
+                }
+            }
+            self.eliminated[v] = true;
+            self.elim_stack.push(frame);
+            self.stats.eliminated_vars += 1;
+            self.stats.elim_resolvents += count as u64;
+            for r in &resolvents {
+                for &l in r {
+                    index_stale[l.var().index()] = true;
+                }
+                // `add_original_clause` re-marks the resolvent's
+                // variables in `elim_dirty` for the next pass.
+                if !self.add_original_clause(r) {
+                    self.root_unsat = true;
+                    return changed;
+                }
+            }
+        }
+        changed
+    }
+
+    /// One failed-literal probing pass over the binary-implication
+    /// roots, bounded by [`CdclConfig::probe_propagation_budget`]
+    /// propagations. Each failed probe asserts a root-level unit.
+    pub(super) fn probe_failed_literals(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let n = 2 * self.num_vars;
+        if n == 0 || self.root_unsat {
+            return;
+        }
+        let props_start = self.stats.propagations;
+        let budget = self.config.probe_propagation_budget;
+        let start = self.probe_cursor % n;
+        let mut processed = 0;
+        self.phase_probing = true;
+        // lint:hot-path — candidate filtering and the probe itself
+        // (enqueue/propagate/backtrack) allocate nothing.
+        while processed < n {
+            if self.root_unsat || self.stats.propagations - props_start >= budget {
+                break;
+            }
+            let l = Lit::from_code((start + processed) % n);
+            processed += 1;
+            let v = l.var().index();
+            if !self.is_unassigned(v) || self.eliminated[v] {
+                continue;
+            }
+            // A binary-implication root: assigning `l` drives at least
+            // one binary watcher (so the probe is not a no-op), but no
+            // binary clause implies `l` (so probing the subtree leaves
+            // would be redundant).
+            let drives_binary = self.watches[(!l).code()].iter().any(|w| w.is_binary());
+            let implied_by_binary = self.watches[l.code()].iter().any(|w| w.is_binary());
+            if !drives_binary || implied_by_binary {
+                continue;
+            }
+            self.stats.probed_literals += 1;
+            self.trail_lim.push(self.trail.len());
+            self.enqueue(l, ClauseRef::NONE);
+            let failed = self.propagate().is_some();
+            self.cancel_until(0);
+            if failed {
+                self.stats.failed_literals += 1;
+                if !self.assert_root_unit(!l) {
+                    break;
+                }
+            }
+        }
+        // lint:hot-path-end
+        self.probe_cursor = (start + processed) % n;
+        self.phase_probing = false;
+        debug_assert_eq!(self.decision_level(), 0);
+    }
+
+    /// Completes a model over the eliminated variables, newest frame
+    /// first. For each frame, any stored clause not already satisfied
+    /// by the other variables forces the frame variable to the polarity
+    /// it has in that clause. At most one polarity class of a frame can
+    /// be otherwise-unsatisfied — two opposing unsatisfied clauses
+    /// would have produced a falsified non-tautological resolvent, and
+    /// all resolvents were added to (and satisfied by) the formula the
+    /// model came from — so the first forced assignment settles the
+    /// frame.
+    pub(super) fn reconstruct_model(&self, values: &mut [bool]) {
+        for frame in self.elim_stack.iter().rev() {
+            let v = frame.var.index();
+            for lits in &frame.clauses {
+                let satisfied_without_v = lits
+                    .iter()
+                    .any(|&l| l.var().index() != v && (values[l.var().index()] ^ l.is_neg()));
+                if !satisfied_without_v {
+                    let own = lits
+                        .iter()
+                        .find(|l| l.var().index() == v)
+                        .expect("elimination frames store clauses containing their variable"); // lint:allow(no-panic)
+                    values[v] = !own.is_neg();
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Audit hook: asserts that the reconstructed model satisfies every
+    /// clause stored on the elimination stack — the part of the
+    /// original formula that no longer exists in the clause database
+    /// and which `audit_model`'s live-clause check therefore cannot
+    /// see.
+    pub(super) fn audit_reconstruction(&self, values: &[bool]) {
+        for (fi, frame) in self.elim_stack.iter().enumerate() {
+            for lits in &frame.clauses {
+                assert!(
+                    lits.iter().any(|&l| values[l.var().index()] ^ l.is_neg()),
+                    "audit: elimination stack frame {fi} (var {}) holds a clause the \
+                     reconstructed model falsifies: {lits:?}",
+                    frame.var
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Backend, Budget, Cnf};
+
+    fn lit(i: i64) -> Lit {
+        Lit::from_dimacs(i)
+    }
+
+    fn state(clauses: &[&[i64]], config: CdclConfig) -> State {
+        let mut c = Cnf::new(0);
+        for cl in clauses {
+            c.add_clause(cl.iter().map(|&d| lit(d)));
+        }
+        State::new(&c, config)
+    }
+
+    #[test]
+    fn eliminates_a_variable_and_keeps_the_resolvent() {
+        // Variable 1 resolves (1 2) × (-1 3) into (2 3); the two
+        // originals land on the elimination stack.
+        let mut st = state(&[&[1, 2], &[-1, 3]], CdclConfig::default());
+        assert!(st.eliminate_vars());
+        assert!(st.eliminated[0]);
+        assert_eq!(st.stats.eliminated_vars, 1);
+        assert_eq!(st.stats.elim_resolvents, 1);
+        assert_eq!(st.elim_stack.len(), 1);
+        assert_eq!(st.elim_stack[0].var, Var(0));
+        assert_eq!(st.elim_stack[0].clauses.len(), 2);
+        let live: Vec<Vec<Lit>> = st
+            .clauses
+            .iter()
+            .filter(|&&c| !st.arena.is_deleted(c))
+            .map(|&c| (0..st.arena.len(c)).map(|i| st.arena.lit(c, i)).collect())
+            .collect();
+        assert_eq!(live, vec![vec![lit(2), lit(3)]]);
+    }
+
+    #[test]
+    fn frozen_and_assumed_variables_are_never_eliminated() {
+        let mut st = state(&[&[1, 2], &[-1, 3]], CdclConfig::default());
+        st.frozen[0] = true;
+        st.assumed[1] = true;
+        st.frozen[2] = true;
+        assert!(!st.eliminate_vars());
+        assert!(!st.eliminated.iter().any(|&e| e));
+        // Melting a variable makes it eliminable again.
+        st.frozen[0] = false;
+        assert!(st.eliminate_vars());
+        assert!(st.eliminated[0]);
+        assert!(!st.eliminated[1]);
+        assert!(!st.eliminated[2]);
+    }
+
+    #[test]
+    fn tautological_resolvents_enable_pure_style_elimination() {
+        // (1 2) × (-1 -2) is tautological: eliminating variable 1 adds
+        // nothing, and variable 2 then goes out as a pure literal.
+        let mut st = state(&[&[1, 2], &[-1, -2]], CdclConfig::default());
+        assert!(st.eliminate_vars());
+        assert!(st.eliminated[0]);
+        assert_eq!(st.stats.elim_resolvents, 0);
+    }
+
+    #[test]
+    fn restore_var_replays_frames_lifo() {
+        let mut st = state(&[&[1, 2], &[-1, 3]], CdclConfig::default());
+        assert!(st.eliminate_vars());
+        assert!(st.eliminated[0]);
+        st.restore_var(0);
+        assert!(!st.eliminated[0]);
+        assert!(st.elim_stack.is_empty());
+        assert_eq!(st.stats.eliminated_vars, 0);
+        assert!(!st.root_unsat);
+        // The two original clauses are back among the live clauses.
+        let live: Vec<Vec<Lit>> = st
+            .clauses
+            .iter()
+            .filter(|&&c| !st.arena.is_deleted(c))
+            .map(|&c| (0..st.arena.len(c)).map(|i| st.arena.lit(c, i)).collect())
+            .collect();
+        assert!(live.contains(&vec![lit(1), lit(2)]));
+        assert!(live.contains(&vec![lit(-1), lit(3)]));
+    }
+
+    #[test]
+    fn freeze_restores_an_already_eliminated_variable() {
+        let mut st = state(&[&[1, 2], &[-1, 3]], CdclConfig::default());
+        assert!(st.eliminate_vars());
+        assert!(st.eliminated[0]);
+        st.freeze_var(Var(0));
+        assert!(!st.eliminated[0]);
+        assert!(st.frozen[0]);
+        // A frozen variable stays put through further passes.
+        assert!(!st.eliminate_vars() || !st.eliminated[0]);
+    }
+
+    #[test]
+    fn reconstruction_completes_the_model_over_eliminated_vars() {
+        // Force variable 1 to matter: (1 2) and (-1 3) with 2 and 3
+        // both false requires... no model; pick values satisfying the
+        // resolvent only one way. With 2 false and 3 true, clause (1 2)
+        // forces variable 1 true.
+        let mut st = state(&[&[1, 2], &[-1, 3]], CdclConfig::default());
+        assert!(st.eliminate_vars());
+        let mut values = vec![false, false, true];
+        st.reconstruct_model(&mut values);
+        assert!(values[0], "clause (1 2) with 2 false forces 1 true");
+        st.audit_reconstruction(&values);
+        // And the opposite corner: 2 true, 3 false forces 1 false.
+        let mut values = vec![true, true, false];
+        st.reconstruct_model(&mut values);
+        assert!(!values[0], "clause (-1 3) with 3 false forces 1 false");
+        st.audit_reconstruction(&values);
+    }
+
+    #[test]
+    fn seeded_failed_literal_is_learned_at_the_root() {
+        // Probing variable 1 positively propagates both polarities of
+        // variable 2 through the binaries: the probe fails and ¬1 is
+        // asserted at the root. Variable 3 keeps the formula SAT.
+        let mut st = state(
+            &[&[-1, 2], &[-1, -2], &[3, 1, 2]],
+            CdclConfig {
+                probe_propagation_budget: 1000,
+                ..CdclConfig::default()
+            },
+        );
+        st.probe_failed_literals();
+        assert_eq!(st.stats.failed_literals, 1);
+        assert!(st.stats.probed_literals >= 1);
+        assert_eq!(st.value(lit(-1)), 1, "failed probe asserts the negation");
+        assert_eq!(st.decision_level(), 0);
+        assert!(!st.root_unsat);
+    }
+
+    #[test]
+    fn probing_respects_its_propagation_budget() {
+        let mut st = state(
+            &[&[-1, 2], &[-1, -2], &[3, 1, 2]],
+            CdclConfig {
+                probe_propagation_budget: 0,
+                ..CdclConfig::default()
+            },
+        );
+        st.probe_failed_literals();
+        assert_eq!(st.stats.probed_literals, 0);
+        assert_eq!(st.stats.failed_literals, 0);
+    }
+
+    /// Satisfiable pigeonhole (`n` into `n`): enough conflicts under
+    /// aggressive schedules that inprocessing really fires.
+    fn php_sat(n: i64) -> Cnf {
+        let p = |i: i64, j: i64| (i - 1) * n + j;
+        let mut c = Cnf::new(0);
+        for i in 1..=n {
+            c.add_clause((1..=n).map(|j| lit(p(i, j))));
+        }
+        for j in 1..=n {
+            for a in 1..=n {
+                for b in (a + 1)..=n {
+                    c.add_clause([lit(-p(a, j)), lit(-p(b, j))]);
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn end_to_end_solve_with_elimination_reconstructs_valid_models() {
+        // The returned model must satisfy the *original* clauses even
+        // for variables BVE resolved away (reconstruction), with every
+        // audit — including the reconstruction check — switched on.
+        let c = php_sat(5);
+        let config = CdclConfig {
+            simplify_activation_conflicts: 0,
+            inprocess_interval: 0,
+            restart_base: 1,
+            audit: true,
+            ..CdclConfig::default()
+        };
+        let mut s = CdclSolver::with_config(config);
+        let out = s.solve_with(&c, &[], &Budget::default());
+        match out {
+            SolveOutcome::Sat(model) => assert!(c.eval(&model), "reconstructed model is bogus"),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_clause_addition_reintroduces_eliminated_vars() {
+        // Eliminate a variable, then add a clause that mentions it: the
+        // addition must replay the elimination frame before attaching.
+        let config = CdclConfig {
+            audit: true,
+            ..CdclConfig::default()
+        };
+        let mut s = CdclSolver::with_config(config);
+        for _ in 0..3 {
+            s.new_var();
+        }
+        s.add_clause([lit(1), lit(2)]);
+        s.add_clause([lit(-1), lit(3)]);
+        {
+            let st = s.session.as_mut().unwrap();
+            assert!(st.eliminate_vars());
+            assert!(st.eliminated[0]);
+            st.collect_garbage();
+        }
+        s.add_clause([lit(1)]);
+        assert!(!s.session.as_ref().unwrap().eliminated[0]);
+        // With the frame replayed, (1) forces 3 through (-1 3).
+        assert!(s.solve_assuming(&[lit(-3)], &Budget::default()).is_unsat());
+        assert!(s.solve_assuming(&[], &Budget::default()).is_sat());
+    }
+
+    #[test]
+    fn assumptions_on_eliminated_vars_restore_them() {
+        let config = CdclConfig {
+            audit: true,
+            ..CdclConfig::default()
+        };
+        let mut s = CdclSolver::with_config(config);
+        for _ in 0..3 {
+            s.new_var();
+        }
+        s.add_clause([lit(1), lit(2)]);
+        s.add_clause([lit(-1), lit(3)]);
+        {
+            let st = s.session.as_mut().unwrap();
+            assert!(st.eliminate_vars());
+            assert!(st.eliminated[0]);
+            st.collect_garbage();
+        }
+        // Assuming the eliminated variable restores it; 1 ∧ ¬3 then
+        // contradicts the replayed (-1 3).
+        assert!(s
+            .solve_assuming(&[lit(1), lit(-3)], &Budget::default())
+            .is_unsat());
+        assert!(!s.session.as_ref().unwrap().eliminated[0]);
+        assert!(s.solve_assuming(&[lit(1)], &Budget::default()).is_sat());
+    }
+
+    #[test]
+    fn freeze_melt_api_controls_eliminability() {
+        let config = CdclConfig {
+            simplify_activation_conflicts: 0,
+            inprocess_interval: 0,
+            restart_base: 1,
+            ..CdclConfig::default()
+        };
+        let mut s = CdclSolver::with_config(config);
+        s.freeze(Var(0)); // grows the session on demand
+        for _ in 0..3 {
+            s.new_var();
+        }
+        s.add_clause([lit(1), lit(2)]);
+        s.add_clause([lit(-1), lit(3)]);
+        assert!(s.solve_assuming(&[], &Budget::default()).is_sat());
+        s.melt(Var(0));
+        assert!(s.solve_assuming(&[], &Budget::default()).is_sat());
+    }
+}

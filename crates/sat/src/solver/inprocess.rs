@@ -3,7 +3,7 @@
 //! Industrial CDCL solvers interleave search with *inprocessing* —
 //! cheap, budgeted simplification of the clause database that pays for
 //! itself through faster propagation and shorter learnt clauses. This
-//! module implements the two techniques the ROADMAP names as the
+//! module schedules the four passes the ROADMAP names as the
 //! remaining single-solve throughput levers, plus the machinery they
 //! share:
 //!
@@ -26,6 +26,13 @@
 //!   probing so vivification cannot pollute the search's saved
 //!   polarities.
 //!
+//! * **Bounded variable elimination** and **failed-literal probing**
+//!   live in the sibling `elim` module ([`State::eliminate_vars`],
+//!   [`State::probe_failed_literals`]) and run on the same schedule,
+//!   gated additionally on
+//!   [`CdclConfig::simplify_activation_conflicts`]. The pass order is
+//!   subsume → eliminate → vivify → probe.
+//!
 //! Both passes run at restart boundaries (decision level 0, no
 //! assumptions applied), so every derived fact and rewritten clause is
 //! a consequence of the added clauses alone — exactly the invariant the
@@ -40,7 +47,6 @@
 //! deletable learnt would let `reduce_db` silently drop a constraint.
 
 use super::*;
-use std::collections::HashMap; // lint:allow(no-std-hashmap): cold, one transient map per inprocessing pass
 
 /// Outcome of matching a subsumer `C` against a candidate `D`.
 enum SubMatch {
@@ -54,30 +60,68 @@ enum SubMatch {
 }
 
 impl State {
-    /// Runs one inprocessing pass (subsumption, then vivification, then
-    /// a compacting GC) if the conflict count has crossed the schedule.
-    /// Called at restart boundaries only — the solver must sit at
-    /// decision level 0. With restarts disabled inprocessing never
-    /// triggers.
+    /// Runs one inprocessing pass (subsumption, then bounded variable
+    /// elimination, then vivification, then failed-literal probing,
+    /// then a compacting GC) if the conflict count has crossed the
+    /// schedule. Called at restart boundaries only — the solver must
+    /// sit at decision level 0. With restarts disabled inprocessing
+    /// never triggers.
     pub(super) fn maybe_inprocess(&mut self) {
-        if !self.config.use_vivification && !self.config.use_subsumption {
+        if !self.config.use_vivification
+            && !self.config.use_subsumption
+            && !self.config.use_elim
+            && !self.config.use_probing
+        {
             return;
         }
         if self.stats.conflicts < self.next_inprocess {
             return;
         }
         debug_assert_eq!(self.decision_level(), 0);
+        // Variable elimination and probing share the tier database's
+        // activation gate: below it the clause database (and hence any
+        // conflict-identical record) stays untouched by the new passes.
+        let simplify_on = self.stats.conflicts >= self.config.simplify_activation_conflicts;
         let mut changed = false;
-        if self.config.use_subsumption && !self.root_unsat {
+        if self.config.use_subsumption
+            && !self.root_unsat
+            && self.stats.conflicts >= self.next_subsume
+        {
             changed |= self.subsume();
+            self.next_subsume = self.stats.conflicts + self.config.subsume_conflict_gap;
             // Tombstones are legal here (the closing GC reclaims them);
             // the checkpoint still rejects them in watches and reasons.
             if !self.root_unsat {
                 self.audit_checkpoint(AuditPoint::Inprocess);
             }
         }
-        if self.config.use_vivification && !self.root_unsat {
+        // Elimination runs right after subsumption (on the freshly
+        // shrunk database) and before vivification, so vivification
+        // never wastes budget distilling clauses elimination is about
+        // to resolve away.
+        if self.config.use_elim && simplify_on && !self.root_unsat {
+            for _ in 0..self.config.elim_rounds.max(1) {
+                if !self.eliminate_vars() || self.root_unsat {
+                    break;
+                }
+                changed = true;
+            }
+            if !self.root_unsat {
+                self.audit_checkpoint(AuditPoint::Inprocess);
+            }
+        }
+        if self.config.use_vivification
+            && !self.root_unsat
+            && self.stats.conflicts >= self.next_vivify
+        {
             changed |= self.vivify();
+            self.next_vivify = self.stats.conflicts + self.config.vivify_conflict_gap;
+            if !self.root_unsat {
+                self.audit_checkpoint(AuditPoint::Inprocess);
+            }
+        }
+        if self.config.use_probing && simplify_on && !self.root_unsat {
+            self.probe_failed_literals();
             if !self.root_unsat {
                 self.audit_checkpoint(AuditPoint::Inprocess);
             }
@@ -132,7 +176,7 @@ impl State {
         let mut queue: Vec<ClauseRef> = if full_sweep {
             self.clauses
                 .iter()
-                .chain(self.learnts.iter())
+                .chain(self.learnts.iter().flatten())
                 .copied()
                 .filter(|&c| !self.arena.is_deleted(c))
                 .collect()
@@ -148,24 +192,55 @@ impl State {
         // Short clauses are the strongest subsumers; try them first.
         queue.sort_by_key(|&c| self.arena.len(c));
         // The occurrence index and signatures span every live clause —
-        // anything may be subsumed *by* a queued clause.
-        let mut occs: Vec<Vec<ClauseRef>> = vec![Vec::new(); 2 * self.num_vars];
-        let mut sigs: HashMap<u32, u64> = // lint:allow(no-std-hashmap)
-            HashMap::with_capacity(2 * (self.clauses.len() + self.learnts.len())); // lint:allow(no-std-hashmap)
-        for &c in self.clauses.iter().chain(self.learnts.iter()) {
+        // anything may be subsumed *by* a queued clause. The index is
+        // a flat CSR (counting scan, prefix sum, filling scan): at
+        // eager pass cadence a vec-of-vecs build was the dominant
+        // inprocessing wall cost. Clauses attached mid-pass
+        // (strengthened replacements) append to the sparse `over`
+        // side-lists instead; both halves are tombstone-filtered on
+        // use like before.
+        let n_lits = 2 * self.num_vars;
+        let mut starts = vec![0u32; n_lits + 1];
+        for &c in self.clauses.iter().chain(self.learnts.iter().flatten()) {
+            if self.arena.is_deleted(c) {
+                continue;
+            }
+            for i in 0..self.arena.len(c) {
+                starts[self.arena.lit(c, i).code() + 1] += 1;
+            }
+        }
+        for i in 1..starts.len() {
+            starts[i] += starts[i - 1];
+        }
+        let mut flat = vec![ClauseRef::NONE; starts[n_lits] as usize];
+        let mut cursor: Vec<u32> = starts[..n_lits].to_vec();
+        let mut sigs = SigMap::with_capacity_and_hasher(
+            2 * (self.clauses.len() + self.num_learnts()),
+            Default::default(),
+        );
+        for &c in self.clauses.iter().chain(self.learnts.iter().flatten()) {
             if self.arena.is_deleted(c) {
                 continue;
             }
             let mut sig = 0u64;
             for i in 0..self.arena.len(c) {
                 let l = self.arena.lit(c, i);
-                occs[l.code()].push(c);
+                flat[cursor[l.code()] as usize] = c;
+                cursor[l.code()] += 1;
                 sig |= 1u64 << (l.var().0 & 63);
             }
             sigs.insert(c.0, sig);
         }
+        let mut over: Vec<Vec<ClauseRef>> = vec![Vec::new(); n_lits];
+        let occ_len = |starts: &[u32], over: &[Vec<ClauseRef>], code: usize| {
+            (starts[code + 1] - starts[code]) as usize + over[code].len()
+        };
         if self.audit_on {
-            self.audit_occ_index(&occs, &sigs);
+            let mut occs_audit: Vec<Vec<ClauseRef>> = vec![Vec::new(); n_lits];
+            for (code, list) in occs_audit.iter_mut().enumerate() {
+                list.extend_from_slice(&flat[starts[code] as usize..starts[code + 1] as usize]);
+            }
+            self.audit_occ_index(&occs_audit, &sigs);
         }
         let mut budget = self.config.subsumption_check_budget as i64;
         let mut qi = 0;
@@ -179,17 +254,24 @@ impl State {
             let c_sig = sigs[&c.0];
             let min_lit = (0..c_len)
                 .map(|i| self.arena.lit(c, i))
-                .min_by_key(|l| occs[l.code()].len())
+                .min_by_key(|l| occ_len(&starts, &over, l.code()))
                 .expect("clauses have at least two literals"); // lint:allow(no-panic)
                                                                // Clauses containing `min_lit` are subsumption (and
                                                                // strengthening-elsewhere) candidates; clauses containing
                                                                // `¬min_lit` can only be strengthened *at* `min_lit`.
             for probe in [min_lit, !min_lit] {
                 // Snapshot the length: strengthened replacements append
-                // to these lists mid-loop and get their own queue turn.
-                let n = occs[probe.code()].len();
+                // to the overflow lists mid-loop and get their own
+                // queue turn.
+                let csr_lo = starts[probe.code()] as usize;
+                let csr_n = starts[probe.code() + 1] as usize - csr_lo;
+                let n = csr_n + over[probe.code()].len();
                 for k in 0..n {
-                    let d = occs[probe.code()][k];
+                    let d = if k < csr_n {
+                        flat[csr_lo + k]
+                    } else {
+                        over[probe.code()][k - csr_n]
+                    };
                     if d == c || self.arena.is_deleted(d) || self.arena.is_deleted(c) {
                         continue;
                     }
@@ -211,6 +293,9 @@ impl State {
                             if self.arena.is_learnt(c) && !self.arena.is_learnt(d) {
                                 self.promote_to_original(c);
                             }
+                            if !self.arena.is_learnt(d) {
+                                self.elim_touch_clause(d);
+                            }
                             self.arena.mark_deleted(d);
                             self.detach_clause(d);
                             self.stats.subsumed_clauses += 1;
@@ -226,6 +311,9 @@ impl State {
                                 .collect();
                             let learnt = self.arena.is_learnt(d);
                             let lbd = self.arena.lbd(d).min(new_lits.len() as u32);
+                            if !learnt {
+                                self.elim_touch_clause(d);
+                            }
                             self.arena.mark_deleted(d);
                             self.detach_clause(d);
                             self.stats.strengthened_clauses += 1;
@@ -238,7 +326,7 @@ impl State {
                                 let nd = self.attach_clause_quiet(&new_lits, learnt, lbd);
                                 let mut sig = 0u64;
                                 for &l in &new_lits {
-                                    occs[l.code()].push(nd);
+                                    over[l.code()].push(nd);
                                     sig |= 1u64 << (l.var().0 & 63);
                                 }
                                 sigs.insert(nd.0, sig);
@@ -288,22 +376,26 @@ impl State {
     /// Moves a learnt clause into the original database (clears the
     /// learnt header bit and switches ref lists) so `reduce_db` can
     /// never delete it. Applied before a learnt clause is allowed to
-    /// subsume an original one.
+    /// subsume an original one. The header tier bits name the owning
+    /// ref list (an audited invariant), so no cross-tier search is
+    /// needed.
     fn promote_to_original(&mut self, c: ClauseRef) {
-        let pos = self
-            .learnts
+        let tier = self.arena.tier(c);
+        let pos = self.learnts[tier]
             .iter()
             .position(|&x| x == c)
-            .expect("promoted clause is in the learnt list"); // lint:allow(no-panic)
-        self.learnts.swap_remove(pos);
+            .expect("promoted clause is in its tier's learnt list"); // lint:allow(no-panic)
+        self.learnts[tier].swap_remove(pos);
         self.clauses.push(c);
         self.arena.data[c.0 as usize] &= !LEARNT_BIT;
+        // A promoted clause is a brand-new resolution partner.
+        self.elim_touch_clause(c);
     }
 
     /// Asserts a literal derived at the root and propagates it to
     /// fixpoint. Returns `false` (latching `root_unsat`) on
     /// contradiction.
-    fn assert_root_unit(&mut self, l: Lit) -> bool {
+    pub(super) fn assert_root_unit(&mut self, l: Lit) -> bool {
         debug_assert_eq!(self.decision_level(), 0);
         match self.value(l) {
             1 => true,
@@ -341,6 +433,7 @@ impl State {
         let cands: Vec<ClauseRef> = self
             .learnts
             .iter()
+            .flatten()
             .chain(self.clauses.iter())
             .copied()
             .filter(|&c| !self.arena.is_deleted(c) && self.arena.len(c) >= 3)
@@ -420,6 +513,9 @@ impl State {
         if satisfied_at_root {
             // True at the root: drop the clause entirely (not counted
             // as vivified literals — nothing was distilled).
+            if !self.arena.is_learnt(cref) {
+                self.elim_touch_clause(cref);
+            }
             self.arena.mark_deleted(cref);
             return true;
         }
@@ -431,6 +527,9 @@ impl State {
             return false;
         }
         self.stats.vivified_lits += (lits.len() - kept.len()) as u64;
+        if !self.arena.is_learnt(cref) {
+            self.elim_touch_clause(cref);
+        }
         self.arena.mark_deleted(cref);
         match kept.len() {
             0 => {

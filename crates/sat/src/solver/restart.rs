@@ -26,7 +26,11 @@
 //! chronological backtracking, adaptive restarts are a *long-run*
 //! steering mechanism — small lucky-trajectory instances (the majority
 //! gate solves in ~164 conflicts) finish before activation and keep
-//! their exact pre-EMA trajectories.
+//! their exact pre-EMA trajectories. The simplification machinery
+//! (learnt-clause tiering, bounded variable elimination, failed-literal
+//! probing) follows the same pattern behind its own
+//! [`CdclConfig::simplify_activation_conflicts`] gate, so the short
+//! runs also keep their exact pre-simplification trajectories.
 //!
 //! [`RephaseSched`] drives target-phase rephasing: the solver snapshots
 //! the polarities of the deepest trail seen (the *target phases*,
@@ -39,6 +43,7 @@
 //!
 //! [`CdclConfig::restart_policy`]: super::CdclConfig::restart_policy
 //! [`CdclConfig::restart_activation_conflicts`]: super::CdclConfig::restart_activation_conflicts
+//! [`CdclConfig::simplify_activation_conflicts`]: super::CdclConfig::simplify_activation_conflicts
 //! [`CdclConfig::rephase_interval`]: super::CdclConfig::rephase_interval
 
 use super::CdclConfig;

@@ -10,9 +10,11 @@ use sat::{Backend, Budget, CdclConfig, CdclSolver, Cnf, CnfBuilder, Lit, Restart
 /// whole suite a second time that way) it turns into an aggressive
 /// inprocessing configuration — restart every other conflict, an
 /// inprocessing pass at every restart boundary, fully chronological
-/// (out-of-order) backtracking, adaptive EMA restarts and eager
-/// rephasing — so every differential property in this file also
-/// tortures the new code paths.
+/// (out-of-order) backtracking, adaptive EMA restarts, eager
+/// rephasing, and the tier database / variable elimination /
+/// failed-literal probing active from the first conflict — so every
+/// differential property in this file also tortures the new code
+/// paths.
 fn base_config() -> CdclConfig {
     let mut config = CdclConfig::default();
     if std::env::var_os("LASSYNTH_FORCE_INPROCESS").is_some() {
@@ -20,6 +22,7 @@ fn base_config() -> CdclConfig {
         config.inprocess_interval = 0;
         config.chrono_threshold = 0;
         config.chrono_activation_conflicts = 0;
+        config.simplify_activation_conflicts = 0;
         config.max_learnts_floor = 8.0;
         config.restart_policy = RestartPolicy::Ema;
         config.restart_activation_conflicts = 0;
@@ -29,15 +32,21 @@ fn base_config() -> CdclConfig {
     config
 }
 
-/// The full search/inprocessing matrix: vivification × subsumption ×
-/// out-of-order chronological backtracking × restart policy
-/// (Luby / adaptive EMA), each on/off, under schedules aggressive
-/// enough that the tiny torture instances actually reach the code
-/// (inprocess at every restart, restart every other conflict, chrono
-/// on every eligible conflict, EMA restarts and rephasing active from
-/// the first conflict, GC-heavy learnt budget).
+/// The full search/inprocessing matrix: 16 sessions of vivification ×
+/// subsumption × out-of-order chronological backtracking × restart
+/// policy (Luby / adaptive EMA), each on/off, under schedules
+/// aggressive enough that the tiny torture instances actually reach
+/// the code (inprocess at every restart, restart every other conflict,
+/// chrono on every eligible conflict, EMA restarts and rephasing
+/// active from the first conflict, GC-heavy learnt budget), plus 8
+/// sessions of tier database × bounded variable elimination ×
+/// failed-literal probing, each on/off with the simplify activation
+/// gate dropped to zero so the new passes fire from the first
+/// conflict. (In the first 16 sessions those features sit behind the
+/// default 2000-conflict gate, which the tiny instances never reach —
+/// they double as the legacy-behaviour control.)
 fn inprocessing_matrix() -> Vec<CdclConfig> {
-    let mut configs = Vec::with_capacity(16);
+    let mut configs = Vec::with_capacity(24);
     for viv in [false, true] {
         for sub in [false, true] {
             for chrono in [false, true] {
@@ -62,6 +71,29 @@ fn inprocessing_matrix() -> Vec<CdclConfig> {
                         ..CdclConfig::default()
                     });
                 }
+            }
+        }
+    }
+    for tiers in [false, true] {
+        for elim in [false, true] {
+            for probing in [false, true] {
+                configs.push(CdclConfig {
+                    use_tiers: tiers,
+                    use_elim: elim,
+                    use_probing: probing,
+                    simplify_activation_conflicts: 0,
+                    use_chrono: true,
+                    chrono_threshold: 0,
+                    chrono_activation_conflicts: 0,
+                    inprocess_interval: 0,
+                    restart_base: 1,
+                    max_learnts_floor: 8.0,
+                    restart_policy: RestartPolicy::Ema,
+                    restart_activation_conflicts: 0,
+                    ema_min_interval: 2,
+                    rephase_interval: 8,
+                    ..CdclConfig::default()
+                });
             }
         }
     }
@@ -377,7 +409,9 @@ proptest! {
     /// executed by one retained incremental session per search/
     /// inprocessing combination (vivification × subsumption ×
     /// out-of-order chronological backtracking × Luby/EMA restarts,
-    /// each on/off, under schedules that fire on tiny instances), and
+    /// plus tier database × variable elimination × failed-literal
+    /// probing, each on/off, under schedules that fire on tiny
+    /// instances), and
     /// every solve is compared against a fresh `CdclSolver` on the
     /// accumulated formula and the vendored varisat shim. SAT models are checked against the formula and the
     /// assumptions; on UNSAT every session's failing-assumption subset

@@ -122,9 +122,19 @@ fn print_stats(stats: sat::SolverStats, seed: Option<u64>) {
     } else {
         println!("solver stats:");
     }
+    // `conflicts` counts every falsified clause the search hit, but
+    // some of those were really missed lower-level implications that
+    // chronological backtracking repaired without clause learning —
+    // report the analyzed (clause-learning) count separately so the
+    // two are not conflated.
+    let analyzed = stats.conflicts.saturating_sub(stats.missed_implications);
     println!(
-        "  decisions={} conflicts={} propagations={} restarts={}",
-        stats.decisions, stats.conflicts, stats.propagations, stats.restarts
+        "  decisions={} conflicts={} analyzed_conflicts={} repaired_missed_implications={}",
+        stats.decisions, stats.conflicts, analyzed, stats.missed_implications
+    );
+    println!(
+        "  propagations={} restarts={}",
+        stats.propagations, stats.restarts
     );
     println!(
         "  learned={} deleted={} minimized_lits={} gc_passes={} gc_reclaimed_words={}",
@@ -142,8 +152,12 @@ fn print_stats(stats: sat::SolverStats, seed: Option<u64>) {
         stats.chrono_backtracks
     );
     println!(
-        "  oob_enqueues={} missed_implications={} restarts_blocked={} rephases={}",
-        stats.oob_enqueues, stats.missed_implications, stats.restarts_blocked, stats.rephases
+        "  oob_enqueues={} restarts_blocked={} rephases={}",
+        stats.oob_enqueues, stats.restarts_blocked, stats.rephases
+    );
+    println!(
+        "  eliminated_vars={} elim_resolvents={} probed_literals={} failed_literals={}",
+        stats.eliminated_vars, stats.elim_resolvents, stats.probed_literals, stats.failed_literals
     );
 }
 
@@ -521,11 +535,15 @@ fn cmd_depth(args: &[String]) -> i32 {
                 if want_stats {
                     match p.stats {
                         Some(s) => println!(
-                            "    conflicts={} propagations={} decisions={} restarts={} learned={} \
-                             vivified_lits={} subsumed_clauses={} strengthened_clauses={} \
-                             chrono_backtracks={} missed_implications={} restarts_blocked={} \
-                             rephases={}",
+                            "    conflicts={} analyzed_conflicts={} \
+                             repaired_missed_implications={} propagations={} decisions={} \
+                             restarts={} learned={} vivified_lits={} subsumed_clauses={} \
+                             strengthened_clauses={} chrono_backtracks={} restarts_blocked={} \
+                             rephases={} eliminated_vars={} elim_resolvents={} \
+                             probed_literals={} failed_literals={}",
                             s.conflicts,
+                            s.conflicts.saturating_sub(s.missed_implications),
+                            s.missed_implications,
                             s.propagations,
                             s.decisions,
                             s.restarts,
@@ -534,9 +552,12 @@ fn cmd_depth(args: &[String]) -> i32 {
                             s.subsumed_clauses,
                             s.strengthened_clauses,
                             s.chrono_backtracks,
-                            s.missed_implications,
                             s.restarts_blocked,
-                            s.rephases
+                            s.rephases,
+                            s.eliminated_vars,
+                            s.elim_resolvents,
+                            s.probed_literals,
+                            s.failed_literals
                         ),
                         None => println!("    (no solver stats for this backend)"),
                     }
