@@ -46,6 +46,7 @@ fn emit_majority_record(spec: &lasre::LasSpec) {
         wall_ms: start.elapsed().as_secs_f64() * 1e3 / f64::from(SAMPLES),
         conflicts: 0,
         propagations: 0,
+        proof_checked: None,
     };
     match record.write() {
         Ok(path) => println!("wrote {}", path.display()),

@@ -68,6 +68,8 @@ fn emit_majority_record() {
         wall_ms,
         conflicts: solver.stats.conflicts,
         propagations: solver.stats.propagations,
+        // SAT instance: nothing to certify.
+        proof_checked: None,
     };
     match record.write() {
         Ok(path) => println!("wrote {}", path.display()),
@@ -96,6 +98,28 @@ fn emit_min_depth_records() {
             ..SynthOptions::default()
         };
         find_min_depth(&spec, LO, HI, START, &options).expect("majority depth search")
+    };
+    // Untimed certified rerun: every UNSAT probe must carry a DRAT
+    // proof the in-tree checker accepts, without perturbing the timed
+    // (proof-logging-off) measurements above. `find_min_depth` errors
+    // if any proof fails to check, so reaching the flag computation at
+    // all means no uncertified UNSAT slipped through. (On this
+    // instance depth `LO` is SAT and `LO - 1` is structurally invalid,
+    // so the certified sweep is vacuous unless the search regresses —
+    // the pigeonhole family in `crates/sat/tests/certify.rs` covers
+    // non-trivial refutations.)
+    let certify = |incremental: bool| -> bool {
+        let options = SynthOptions {
+            incremental,
+            certify: true,
+            ..SynthOptions::default()
+        };
+        let search =
+            find_min_depth(&spec, LO, HI, START, &options).expect("certified depth search");
+        search
+            .probes
+            .iter()
+            .all(|p| p.certified == (p.sat == Some(false)))
     };
     // Measures one mode and returns (record, probe verdicts) — the
     // verdicts come from the sampled runs themselves, so the
@@ -129,6 +153,7 @@ fn emit_min_depth_records() {
             wall_ms: wall_ms / f64::from(SAMPLES),
             conflicts,
             propagations,
+            proof_checked: Some(certify(incremental)),
         };
         (record, verdicts)
     };

@@ -100,23 +100,32 @@ fn print_table(dir: &Path) -> ExitCode {
     );
     println!();
     println!(
-        "| benchmark | paper anchor | wall (ms) | conflicts | propagations | props/conflict |"
+        "| benchmark | paper anchor | wall (ms) | conflicts | propagations | props/conflict | proof checked |"
     );
-    println!("|---|---|---:|---:|---:|---:|");
+    println!("|---|---|---:|---:|---:|---:|---:|");
     for (file, r) in &records {
         let props_per_conflict = if r.conflicts > 0 {
             format!("{:.1}", r.propagations as f64 / r.conflicts as f64)
         } else {
             "\u{2014}".to_string()
         };
+        // "yes" = every UNSAT answer behind the record also passed the
+        // in-tree DRAT checker in an untimed certified rerun; "—" = the
+        // bench has nothing to certify (encode-only or SAT-only).
+        let proof_checked = match r.proof_checked {
+            Some(true) => "yes",
+            Some(false) => "no",
+            None => "\u{2014}",
+        };
         println!(
-            "| {} | {} | {:.3} | {} | {} | {} |",
+            "| {} | {} | {:.3} | {} | {} | {} | {} |",
             r.name,
             paper_anchor(file),
             r.wall_ms,
             r.conflicts,
             r.propagations,
-            props_per_conflict
+            props_per_conflict,
+            proof_checked
         );
     }
     ExitCode::SUCCESS

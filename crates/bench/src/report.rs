@@ -22,6 +22,13 @@ pub struct BenchRecord {
     pub conflicts: u64,
     /// Solver propagations for one iteration (0 for encode-only benches).
     pub propagations: u64,
+    /// `Some(true)` when every UNSAT answer behind this record also
+    /// passed the in-tree DRAT checker (in a separate, untimed
+    /// certified run — the timed numbers above are measured with proof
+    /// logging off). `None` for benches that do not certify (encode
+    /// only, or SAT-only instances); omitted from the JSON so their
+    /// committed records are unchanged.
+    pub proof_checked: Option<bool>,
 }
 
 impl BenchRecord {
@@ -39,9 +46,13 @@ impl BenchRecord {
                 c => vec![c],
             })
             .collect();
+        let proof_checked = match self.proof_checked {
+            Some(b) => format!(",\n  \"proof_checked\": {b}"),
+            None => String::new(),
+        };
         format!(
-            "{{\n  \"name\": \"{}\",\n  \"wall_ms\": {:.3},\n  \"conflicts\": {},\n  \"propagations\": {}\n}}\n",
-            escaped, self.wall_ms, self.conflicts, self.propagations
+            "{{\n  \"name\": \"{}\",\n  \"wall_ms\": {:.3},\n  \"conflicts\": {},\n  \"propagations\": {}{}\n}}\n",
+            escaped, self.wall_ms, self.conflicts, self.propagations, proof_checked
         )
     }
 
@@ -72,6 +83,12 @@ impl BenchRecord {
             propagations: field("propagations")?
                 .as_u64()
                 .ok_or_else(|| bad("propagations"))?,
+            // Optional: records predating proof certification (and
+            // benches that never certify) simply lack the key.
+            proof_checked: match value.get("proof_checked") {
+                None => None,
+                Some(v) => Some(v.as_bool().ok_or_else(|| bad("proof_checked"))?),
+            },
         })
     }
 
@@ -178,12 +195,17 @@ mod tests {
             wall_ms: 12.3456,
             conflicts: 164,
             propagations: 36698,
+            proof_checked: None,
         };
         let json = r.to_json();
         assert!(json.contains("\"name\": \"solve_majority_3x3x5\""));
         assert!(json.contains("\"wall_ms\": 12.346"));
         assert!(json.contains("\"conflicts\": 164"));
         assert!(json.contains("\"propagations\": 36698"));
+        assert!(
+            !json.contains("proof_checked"),
+            "uncertified records keep the legacy shape"
+        );
         // Valid JSON according to the vendored parser.
         let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
         assert_eq!(v["conflicts"], serde_json::json!(164));
@@ -196,11 +218,34 @@ mod tests {
             wall_ms: 42.125,
             conflicts: 1234,
             propagations: 567890,
+            proof_checked: None,
         };
         let back = BenchRecord::parse(&r.to_json()).expect("parse own output");
         assert_eq!(back, r);
         assert!(BenchRecord::parse("{}").is_err());
         assert!(BenchRecord::parse("{\"name\": \"x\"").is_err());
+    }
+
+    #[test]
+    fn bench_record_proof_checked_round_trips() {
+        let r = BenchRecord {
+            name: "min_depth_majority_3x3x5_incremental".into(),
+            wall_ms: 42.125,
+            conflicts: 1234,
+            propagations: 567890,
+            proof_checked: Some(true),
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"proof_checked\": true"));
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(v["proof_checked"], serde_json::json!(true));
+        assert_eq!(BenchRecord::parse(&json).expect("parse"), r);
+        // A wrong type is a parse error, not a silent None.
+        assert!(BenchRecord::parse(
+            "{\"name\": \"x\", \"wall_ms\": 1.0, \"conflicts\": 0, \
+             \"propagations\": 0, \"proof_checked\": \"yes\"}"
+        )
+        .is_err());
     }
 
     #[test]
@@ -212,6 +257,7 @@ mod tests {
             wall_ms: 1.0,
             conflicts: 0,
             propagations: 0,
+            proof_checked: None,
         };
         let path = r.write_to(&dir).expect("write record");
         assert_eq!(path.file_name().unwrap(), "BENCH_unit_test.json");

@@ -113,6 +113,8 @@ fn t_factory_budgeted_probe() {
         wall_ms: secs * 1e3,
         conflicts: stats.conflicts,
         propagations: stats.propagations,
+        // The budgeted probe stops at Unknown — no UNSAT to certify.
+        proof_checked: None,
     };
     match record.write() {
         Ok(path) => println!("wrote {}", path.display()),

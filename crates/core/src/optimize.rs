@@ -28,6 +28,11 @@ pub struct DepthProbe {
     /// propagations, …). `None` when the backend reports none
     /// (varisat).
     pub stats: Option<SolverStats>,
+    /// Whether this probe's UNSAT verdict carried a DRAT proof that
+    /// passed the in-tree checker (`options.certify` only; always
+    /// `false` for SAT/Unknown probes — a failing check aborts the
+    /// search with [`SynthError::Certify`] instead).
+    pub certified: bool,
 }
 
 /// Result of [`find_min_depth`].
@@ -57,6 +62,7 @@ struct ProbeOutcome {
     design: Option<LasDesign>,
     time: Duration,
     stats: Option<SolverStats>,
+    certified: bool,
 }
 
 /// The paper's probe order (start somewhere, descend while SAT, ascend
@@ -88,6 +94,7 @@ fn drive_depth_search(
             sat: outcome.sat,
             time: outcome.time,
             stats: outcome.stats,
+            certified: outcome.certified,
         });
         Ok(outcome.sat)
     };
@@ -181,6 +188,9 @@ fn find_min_depth_scratch(
             design,
             time,
             stats,
+            // `Synthesizer::run` has already checked the proof of a
+            // certifying UNSAT (it errors otherwise).
+            certified: options.certify && sat == Some(false),
         })
     })
 }
@@ -197,9 +207,15 @@ impl IncrementalSession {
         lo: usize,
         hi: usize,
         config: &sat::CdclConfig,
+        certify: bool,
     ) -> Result<Self, SynthError> {
         let layered = encode_layered(spec, lo, hi).map_err(SynthError::Spec)?;
         let mut solver = CdclSolver::with_config(config.clone());
+        if certify {
+            // Proof logging must start before the first clause so the
+            // log is self-contained.
+            solver.enable_proof();
+        }
         solver.add_cnf(&layered.encoding.cnf);
         // Activation literals come back as assumptions on every probe,
         // so bounded variable elimination must never resolve them away:
@@ -261,8 +277,13 @@ fn find_min_depth_incremental(
     options: &SynthOptions,
     config: sat::CdclConfig,
 ) -> Result<DepthSearch, SynthError> {
-    let mut session =
-        IncrementalSession::new(spec, valid_depths_down(spec, lo, start), start, &config)?;
+    let mut session = IncrementalSession::new(
+        spec,
+        valid_depths_down(spec, lo, start),
+        start,
+        &config,
+        options.certify,
+    )?;
     drive_depth_search(lo, hi, start, |k| {
         if !session.covers(k) {
             // The search stepped past the session's valid range: extend
@@ -273,10 +294,21 @@ fn find_min_depth_incremental(
                 return Err(SynthError::Spec(e));
             }
             if k > session.layered.hi {
-                session = IncrementalSession::new(spec, k, valid_depths_up(spec, k, hi), &config)?;
+                session = IncrementalSession::new(
+                    spec,
+                    k,
+                    valid_depths_up(spec, k, hi),
+                    &config,
+                    options.certify,
+                )?;
             } else {
-                session =
-                    IncrementalSession::new(spec, valid_depths_down(spec, lo, k), k, &config)?;
+                session = IncrementalSession::new(
+                    spec,
+                    valid_depths_down(spec, lo, k),
+                    k,
+                    &config,
+                    options.certify,
+                )?;
             }
         }
         let assumptions = session.layered.assumptions_for(k);
@@ -301,19 +333,38 @@ fn find_min_depth_incremental(
                     design: Some(design),
                     time,
                     stats,
+                    certified: false,
                 })
             }
-            SolveOutcome::Unsat => Ok(ProbeOutcome {
-                sat: Some(false),
-                design: None,
-                time,
-                stats,
-            }),
+            SolveOutcome::Unsat => {
+                let mut certified = false;
+                if options.certify {
+                    // Proof-check this depth lower bound before
+                    // reporting it. The log covers the whole session so
+                    // far; the failing assumption set picks out this
+                    // probe's refutation.
+                    // Unreachable: the session enabled proof logging
+                    // before its first clause.
+                    // lint:allow(no-panic)
+                    let log = session.solver.proof().expect("proof logging enabled");
+                    sat::certify_unsat(log, session.solver.final_assumption_conflict())
+                        .map_err(|e| SynthError::Certify(e.to_string()))?;
+                    certified = true;
+                }
+                Ok(ProbeOutcome {
+                    sat: Some(false),
+                    design: None,
+                    time,
+                    stats,
+                    certified,
+                })
+            }
             SolveOutcome::Unknown => Ok(ProbeOutcome {
                 sat: None,
                 design: None,
                 time,
                 stats,
+                certified: false,
             }),
         }
     })
@@ -643,6 +694,38 @@ mod tests {
                     p.max_k
                 );
             }
+        }
+    }
+
+    /// A certified search reaches the same answer as the plain one and
+    /// proof-checks every UNSAT probe along the way, in both modes.
+    #[test]
+    fn certified_search_agrees_and_marks_unsat_probes() {
+        let spec = cnot_spec();
+        let plain = find_min_depth(&spec, 2, 5, 4, &SynthOptions::default()).unwrap();
+        for incremental in [true, false] {
+            let options = SynthOptions {
+                incremental,
+                certify: true,
+                ..SynthOptions::default()
+            };
+            let certified = find_min_depth(&spec, 2, 5, 4, &options).unwrap();
+            assert_eq!(certified.best_depth(), plain.best_depth());
+            let view = |s: &DepthSearch| -> Vec<(usize, Option<bool>)> {
+                s.probes.iter().map(|p| (p.max_k, p.sat)).collect()
+            };
+            assert_eq!(view(&certified), view(&plain));
+            let mut unsat_probes = 0;
+            for p in &certified.probes {
+                assert_eq!(
+                    p.certified,
+                    p.sat == Some(false),
+                    "probe {} certification flag (incremental={incremental})",
+                    p.max_k
+                );
+                unsat_probes += usize::from(p.sat == Some(false));
+            }
+            assert!(unsat_probes > 0, "search never hit an UNSAT probe");
         }
     }
 

@@ -56,6 +56,11 @@ pub struct SynthOptions {
     /// Overrides chronological backtracking the same way (`--chrono
     /// on|off`). `None` keeps each configuration's own choice.
     pub chrono: Option<bool>,
+    /// Emit a DRAT proof for every solve and run the in-tree forward
+    /// checker on each UNSAT verdict before reporting it (`--certify`).
+    /// CDCL backend only; an UNSAT whose proof fails to check is
+    /// surfaced as [`SynthError::Certify`] instead of being trusted.
+    pub certify: bool,
 }
 
 impl Default for SynthOptions {
@@ -67,6 +72,7 @@ impl Default for SynthOptions {
             incremental: true,
             restart_policy: None,
             chrono: None,
+            certify: false,
         }
     }
 }
@@ -122,6 +128,9 @@ pub enum SynthError {
     Verify(VerifyError),
     /// The requested SAT backend was not compiled into this build.
     BackendUnavailable(&'static str),
+    /// `--certify` was requested and an UNSAT verdict's DRAT proof
+    /// failed the in-tree checker (or the backend cannot emit proofs).
+    Certify(String),
 }
 
 impl fmt::Display for SynthError {
@@ -141,6 +150,7 @@ impl fmt::Display for SynthError {
                 "backend `{name}` is not compiled into this build; \
                  rebuild with the `{name}` cargo feature (on by default)"
             ),
+            SynthError::Certify(reason) => write!(f, "UNSAT certification failed: {reason}"),
         }
     }
 }
@@ -208,6 +218,7 @@ pub struct Synthesizer {
     assumptions: Vec<sat::Lit>,
     last_solve_time: Option<Duration>,
     last_solver_stats: Option<SolverStats>,
+    last_proof: Option<sat::ProofLog>,
 }
 
 impl Synthesizer {
@@ -225,6 +236,7 @@ impl Synthesizer {
             assumptions: Vec::new(),
             last_solve_time: None,
             last_solver_stats: None,
+            last_proof: None,
         })
     }
 
@@ -260,6 +272,15 @@ impl Synthesizer {
     /// (varisat).
     pub fn last_solver_stats(&self) -> Option<SolverStats> {
         self.last_solver_stats
+    }
+
+    /// DRAT proof log of the most recent solve, present only when
+    /// [`SynthOptions::certify`] was set. For an UNSAT run this is the
+    /// already-checked refutation; serialize it with
+    /// [`sat::ProofLog::write_drat`] for external `drat-trim`
+    /// cross-checking against the [`Self::cnf`] DIMACS.
+    pub fn last_proof(&self) -> Option<&sat::ProofLog> {
+        self.last_proof.as_ref()
     }
 
     /// Pins a structural variable to a value for subsequent solves (the
@@ -322,7 +343,12 @@ impl Synthesizer {
         if matches!(self.options.backend, BackendChoice::Varisat) {
             return Err(SynthError::BackendUnavailable("varisat"));
         }
-        let outcome = self.solve_raw();
+        if self.options.certify && matches!(self.options.backend, BackendChoice::Varisat) {
+            return Err(SynthError::Certify(
+                "the varisat backend cannot emit DRAT proofs; use the CDCL backend".into(),
+            ));
+        }
+        let outcome = self.solve_raw()?;
         match outcome {
             SolveOutcome::Sat(model) => {
                 let mut design = decode(&self.spec, &self.encoding, &model);
@@ -341,9 +367,30 @@ impl Synthesizer {
         }
     }
 
-    fn solve_raw(&mut self) -> SolveOutcome {
+    fn solve_raw(&mut self) -> Result<SolveOutcome, SynthError> {
         let start = Instant::now();
+        self.last_proof = None;
         let out = match &self.options.backend {
+            BackendChoice::Cdcl(config) if self.options.certify => {
+                // Certifying path: an incremental session with proof
+                // logging on, so an UNSAT answer carries a DRAT log the
+                // in-tree checker validates before we report it.
+                let mut solver =
+                    CdclSolver::with_config(self.options.solver_config(config.clone()));
+                solver.enable_proof();
+                solver.add_cnf(&self.encoding.cnf);
+                let out = solver.solve_assuming(&self.assumptions, &self.options.budget);
+                self.last_solver_stats = Some(solver.session_stats());
+                if matches!(out, SolveOutcome::Unsat) {
+                    // Unreachable: `enable_proof` ran before `add_cnf`.
+                    // lint:allow(no-panic)
+                    let log = solver.proof().expect("proof logging enabled");
+                    sat::certify_unsat(log, solver.final_assumption_conflict())
+                        .map_err(|e| SynthError::Certify(e.to_string()))?;
+                }
+                self.last_proof = solver.proof().cloned();
+                out
+            }
             BackendChoice::Cdcl(config) => {
                 let mut solver =
                     CdclSolver::with_config(self.options.solver_config(config.clone()));
@@ -367,7 +414,7 @@ impl Synthesizer {
             }
         };
         self.last_solve_time = Some(start.elapsed());
-        out
+        Ok(out)
     }
 }
 
@@ -411,6 +458,38 @@ mod tests {
         spec.forbidden_cubes.dedup();
         let result = Synthesizer::new(spec).unwrap().run().unwrap();
         assert!(result.is_unsat());
+    }
+
+    /// With `certify`, the UNSAT verdict above is only reported after
+    /// its DRAT proof passes the in-tree checker — and the varisat
+    /// backend (no proof support) is rejected up front.
+    #[test]
+    fn certify_checks_unsat_and_rejects_varisat() {
+        let mut spec = cnot_spec();
+        spec.name = "cnot-too-small-certified".into();
+        for k in 0..3 {
+            spec.forbidden_cubes.push(lasre::Coord::new(0, 0, k));
+            spec.forbidden_cubes.push(lasre::Coord::new(1, 1, k));
+        }
+        spec.forbidden_cubes.sort();
+        spec.forbidden_cubes.dedup();
+        let mut s = Synthesizer::new(spec.clone())
+            .unwrap()
+            .with_options(SynthOptions {
+                certify: true,
+                ..Default::default()
+            });
+        assert!(s.run().unwrap().is_unsat());
+
+        #[cfg(feature = "varisat")]
+        {
+            let mut s = Synthesizer::new(spec).unwrap().with_options(SynthOptions {
+                certify: true,
+                backend: BackendChoice::Varisat,
+                ..Default::default()
+            });
+            assert!(matches!(s.run(), Err(SynthError::Certify(_))));
+        }
     }
 
     #[test]

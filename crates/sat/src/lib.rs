@@ -40,6 +40,7 @@ pub mod analyze;
 mod builder;
 mod cnf;
 pub mod dimacs;
+pub mod proof;
 mod solver;
 mod types;
 #[cfg(feature = "varisat")]
@@ -48,6 +49,7 @@ mod varisat_backend;
 pub use analyze::{CnfLint, CnfReport};
 pub use builder::CnfBuilder;
 pub use cnf::Cnf;
+pub use proof::{certify_unsat, CheckReport, ProofLog};
 pub use solver::{CdclConfig, CdclSolver, RestartPolicy, SolverStats};
 pub use types::{Backend, Budget, Lit, Model, SolveOutcome, Var};
 #[cfg(feature = "varisat")]

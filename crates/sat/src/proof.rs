@@ -1,0 +1,885 @@
+//! DRAT proof logging and forward checking.
+//!
+//! The solver (when proof logging is enabled) records every clause it
+//! ever holds as one of three step kinds:
+//!
+//! * [`StepKind::AddInput`] — a clause the caller asserted
+//!   (`add_clause`/`load_cnf`). Inputs are axioms: the checker admits
+//!   them without justification.
+//! * [`StepKind::AddDerived`] — a clause the solver claims follows
+//!   from the clauses currently live: 1UIP learnts, root units from
+//!   failed-literal probing, strengthened/vivified replacements, BVE
+//!   resolvents, eliminated-clause restorations, and the terminal
+//!   empty clause (root UNSAT) or negated-assumption core
+//!   (UNSAT under assumptions). The checker verifies each one by
+//!   RUP — assume the negation, unit-propagate, demand a conflict —
+//!   falling back to RAT on the first literal (the `drat-trim`
+//!   convention), which is what justifies re-adding clauses whose
+//!   pivot variable was eliminated by BVE.
+//! * [`StepKind::Delete`] — a clause removed from the live set
+//!   (`reduce_db`, subsumption, strengthening/vivification originals,
+//!   BVE occurrence deletion). Deletions matter for soundness of the
+//!   RAT checks, so the in-tree checker applies them strictly: a
+//!   deletion that names a clause not currently live is rejected.
+//!
+//! The in-memory log is self-contained (inputs interleaved with
+//! derivations, so an incremental session's growing formula is
+//! captured exactly). For interop with external `drat-trim`, the
+//! derivation/deletion steps alone serialize to standard text or
+//! binary DRAT ([`ProofLog::write_drat`]) to be checked against a
+//! DIMACS file holding the inputs.
+
+use crate::{Cnf, Lit};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Write};
+
+/// The role of one proof step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepKind {
+    /// Caller-asserted clause; admitted without checking.
+    AddInput,
+    /// Solver-derived clause; must pass RUP or first-literal RAT.
+    AddDerived,
+    /// Removal of a live clause.
+    Delete,
+}
+
+/// An append-only clause-level proof trace.
+///
+/// Stored flat (one literal pool plus per-step bounds) so logging a
+/// step is two `Vec` appends and no per-step allocation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProofLog {
+    kinds: Vec<StepKind>,
+    /// `ends[i]` = one past the last literal of step `i` in `lits`.
+    ends: Vec<u32>,
+    lits: Vec<Lit>,
+}
+
+impl ProofLog {
+    /// An empty proof.
+    pub fn new() -> ProofLog {
+        ProofLog::default()
+    }
+
+    fn push(&mut self, kind: StepKind, lits: &[Lit]) {
+        self.lits.extend_from_slice(lits);
+        self.ends.push(self.lits.len() as u32);
+        self.kinds.push(kind);
+    }
+
+    /// Records a caller-asserted clause.
+    pub fn add_input(&mut self, lits: &[Lit]) {
+        self.push(StepKind::AddInput, lits);
+    }
+
+    /// Records a solver-derived clause (RUP/RAT obligation).
+    pub fn add_derived(&mut self, lits: &[Lit]) {
+        self.push(StepKind::AddDerived, lits);
+    }
+
+    /// Records the removal of a live clause.
+    pub fn delete(&mut self, lits: &[Lit]) {
+        self.push(StepKind::Delete, lits);
+    }
+
+    /// Number of steps recorded.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the proof is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The `i`-th step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn step(&self, i: usize) -> (StepKind, &[Lit]) {
+        let lo = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        let hi = self.ends[i] as usize;
+        (self.kinds[i], &self.lits[lo..hi])
+    }
+
+    /// Iterates over `(kind, clause)` steps in order.
+    pub fn iter(&self) -> impl Iterator<Item = (StepKind, &[Lit])> + '_ {
+        (0..self.len()).map(move |i| self.step(i))
+    }
+
+    /// The most recent `AddDerived` clause, if any.
+    pub fn last_derived(&self) -> Option<&[Lit]> {
+        (0..self.len())
+            .rev()
+            .map(|i| self.step(i))
+            .find(|(k, _)| *k == StepKind::AddDerived)
+            .map(|(_, c)| c)
+    }
+
+    /// The multiset of clauses currently live in the proof, keyed by
+    /// sorted literal list, with a (possibly zero or negative, if the
+    /// log is inconsistent) occurrence count. Used by the audit layer
+    /// to cross-check the solver's live arena against the log.
+    pub fn live_multiset(&self) -> HashMap<Vec<Lit>, i64> {
+        let mut live: HashMap<Vec<Lit>, i64> = HashMap::new();
+        for (kind, lits) in self.iter() {
+            let mut key = lits.to_vec();
+            key.sort_unstable();
+            let delta = match kind {
+                StepKind::AddInput | StepKind::AddDerived => 1,
+                StepKind::Delete => -1,
+            };
+            *live.entry(key).or_insert(0) += delta;
+        }
+        live
+    }
+
+    /// Builds a self-contained log from a CNF (the inputs) followed by
+    /// a DRAT proof in text or binary format (auto-detected).
+    pub fn from_cnf_and_drat(cnf: &Cnf, drat: &[u8]) -> Result<ProofLog, ParseError> {
+        let mut log = ProofLog::new();
+        for clause in cnf.iter() {
+            log.add_input(clause);
+        }
+        parse_drat(drat, &mut log)?;
+        Ok(log)
+    }
+
+    /// Serializes the derivation and deletion steps (inputs belong to
+    /// the DIMACS file, not the proof) as DRAT, binary or text.
+    pub fn write_drat<W: Write>(&self, out: &mut W, binary: bool) -> io::Result<()> {
+        for (kind, lits) in self.iter() {
+            match kind {
+                StepKind::AddInput => continue,
+                StepKind::AddDerived => {
+                    if binary {
+                        out.write_all(b"a")?;
+                    }
+                }
+                StepKind::Delete => {
+                    if binary {
+                        out.write_all(b"d")?;
+                    } else {
+                        out.write_all(b"d ")?;
+                    }
+                }
+            }
+            if binary {
+                for &l in lits {
+                    write_vbyte(out, binary_code(l))?;
+                }
+                out.write_all(&[0])?;
+            } else {
+                let mut line = String::new();
+                for &l in lits {
+                    line.push_str(&l.to_dimacs().to_string());
+                    line.push(' ');
+                }
+                line.push_str("0\n");
+                out.write_all(line.as_bytes())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Binary-DRAT literal code: `2|l|` for positive, `2|l|+1` for
+/// negative, on the DIMACS numbering.
+fn binary_code(l: Lit) -> u64 {
+    let d = l.to_dimacs();
+    (d.unsigned_abs() << 1) | u64::from(d < 0)
+}
+
+fn write_vbyte<W: Write>(out: &mut W, mut x: u64) -> io::Result<()> {
+    loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.write_all(&[byte])?;
+            return Ok(());
+        }
+        out.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// A malformed DRAT file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed DRAT proof: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a DRAT proof (text or binary, auto-detected) into `log`.
+fn parse_drat(bytes: &[u8], log: &mut ProofLog) -> Result<(), ParseError> {
+    // Text DRAT only ever contains digits, signs, whitespace, and the
+    // 'd'/'c' markers; binary DRAT always contains a 0x00 terminator.
+    let is_text = bytes
+        .iter()
+        .all(|&b| b.is_ascii_digit() || b" \t\r\n-dc".contains(&b));
+    if is_text {
+        parse_drat_text(bytes, log)
+    } else {
+        parse_drat_binary(bytes, log)
+    }
+}
+
+fn parse_drat_text(bytes: &[u8], log: &mut ProofLog) -> Result<(), ParseError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| ParseError(e.to_string()))?;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let (delete, rest) = match line.strip_prefix('d') {
+            Some(rest) => (true, rest),
+            None => (false, line),
+        };
+        let mut lits = Vec::new();
+        let mut terminated = false;
+        for tok in rest.split_whitespace() {
+            let d: i64 = tok
+                .parse()
+                .map_err(|_| ParseError(format!("line {}: bad literal {tok:?}", lineno + 1)))?;
+            if d == 0 {
+                terminated = true;
+                break;
+            }
+            lits.push(Lit::from_dimacs(d));
+        }
+        if !terminated {
+            return Err(ParseError(format!(
+                "line {}: missing 0 terminator",
+                lineno + 1
+            )));
+        }
+        if delete {
+            log.delete(&lits);
+        } else {
+            log.add_derived(&lits);
+        }
+    }
+    Ok(())
+}
+
+fn parse_drat_binary(bytes: &[u8], log: &mut ProofLog) -> Result<(), ParseError> {
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let marker = bytes[pos];
+        pos += 1;
+        let delete = match marker {
+            b'a' => false,
+            b'd' => true,
+            _ => {
+                return Err(ParseError(format!(
+                    "byte {}: expected 'a' or 'd' marker, got 0x{marker:02x}",
+                    pos - 1
+                )))
+            }
+        };
+        let mut lits = Vec::new();
+        loop {
+            let (code, next) = read_vbyte(bytes, pos)?;
+            pos = next;
+            if code == 0 {
+                break;
+            }
+            let var = code >> 1;
+            if var == 0 || var > i64::MAX as u64 {
+                return Err(ParseError(format!("byte {pos}: bad literal code {code}")));
+            }
+            let d = if code & 1 == 1 {
+                -(var as i64)
+            } else {
+                var as i64
+            };
+            lits.push(Lit::from_dimacs(d));
+        }
+        if delete {
+            log.delete(&lits);
+        } else {
+            log.add_derived(&lits);
+        }
+    }
+    Ok(())
+}
+
+fn read_vbyte(bytes: &[u8], mut pos: usize) -> Result<(u64, usize), ParseError> {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&b) = bytes.get(pos) else {
+            return Err(ParseError("truncated variable-byte literal".into()));
+        };
+        pos += 1;
+        if shift >= 63 {
+            return Err(ParseError("variable-byte literal overflows u64".into()));
+        }
+        x |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok((x, pos));
+        }
+        shift += 7;
+    }
+}
+
+/// A proof step the checker rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckError {
+    /// Index of the offending step, when attributable to one.
+    pub step: Option<usize>,
+    /// Human-readable rejection reason.
+    pub reason: String,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.step {
+            Some(i) => write!(f, "proof rejected at step {i}: {}", self.reason),
+            None => write!(f, "proof rejected: {}", self.reason),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Summary of a successful forward check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Total steps processed.
+    pub steps: usize,
+    /// Derived steps whose RUP/RAT obligation was actually checked
+    /// (checking stops early once the formula is refuted).
+    pub derived_checked: usize,
+    /// Whether an explicit empty clause was derived.
+    pub derived_empty: bool,
+    /// Whether unit propagation over the live clauses refuted the
+    /// formula outright (every later derivation is then vacuous).
+    pub root_conflict: bool,
+}
+
+impl CheckReport {
+    /// Whether the checked proof establishes unsatisfiability of the
+    /// accumulated input set (no assumptions involved).
+    pub fn refuted(&self) -> bool {
+        self.derived_empty || self.root_conflict
+    }
+}
+
+/// Forward-checks a self-contained proof: inputs are admitted,
+/// derived clauses must pass RUP or first-literal RAT against the
+/// live clause set, deletions must name a live clause.
+pub fn check(log: &ProofLog) -> Result<CheckReport, CheckError> {
+    Checker::new().run(log)
+}
+
+/// Certifies one UNSAT answer: forward-checks the whole log, then
+/// confirms the log actually ends in the claimed refutation —
+/// the empty clause for a root-level UNSAT (`failed_assumptions`
+/// empty), or a final derived clause equal to the negation of the
+/// failing assumption set for UNSAT under assumptions.
+pub fn certify_unsat(
+    log: &ProofLog,
+    failed_assumptions: &[Lit],
+) -> Result<CheckReport, CheckError> {
+    let report = check(log)?;
+    let last = log.last_derived();
+    if failed_assumptions.is_empty() {
+        if !report.refuted() {
+            return Err(CheckError {
+                step: None,
+                reason: "proof checks but never derives the empty clause".into(),
+            });
+        }
+    } else {
+        let Some(core) = last else {
+            return Err(CheckError {
+                step: None,
+                reason: "no derived clause to certify the assumption core".into(),
+            });
+        };
+        // A root conflict mid-probe certifies any assumption set.
+        if !core.is_empty() && !report.root_conflict {
+            let mut want: Vec<Lit> = failed_assumptions.iter().map(|&a| !a).collect();
+            want.sort_unstable();
+            want.dedup();
+            let mut got: Vec<Lit> = core.to_vec();
+            got.sort_unstable();
+            got.dedup();
+            if got != want {
+                return Err(CheckError {
+                    step: None,
+                    reason: format!(
+                        "final derived clause {got:?} does not match the negated \
+                         assumption core {want:?}"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// One clause in the checker's live set. The first two literals are
+/// the watched ones (clauses of length ≥ 2).
+struct CClause {
+    lits: Vec<Lit>,
+    live: bool,
+}
+
+/// Forward RUP/RAT checker over a growing clause database with
+/// two-watched-literal propagation and a persistent root trail.
+struct Checker {
+    clauses: Vec<CClause>,
+    /// Sorted-literals key → live clause ids (deletion lookup).
+    index: HashMap<Vec<Lit>, Vec<usize>>,
+    /// Assignment per literal code: 1 true, -1 false, 0 unassigned.
+    val: Vec<i8>,
+    trail: Vec<Lit>,
+    qhead: usize,
+    /// Clause ids watching each literal code.
+    watches: Vec<Vec<usize>>,
+    root_conflict: bool,
+}
+
+impl Checker {
+    fn new() -> Checker {
+        Checker {
+            clauses: Vec::new(),
+            index: HashMap::new(),
+            val: Vec::new(),
+            trail: Vec::new(),
+            qhead: 0,
+            watches: Vec::new(),
+            root_conflict: false,
+        }
+    }
+
+    fn ensure_lit(&mut self, l: Lit) {
+        let need = l.code().max((!l).code()) + 1;
+        if self.val.len() < need {
+            self.val.resize(need, 0);
+            self.watches.resize(need, Vec::new());
+        }
+    }
+
+    fn value(&self, l: Lit) -> i8 {
+        self.val[l.code()]
+    }
+
+    /// Assigns `l` true. Returns `false` on conflict (already false).
+    fn enqueue(&mut self, l: Lit) -> bool {
+        match self.value(l) {
+            1 => true,
+            -1 => false,
+            _ => {
+                self.val[l.code()] = 1;
+                self.val[(!l).code()] = -1;
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit-propagates from `qhead`. Returns `false` on conflict.
+    fn propagate(&mut self) -> bool {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let falsified = !p;
+            let mut ws = std::mem::take(&mut self.watches[falsified.code()]);
+            let mut keep = 0usize;
+            let mut conflict = false;
+            let mut i = 0usize;
+            while i < ws.len() {
+                let ci = ws[i];
+                i += 1;
+                if !self.clauses[ci].live {
+                    continue; // lazily dropped watcher
+                }
+                // Normalize: watched slot 0 is the falsified literal.
+                if self.clauses[ci].lits[0] == falsified {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                let other = self.clauses[ci].lits[1];
+                debug_assert_eq!(other, falsified);
+                let first = self.clauses[ci].lits[0];
+                if self.value(first) == 1 {
+                    ws[keep] = ci;
+                    keep += 1;
+                    continue;
+                }
+                // Find a replacement watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].lits.len() {
+                    if self.value(self.clauses[ci].lits[k]) != -1 {
+                        self.clauses[ci].lits.swap(1, k);
+                        let new_watch = self.clauses[ci].lits[1];
+                        self.watches[new_watch.code()].push(ci);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Unit or conflicting.
+                ws[keep] = ci;
+                keep += 1;
+                if !self.enqueue(first) {
+                    conflict = true;
+                    break;
+                }
+            }
+            // Keep any watchers not yet scanned (conflict exit).
+            while i < ws.len() {
+                ws[keep] = ws[i];
+                keep += 1;
+                i += 1;
+            }
+            ws.truncate(keep);
+            // Re-merge with watchers added for this code mid-scan
+            // (replacement watches never target the falsified literal,
+            // but enqueue-driven recursion is absent so this is just
+            // whatever the take left behind).
+            let added = std::mem::replace(&mut self.watches[falsified.code()], ws);
+            self.watches[falsified.code()].extend(added);
+            if conflict {
+                self.qhead = self.trail.len();
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Checks RUP of `clause`: assume every literal false, propagate,
+    /// demand a conflict. Leaves the trail as it found it.
+    fn is_rup(&mut self, clause: &[Lit]) -> bool {
+        // The clause may mention variables no input ever did (e.g. an
+        // assumption-core clause over an otherwise-unused variable).
+        for &l in clause {
+            self.ensure_lit(l);
+        }
+        let mark = self.trail.len();
+        let saved_qhead = self.qhead;
+        let mut conflict = false;
+        for &l in clause {
+            if !self.enqueue(!l) {
+                conflict = true;
+                break;
+            }
+        }
+        if !conflict {
+            conflict = !self.propagate();
+        }
+        for &l in self.trail.iter().skip(mark) {
+            self.val[l.code()] = 0;
+            self.val[(!l).code()] = 0;
+        }
+        self.trail.truncate(mark);
+        self.qhead = saved_qhead;
+        conflict
+    }
+
+    /// Checks first-literal RAT of `clause`: every resolvent with a
+    /// live clause containing the negated pivot must be RUP.
+    fn is_rat(&mut self, clause: &[Lit]) -> bool {
+        let Some(&pivot) = clause.first() else {
+            return false;
+        };
+        let neg = !pivot;
+        // Occurrences are computed by scan: RAT steps are rare
+        // (only BVE restorations in solver-emitted proofs). Partners
+        // that also contain the pivot are skipped: flipping the pivot
+        // true keeps them satisfied, so they never constrain the step.
+        let partners: Vec<usize> = (0..self.clauses.len())
+            .filter(|&ci| {
+                let c = &self.clauses[ci];
+                c.live && c.lits.contains(&neg) && !c.lits.contains(&pivot)
+            })
+            .collect();
+        let mut resolvent: Vec<Lit> = Vec::new();
+        for ci in partners {
+            resolvent.clear();
+            resolvent.extend_from_slice(clause);
+            resolvent.extend(self.clauses[ci].lits.iter().copied().filter(|&l| l != neg));
+            if !self.is_rup(&resolvent) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Installs a clause into the live set and performs persistent
+    /// root propagation of any unit it implies.
+    fn add_clause(&mut self, lits: &[Lit]) {
+        for &l in lits {
+            self.ensure_lit(l);
+        }
+        let mut key = lits.to_vec();
+        key.sort_unstable();
+        let ci = self.clauses.len();
+        let mut stored = lits.to_vec();
+        // Prefer non-false literals in the watched slots.
+        let mut w = 0usize;
+        for i in 0..stored.len() {
+            if w >= 2 {
+                break;
+            }
+            if self.value(stored[i]) != -1 {
+                stored.swap(w, i);
+                w += 1;
+            }
+        }
+        self.clauses.push(CClause {
+            lits: stored,
+            live: true,
+        });
+        self.index.entry(key).or_default().push(ci);
+        let len = self.clauses[ci].lits.len();
+        if len == 0 {
+            self.root_conflict = true;
+            return;
+        }
+        if len >= 2 {
+            let (w0, w1) = (self.clauses[ci].lits[0], self.clauses[ci].lits[1]);
+            self.watches[w0.code()].push(ci);
+            self.watches[w1.code()].push(ci);
+        }
+        if w == 0 {
+            // Every literal false: the live set is refuted outright.
+            self.root_conflict = true;
+        } else if w == 1 || len == 1 {
+            // Unit (or already-satisfied single-watch) clause: make the
+            // surviving literal a persistent root assignment.
+            let unit = self.clauses[ci].lits[0];
+            if self.value(unit) != 1 && (!self.enqueue(unit) || !self.propagate()) {
+                self.root_conflict = true;
+            }
+        }
+    }
+
+    /// Removes one live clause matching `lits` (as a multiset).
+    /// Root assignments are never retracted (drat-trim semantics).
+    fn delete_clause(&mut self, lits: &[Lit]) -> bool {
+        let mut key = lits.to_vec();
+        key.sort_unstable();
+        let Some(ids) = self.index.get_mut(&key) else {
+            return false;
+        };
+        let Some(ci) = ids.pop() else {
+            return false;
+        };
+        if ids.is_empty() {
+            self.index.remove(&key);
+        }
+        self.clauses[ci].live = false; // watchers dropped lazily
+        true
+    }
+
+    fn run(&mut self, log: &ProofLog) -> Result<CheckReport, CheckError> {
+        let mut report = CheckReport::default();
+        for (i, (kind, lits)) in log.iter().enumerate() {
+            report.steps += 1;
+            match kind {
+                StepKind::AddInput => self.add_clause(lits),
+                StepKind::AddDerived => {
+                    if !self.root_conflict {
+                        report.derived_checked += 1;
+                        if !self.is_rup(lits) && !self.is_rat(lits) {
+                            return Err(CheckError {
+                                step: Some(i),
+                                reason: format!(
+                                    "derived clause {:?} is neither RUP nor RAT",
+                                    lits.iter().map(|l| l.to_dimacs()).collect::<Vec<_>>()
+                                ),
+                            });
+                        }
+                    }
+                    if lits.is_empty() {
+                        report.derived_empty = true;
+                    }
+                    self.add_clause(lits);
+                }
+                StepKind::Delete => {
+                    if !self.delete_clause(lits) {
+                        return Err(CheckError {
+                            step: Some(i),
+                            reason: format!(
+                                "deletion of clause {:?} not in the live set",
+                                lits.iter().map(|l| l.to_dimacs()).collect::<Vec<_>>()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        report.root_conflict = self.root_conflict;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    fn clause(ds: &[i64]) -> Vec<Lit> {
+        ds.iter().map(|&d| lit(d)).collect()
+    }
+
+    /// The smallest UNSAT core: (a)(¬a) with an explicit refutation.
+    #[test]
+    fn accepts_trivial_refutation() {
+        let mut log = ProofLog::new();
+        log.add_input(&clause(&[1]));
+        log.add_input(&clause(&[-1]));
+        log.add_derived(&[]);
+        let report = check(&log).expect("valid proof");
+        assert!(report.derived_empty);
+        assert!(report.root_conflict);
+        assert!(report.refuted());
+    }
+
+    /// (a∨b)(a∨¬b)(¬a∨b)(¬a∨¬b): classic 2-variable refutation via
+    /// the resolvents (a) and the empty clause.
+    #[test]
+    fn accepts_resolution_refutation() {
+        let mut log = ProofLog::new();
+        log.add_input(&clause(&[1, 2]));
+        log.add_input(&clause(&[1, -2]));
+        log.add_input(&clause(&[-1, 2]));
+        log.add_input(&clause(&[-1, -2]));
+        log.add_derived(&clause(&[1]));
+        log.add_derived(&[]);
+        assert!(check(&log).expect("valid proof").refuted());
+    }
+
+    /// With (1 2) alone, (1) would be a *blocked* clause (no resolution
+    /// partner on the pivot) and DRAT accepts it; (¬1 ¬2) provides the
+    /// partner whose resolvent (1 ¬2) is not RUP, so both the RUP and
+    /// the RAT check must fail.
+    #[test]
+    fn rejects_non_rup_derivation() {
+        let mut log = ProofLog::new();
+        log.add_input(&clause(&[1, 2]));
+        log.add_input(&clause(&[-1, -2]));
+        log.add_derived(&clause(&[1])); // neither RUP nor RAT
+        let err = check(&log).expect_err("must reject");
+        assert_eq!(err.step, Some(2));
+    }
+
+    #[test]
+    fn rejects_deleting_absent_clause() {
+        let mut log = ProofLog::new();
+        log.add_input(&clause(&[1, 2]));
+        log.delete(&clause(&[1, 3]));
+        let err = check(&log).expect_err("must reject");
+        assert_eq!(err.step, Some(1));
+    }
+
+    /// Deletion is multiset-keyed, so literal order does not matter.
+    #[test]
+    fn deletion_is_order_insensitive() {
+        let mut log = ProofLog::new();
+        log.add_input(&clause(&[1, 2, -3]));
+        log.delete(&clause(&[-3, 1, 2]));
+        assert!(check(&log).is_ok());
+    }
+
+    /// RAT on the first literal: after deleting every clause that
+    /// mentions x, re-adding (x∨a) is vacuously RAT on x even though
+    /// it is not RUP — the BVE-restoration shape.
+    #[test]
+    fn accepts_vacuous_rat_readdition() {
+        let mut log = ProofLog::new();
+        log.add_input(&clause(&[1, 2]));
+        log.add_input(&clause(&[-1, 3]));
+        log.add_input(&clause(&[2, 3, 4]));
+        // BVE on x1: resolvent (2∨3) is RUP, then both occurrences go.
+        log.add_derived(&clause(&[2, 3]));
+        log.delete(&clause(&[1, 2]));
+        log.delete(&clause(&[-1, 3]));
+        // Restore (1∨2): RAT on literal 1 with no ¬1 partner left.
+        log.add_derived(&clause(&[1, 2]));
+        assert!(check(&log).is_ok());
+        // The same clause with the pivot second is not RAT (pivot 2
+        // resolves against (2∨3∨4)... which still yields RUP checks
+        // that pass here, so use a genuinely non-RAT pivot: ¬3).
+        let mut bad = ProofLog::new();
+        bad.add_input(&clause(&[1, 2]));
+        bad.add_input(&clause(&[-1, 3]));
+        bad.add_derived(&clause(&[-3, -1]));
+        assert!(check(&bad).is_err());
+    }
+
+    #[test]
+    fn certify_requires_matching_core() {
+        let mut log = ProofLog::new();
+        log.add_input(&clause(&[-1, -2]));
+        // Probe assumptions a1, a2 fail; core clause is (¬1 ∨ ¬2).
+        log.add_derived(&clause(&[-1, -2]));
+        let failed = [Lit::pos(Var(0)), Lit::pos(Var(1))];
+        assert!(certify_unsat(&log, &failed).is_ok());
+        let wrong = [Lit::pos(Var(0))];
+        assert!(certify_unsat(&log, &wrong).is_err());
+        // Root-level certification needs the empty clause.
+        assert!(certify_unsat(&log, &[]).is_err());
+    }
+
+    #[test]
+    fn drat_text_round_trip() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(clause(&[1, 2]));
+        cnf.add_clause(clause(&[-1, 3]));
+        let mut log = ProofLog::from_cnf_and_drat(&cnf, b"").expect("inputs only");
+        log.add_derived(&clause(&[2, 3]));
+        log.delete(&clause(&[1, 2]));
+        let mut out = Vec::new();
+        log.write_drat(&mut out, false).expect("write");
+        assert_eq!(
+            std::str::from_utf8(&out).expect("ascii"),
+            "2 3 0\nd 1 2 0\n"
+        );
+        let back = ProofLog::from_cnf_and_drat(&cnf, &out).expect("parse");
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn drat_binary_round_trip() {
+        let mut cnf = Cnf::new(200);
+        cnf.add_clause(clause(&[1, -200]));
+        let mut log = ProofLog::from_cnf_and_drat(&cnf, b"").expect("inputs only");
+        log.add_derived(&clause(&[63, -64, 129]));
+        log.delete(&clause(&[1, -200]));
+        log.add_derived(&[]);
+        let mut out = Vec::new();
+        log.write_drat(&mut out, true).expect("write");
+        // Binary marker of the first step is 'a' followed by vbyte
+        // literals; 63 → 126, -64 → 129 (two bytes).
+        assert_eq!(out[0], b'a');
+        let back = ProofLog::from_cnf_and_drat(&cnf, &out).expect("parse");
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn live_multiset_tracks_deletions() {
+        let mut log = ProofLog::new();
+        log.add_input(&clause(&[2, 1]));
+        log.add_input(&clause(&[1, 2]));
+        log.delete(&clause(&[1, 2]));
+        let live = log.live_multiset();
+        assert_eq!(live.get(&clause(&[1, 2])).copied(), Some(1));
+    }
+}

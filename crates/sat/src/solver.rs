@@ -163,6 +163,7 @@
 //! eliminated variable reintroduces it from the elimination stack
 //! before solving.
 
+use crate::proof::ProofLog;
 use crate::{Backend, Budget, Cnf, Lit, Model, SolveOutcome, Var};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -620,12 +621,12 @@ pub struct CdclSolver {
     /// API the configuration is captured when the session starts (the
     /// first `new_var`/`add_clause`/`solve_assuming` call).
     pub config: CdclConfig,
-    /// Statistics of the most recent solve call, whether one-shot
-    /// ([`Backend::solve_with`]) or incremental
-    /// ([`CdclSolver::solve_assuming`]) — interleaving the two
-    /// overwrites this field back and forth, so session code computing
-    /// [`SolverStats::since`] deltas should snapshot
-    /// [`CdclSolver::session_stats`] instead.
+    /// Statistics of the most recent *one-shot* solve
+    /// ([`Backend::solve_with`]) only. Incremental
+    /// ([`CdclSolver::solve_assuming`]) counters live in the session
+    /// and are read via [`CdclSolver::session_stats`] — the two never
+    /// mix, so interleaving one-shot and session solves cannot corrupt
+    /// either side's deltas.
     pub stats: SolverStats,
     /// The persistent incremental session, created lazily. One-shot
     /// [`Backend::solve_with`] calls use a throwaway state and leave
@@ -691,17 +692,14 @@ impl CdclSolver {
     /// have (call [`CdclSolver::new_var`]/[`CdclSolver::add_clause`]
     /// first).
     pub fn solve_assuming(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
-        let state = self.session_mut();
-        let outcome = state.solve(assumptions, budget);
-        self.stats = state.stats;
-        outcome
+        self.session_mut().solve(assumptions, budget)
     }
 
     /// Cumulative statistics of the incremental session (zero before
-    /// it starts, monotone across `solve_assuming` calls). Unlike the
-    /// [`CdclSolver::stats`] field — which mirrors whatever solve ran
-    /// last — this accessor is unaffected by interleaved one-shot
-    /// [`Backend::solve_with`] calls, making it the safe baseline for
+    /// it starts, monotone across `solve_assuming` calls). The
+    /// [`CdclSolver::stats`] field mirrors one-shot
+    /// [`Backend::solve_with`] calls only, so the two sources never
+    /// mix; this accessor is the baseline for
     /// [`SolverStats::since`] per-call deltas.
     pub fn session_stats(&self) -> SolverStats {
         self.session
@@ -744,6 +742,30 @@ impl CdclSolver {
         let state = self.session_mut();
         assert!(v.index() < state.num_vars, "melt of unknown variable {v}");
         state.frozen[v.index()] = false;
+    }
+
+    /// Enables DRAT proof logging on the incremental session. Must be
+    /// called *before* any clause is added — the log must capture every
+    /// clause the solver ever holds to be checkable. Logging is purely
+    /// observational: it never changes a search decision, so enabling
+    /// it leaves conflict/propagation trajectories bit-identical.
+    pub fn enable_proof(&mut self) {
+        let state = self.session_mut();
+        assert!(
+            state.num_added_clauses == 0,
+            "enable_proof must precede the session's first add_clause"
+        );
+        state.proof = Some(Box::default());
+    }
+
+    /// The session's proof log (`None` unless
+    /// [`CdclSolver::enable_proof`] was called). After an UNSAT
+    /// answer the log ends in the refutation: the empty clause for a
+    /// root-level conflict, or the negation of
+    /// [`CdclSolver::final_assumption_conflict`] for UNSAT under
+    /// assumptions — [`crate::proof::certify_unsat`] checks both.
+    pub fn proof(&self) -> Option<&ProofLog> {
+        self.session.as_ref().and_then(|s| s.proof.as_deref())
     }
 }
 
@@ -1181,6 +1203,11 @@ struct State {
     num_added_clauses: usize,
     /// The failing assumption subset of the last UNSAT solve.
     assumption_conflict: Vec<Lit>,
+    /// DRAT proof trace ([`CdclSolver::enable_proof`]): every clause
+    /// the solver holds, derives or deletes, in order. `None` (the
+    /// default) makes every hook a single branch; logging never
+    /// influences the search.
+    proof: Option<Box<ProofLog>>,
     /// Whether the deep state auditor is active (`CdclConfig::audit` or
     /// `LASSYNTH_AUDIT=1`); sampled once at construction.
     audit_on: bool,
@@ -1250,6 +1277,7 @@ impl State {
             probe_cursor: 0,
             num_added_clauses: 0,
             assumption_conflict: Vec::new(),
+            proof: None,
             audit_on,
             audit_tick: 0,
         }
@@ -1315,6 +1343,14 @@ impl State {
     /// contradiction latches `root_unsat` permanently.
     fn add_clause_checked(&mut self, lits: &[Lit]) {
         if self.root_unsat {
+            // A root-level contradiction is permanent, but a clause
+            // arriving after it is still a well-defined part of the
+            // session's formula: count it and log it as an input
+            // (conjoining a clause to an unsatisfiable set keeps it
+            // unsatisfiable), without simplifying it against the
+            // contradictory trail or touching eliminated variables.
+            self.num_added_clauses += 1;
+            self.proof_add_input(lits);
             return;
         }
         self.cancel_until(0);
@@ -1322,11 +1358,17 @@ impl State {
             if self.eliminated[l.var().index()] {
                 self.restore_var(l.var().index());
                 if self.root_unsat {
+                    self.num_added_clauses += 1;
+                    self.proof_add_input(lits);
                     return;
                 }
             }
         }
         self.num_added_clauses += 1;
+        // Restorations above must hit the log before the new input
+        // does: re-adding an eliminated clause is a RAT step whose
+        // pivot must have no live resolution partner yet.
+        self.proof_add_input(lits);
         if !self.add_original_clause(lits) {
             self.root_unsat = true;
         }
@@ -1340,6 +1382,45 @@ impl State {
     #[inline]
     fn is_unassigned(&self, v: usize) -> bool {
         self.lit_val[2 * v] == 0
+    }
+
+    // Proof-logging hooks. Each is a single branch when logging is off
+    // and never touches search state, so trajectories are identical
+    // with and without a log.
+
+    #[inline]
+    fn proof_add_input(&mut self, lits: &[Lit]) {
+        if let Some(p) = &mut self.proof {
+            p.add_input(lits);
+        }
+    }
+
+    #[inline]
+    fn proof_add_derived(&mut self, lits: &[Lit]) {
+        if let Some(p) = &mut self.proof {
+            p.add_derived(lits);
+        }
+    }
+
+    #[inline]
+    fn proof_add_empty(&mut self) {
+        if let Some(p) = &mut self.proof {
+            p.add_derived(&[]);
+        }
+    }
+
+    /// Logs the deletion of an attached clause by its current arena
+    /// literals. Valid until the next GC pass compacts the arena, so
+    /// every `mark_deleted` site calls this alongside the mark.
+    fn proof_delete_cref(&mut self, cref: ClauseRef) {
+        if self.proof.is_some() {
+            let lits: Vec<Lit> = (0..self.arena.len(cref))
+                .map(|k| self.arena.lit(cref, k))
+                .collect();
+            if let Some(p) = &mut self.proof {
+                p.delete(&lits);
+            }
+        }
     }
 
     fn add_original_clause(&mut self, lits: &[Lit]) -> bool {
@@ -1361,21 +1442,37 @@ impl State {
             }
         }
         match c.len() {
-            0 => false,
+            0 => {
+                // Every literal was false at root: the live clauses
+                // refute the formula by propagation alone.
+                self.proof_add_empty();
+                false
+            }
             1 => {
+                // The root-simplified unit is RUP (the as-given clause
+                // minus root-falsified literals); log it when
+                // simplification actually changed something.
+                if c.as_slice() != lits {
+                    self.proof_add_derived(&c);
+                }
                 if self.value(c[0]) == -1 {
+                    self.proof_add_empty();
                     return false;
                 }
                 if self.value(c[0]) == 0 {
                     self.enqueue(c[0], ClauseRef::NONE);
                     // Propagate eagerly so later clauses simplify more.
                     if self.propagate().is_some() {
+                        self.proof_add_empty();
                         return false;
                     }
                 }
                 true
             }
             _ => {
+                if c.as_slice() != lits {
+                    self.proof_add_derived(&c);
+                }
                 // A new original changes its variables' resolution
                 // partner sets: queue them for the next BVE pass.
                 for &l in &c {
@@ -2145,7 +2242,8 @@ impl State {
             }
         });
         let remove = candidates.len() / 2;
-        for &c in &candidates[..remove] {
+        for &c in candidates.iter().take(remove) {
+            self.proof_delete_cref(c);
             self.arena.mark_deleted(c);
             self.stats.deleted += 1;
         }
@@ -2338,6 +2436,7 @@ impl State {
             .max((self.num_added_clauses as f64 / 3.0).max(self.config.max_learnts_floor));
         if self.propagate().is_some() {
             self.root_unsat = true;
+            self.proof_add_empty();
             return SolveOutcome::Unsat;
         }
         let start = Instant::now();
@@ -2378,6 +2477,7 @@ impl State {
                 };
                 if conflict_level == 0 {
                     self.root_unsat = true;
+                    self.proof_add_empty();
                     return SolveOutcome::Unsat;
                 }
                 if self.oob_active {
@@ -2439,6 +2539,7 @@ impl State {
                 };
                 self.cancel_until(target);
                 let learnt = std::mem::take(&mut self.learnt_buf);
+                self.proof_add_derived(&learnt);
                 if learnt.len() == 1 {
                     self.enqueue_at(learnt[0], ClauseRef::NONE, 0);
                 } else {
@@ -2524,6 +2625,15 @@ impl State {
                         }
                         -1 => {
                             self.analyze_final(a);
+                            // The probe's certificate: the negation of
+                            // the failing assumption subset is RUP
+                            // (propagating the core reproduces the
+                            // refutation's implication cone).
+                            if self.proof.is_some() {
+                                let core: Vec<Lit> =
+                                    self.assumption_conflict.iter().map(|&l| !l).collect();
+                                self.proof_add_derived(&core);
+                            }
                             return SolveOutcome::Unsat;
                         }
                         _ => {
@@ -3085,11 +3195,11 @@ mod tests {
         assert!(s
             .solve_assuming(&[lit(-sel)], &Budget::default())
             .is_unsat());
-        let first = s.stats;
+        let first = s.session_stats();
         assert!(s
             .solve_assuming(&[lit(-sel)], &Budget::default())
             .is_unsat());
-        let second = s.stats.since(first);
+        let second = s.session_stats().since(first);
         assert!(
             second.conflicts < first.conflicts / 2,
             "retained clauses should cut the re-solve cost: first {} vs second {}",
@@ -3117,6 +3227,128 @@ mod tests {
         assert!(s.session_stats().propagations >= session.propagations);
     }
 
+    /// The mirror-image direction of the stats separation: session
+    /// solves must never touch the one-shot `stats` snapshot either.
+    #[test]
+    fn session_solves_leave_one_shot_stats_alone() {
+        let c = cnf(&[&[1, 2]]);
+        let other = cnf(&[&[1], &[-1]]);
+        let mut s = incremental(&c);
+        assert!(s.solve_with(&other, &[], &Budget::default()).is_unsat());
+        let one_shot = s.stats;
+        assert!(s.solve_assuming(&[], &Budget::default()).is_sat());
+        assert!(s.session_stats().propagations > 0);
+        assert_eq!(
+            s.stats, one_shot,
+            "session solve must not clobber the one-shot stats mirror"
+        );
+    }
+
+    /// Clauses added after the session latched a root conflict are
+    /// recorded and proof-logged; the session stays UNSAT instead of
+    /// simplifying against the contradictory trail.
+    #[test]
+    fn add_clause_after_root_conflict_is_well_defined() {
+        let mut s = CdclSolver::default();
+        s.enable_proof();
+        let a = Lit::pos(s.new_var());
+        s.add_clause([a]);
+        s.add_clause([!a]);
+        assert!(s.solve_assuming(&[], &Budget::default()).is_unsat());
+        let logged = s.proof().unwrap().len();
+        let b = Lit::pos(s.new_var());
+        s.add_clause([a, b]);
+        s.add_clause([!b]);
+        assert!(s.solve_assuming(&[], &Budget::default()).is_unsat());
+        assert!(s.solve_assuming(&[b], &Budget::default()).is_unsat());
+        assert!(s.final_assumption_conflict().is_empty());
+        let proof = s.proof().expect("proof enabled");
+        assert_eq!(
+            proof.len(),
+            logged + 2,
+            "post-conflict additions must be logged"
+        );
+        crate::proof::certify_unsat(proof, &[]).expect("root refutation certifies");
+        crate::proof::certify_unsat(proof, &[b]).expect("root refutation covers any core");
+    }
+
+    /// `final_assumption_conflict` is cleared by SAT and Unknown
+    /// outcomes, not just overwritten by the next UNSAT.
+    #[test]
+    fn assumption_conflict_clears_on_sat_and_unknown() {
+        // (1 2) plus a selector-gated UNSAT pigeonhole block (7 pigeons
+        // into 6 holes): assuming the selector off restores the hard
+        // refutation, which cannot finish within a one-conflict budget.
+        let mut c = Cnf::new(0);
+        c.add_clause([lit(1), lit(2)]);
+        let p = |i: i64, j: i64| 2 + (i - 1) * 6 + j;
+        let sel = 2 + 7 * 6;
+        for i in 1..=7 {
+            c.add_clause((1..=6).map(|j| lit(p(i, j))).chain([lit(sel)]));
+        }
+        for j in 1..=6 {
+            for a in 1..=7i64 {
+                for b in (a + 1)..=7 {
+                    c.add_clause([lit(-p(a, j)), lit(-p(b, j))]);
+                }
+            }
+        }
+        let mut s = incremental(&c);
+        assert!(s
+            .solve_assuming(&[lit(-1), lit(-2)], &Budget::default())
+            .is_unsat());
+        assert!(!s.final_assumption_conflict().is_empty());
+        let out = s.solve_assuming(&[lit(-sel)], &Budget::conflict_limit(1));
+        assert!(matches!(out, SolveOutcome::Unknown), "got {out:?}");
+        assert!(
+            s.final_assumption_conflict().is_empty(),
+            "Unknown must clear the previous core"
+        );
+        assert!(s
+            .solve_assuming(&[lit(-1), lit(-2)], &Budget::default())
+            .is_unsat());
+        assert!(!s.final_assumption_conflict().is_empty());
+        assert!(s.solve_assuming(&[lit(1)], &Budget::default()).is_sat());
+        assert!(
+            s.final_assumption_conflict().is_empty(),
+            "SAT must clear the previous core"
+        );
+    }
+
+    /// End-to-end certification: proof logging through search plus the
+    /// full inprocessing stack on a root refutation, validated by the
+    /// in-tree DRAT checker.
+    #[test]
+    fn proof_certifies_pigeonhole_with_aggressive_inprocessing() {
+        let c = pigeonhole(6);
+        let mut s = CdclSolver::with_config(aggressive_inprocessing());
+        s.enable_proof();
+        s.add_cnf(&c);
+        assert!(s.solve_assuming(&[], &Budget::default()).is_unsat());
+        let report = crate::proof::certify_unsat(
+            s.proof().expect("proof on"),
+            s.final_assumption_conflict(),
+        )
+        .expect("proof checks");
+        assert!(report.refuted());
+    }
+
+    /// Certification of an assumption-level UNSAT: the proof ends in
+    /// the negated failed-assumption core, and the session keeps
+    /// solving (and logging) afterwards.
+    #[test]
+    fn proof_certifies_assumption_core() {
+        let mut s = CdclSolver::default();
+        s.enable_proof();
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        s.add_clause([a, b]);
+        assert!(s.solve_assuming(&[!a, !b], &Budget::default()).is_unsat());
+        crate::proof::certify_unsat(s.proof().expect("proof on"), s.final_assumption_conflict())
+            .expect("assumption core certifies");
+        assert!(s.solve_assuming(&[a], &Budget::default()).is_sat());
+    }
+
     /// Conflict budgets are per call, so a fresh budget applies to every
     /// probe of a session.
     #[test]
@@ -3131,7 +3363,7 @@ mod tests {
             ));
         }
         // Cumulative conflicts exceed a single call's budget.
-        assert!(s.stats.conflicts > 5);
+        assert!(s.session_stats().conflicts > 5);
     }
 
     /// GC during an incremental session keeps every retained structure

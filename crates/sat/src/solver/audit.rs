@@ -129,8 +129,43 @@ impl State {
         self.audit_reasons(point);
         self.audit_heap(point);
         self.audit_elim(point);
+        self.audit_proof(point);
         if point == AuditPoint::Sat {
             self.audit_model(point);
+        }
+    }
+
+    /// Proof-log integrity: every live clause in the database must also
+    /// be live in the proof log, with at least the arena's multiplicity
+    /// — otherwise a later deletion would emit a `d` step the checker
+    /// rejects. The converse direction is intentionally loose: the log
+    /// may keep extra clauses alive (a root-simplified original leaves
+    /// its input form in the log; restored BVE resolvents stay).
+    fn audit_proof(&self, point: AuditPoint) {
+        let Some(proof) = &self.proof else {
+            return;
+        };
+        let live = proof.live_multiset();
+        // Mirrors the proof log's own key map. lint:allow(no-std-hashmap)
+        let mut arena_counts: std::collections::HashMap<Vec<Lit>, i64> =
+            std::collections::HashMap::new(); // lint:allow(no-std-hashmap)
+        for &c in self.clauses.iter().chain(self.learnts.iter().flatten()) {
+            if self.arena.is_deleted(c) {
+                continue;
+            }
+            let mut key: Vec<Lit> = (0..self.arena.len(c))
+                .map(|i| self.arena.lit(c, i))
+                .collect();
+            key.sort_unstable();
+            *arena_counts.entry(key).or_insert(0) += 1;
+        }
+        for (key, n) in arena_counts {
+            let logged = live.get(&key).copied().unwrap_or(0);
+            assert!(
+                logged >= n,
+                "audit({point:?}): clause {key:?} is live {n}× in the arena but \
+                 only {logged}× in the proof log"
+            );
         }
     }
 

@@ -119,6 +119,21 @@ impl State {
         self.stats.eliminated_vars = self.stats.eliminated_vars.saturating_sub(1);
         self.order.insert(v as u32);
         for lits in &frame.clauses {
+            // A restored clause is not a consequence of the current
+            // formula (BVE only preserves satisfiability), but it *is*
+            // RAT on its literal over the frame variable: the frame's
+            // occurrences were all proof-deleted at elimination time,
+            // so positive-side clauses see no resolution partner, and
+            // negative-side partners resolve into the still-live BVE
+            // resolvents. DRAT pivots are positional — rotate the frame
+            // literal to the front for the proof step only.
+            if self.proof.is_some() {
+                let mut rat = lits.clone();
+                if let Some(i) = rat.iter().position(|l| l.var() == frame.var) {
+                    rat.swap(0, i);
+                }
+                self.proof_add_derived(&rat);
+            }
             if !self.add_original_clause(lits) {
                 self.root_unsat = true;
                 return;
@@ -323,6 +338,14 @@ impl State {
                 }
             }
             debug_assert_eq!(resolvents.len(), count);
+            // Each resolvent is RUP while both of its parents are still
+            // live, so the proof must see every resolvent *before* the
+            // occurrence deletions below.
+            if self.proof.is_some() {
+                for r in &resolvents {
+                    self.proof_add_derived(r);
+                }
+            }
             for side in [&pos, &neg] {
                 for &c in side {
                     frame.clauses.push(
@@ -348,6 +371,7 @@ impl State {
                     if !self.arena.is_learnt(c) {
                         self.elim_touch_clause(c);
                     }
+                    self.proof_delete_cref(c);
                     self.arena.mark_deleted(c);
                     self.detach_clause(c);
                     changed = true;
@@ -414,6 +438,9 @@ impl State {
             self.cancel_until(0);
             if failed {
                 self.stats.failed_literals += 1;
+                // The failed probe's conflict is reproducible by the
+                // checker's (complete) unit propagation, so `¬l` is RUP.
+                self.proof_add_derived(&[!l]);
                 if !self.assert_root_unit(!l) {
                     break;
                 }

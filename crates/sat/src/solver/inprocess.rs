@@ -296,6 +296,7 @@ impl State {
                             if !self.arena.is_learnt(d) {
                                 self.elim_touch_clause(d);
                             }
+                            self.proof_delete_cref(d);
                             self.arena.mark_deleted(d);
                             self.detach_clause(d);
                             self.stats.subsumed_clauses += 1;
@@ -314,6 +315,11 @@ impl State {
                             if !learnt {
                                 self.elim_touch_clause(d);
                             }
+                            // The self-subsuming resolvent is RUP while
+                            // both `c` and `d` are live: log it before
+                            // the original's deletion.
+                            self.proof_add_derived(&new_lits);
+                            self.proof_delete_cref(d);
                             self.arena.mark_deleted(d);
                             self.detach_clause(d);
                             self.stats.strengthened_clauses += 1;
@@ -395,18 +401,23 @@ impl State {
     /// Asserts a literal derived at the root and propagates it to
     /// fixpoint. Returns `false` (latching `root_unsat`) on
     /// contradiction.
+    /// Callers log the unit clause itself (its derivation argument is
+    /// theirs); this only logs the terminal empty clause when the unit
+    /// contradicts the root state.
     pub(super) fn assert_root_unit(&mut self, l: Lit) -> bool {
         debug_assert_eq!(self.decision_level(), 0);
         match self.value(l) {
             1 => true,
             -1 => {
                 self.root_unsat = true;
+                self.proof_add_empty();
                 false
             }
             _ => {
                 self.enqueue(l, ClauseRef::NONE);
                 if self.propagate().is_some() {
                     self.root_unsat = true;
+                    self.proof_add_empty();
                     false
                 } else {
                     true
@@ -516,6 +527,7 @@ impl State {
             if !self.arena.is_learnt(cref) {
                 self.elim_touch_clause(cref);
             }
+            self.proof_delete_cref(cref);
             self.arena.mark_deleted(cref);
             return true;
         }
@@ -530,6 +542,15 @@ impl State {
         if !self.arena.is_learnt(cref) {
             self.elim_touch_clause(cref);
         }
+        // The truncated clause is RUP (the checker's complete root
+        // propagation reproduces every probe outcome), so it must enter
+        // the proof before the original it replaces is deleted.
+        if kept.is_empty() {
+            self.proof_add_empty();
+        } else {
+            self.proof_add_derived(&kept);
+        }
+        self.proof_delete_cref(cref);
         self.arena.mark_deleted(cref);
         match kept.len() {
             0 => {

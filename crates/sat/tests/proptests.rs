@@ -432,6 +432,9 @@ proptest! {
             .map(|config| (config.clone(), CdclSolver::with_config(config)))
             .collect();
         for (_, session) in &mut sessions {
+            // Proof logging on from the first clause: every UNSAT below
+            // must come with a checker-accepted refutation.
+            session.enable_proof();
             for _ in 0..n {
                 session.new_var();
             }
@@ -486,6 +489,22 @@ proptest! {
                         let recheck = CdclSolver::default()
                             .solve_with(&accumulated, &core, &Budget::default());
                         prop_assert!(recheck.is_unsat(), "assumption core fails to refute");
+                        let certified = sat::certify_unsat(
+                            session.proof().expect("proof logging enabled"),
+                            &core,
+                        );
+                        prop_assert!(
+                            certified.is_ok(),
+                            "DRAT check rejects the session proof under viv={} sub={} \
+                             chrono={} tiers={} elim={} probing={}: {:?}",
+                            config.use_vivification,
+                            config.use_subsumption,
+                            config.use_chrono,
+                            config.use_tiers,
+                            config.use_elim,
+                            config.use_probing,
+                            certified.err()
+                        );
                     }
                     sat::SolveOutcome::Unknown => {
                         prop_assert!(false, "unbounded solve returned unknown")

@@ -4,12 +4,15 @@
 //! ```text
 //! lassynth synth  <spec.json>  [--out DIR] [--timeout SECS] [--seeds N|auto] [--stats] [--varisat]
 //!                              [--restart-policy luby|ema] [--chrono on|off] [--audit-cnf]
+//!                              [--certify] [--drat FILE]
 //! lassynth verify <design.lasre>
 //! lassynth render <design.lasre>
 //! lassynth dimacs <spec.json>
 //! lassynth depth  <spec.json> --lo L --hi H [--start S] [--timeout SECS] [--no-incremental] [--stats]
 //!                              [--restart-policy luby|ema] [--chrono on|off] [--audit-cnf]
+//!                              [--certify]
 //! lassynth lint-cnf <spec.json|file.cnf> [--lo L --hi H]
+//! lassynth check-proof <file.cnf> <file.drat>
 //! ```
 //!
 //! `synth` writes `<name>.lasre` and `<name>.gltf` into `--out`
@@ -33,6 +36,18 @@
 //! raw DIMACS file (`.cnf`/`.dimacs`), and exits non-zero on fatal
 //! findings (contradictory root units, empty clauses). `--audit-cnf` on
 //! `synth`/`depth` prints the same report before solving.
+//!
+//! `--certify` on `synth`/`depth` logs a DRAT proof in the solver and
+//! runs the in-tree forward checker on every UNSAT answer (each depth
+//! probe of a min-depth search) before it is reported; a verdict whose
+//! proof fails to check becomes an error, never a trusted answer.
+//! `--drat FILE` (single-solve `synth` only) also writes the proof out
+//! — text DRAT, or binary when FILE ends in `.bdrat` — for external
+//! `drat-trim` cross-checking against the `dimacs` output.
+//!
+//! `check-proof` replays a DRAT file (text or binary, auto-detected)
+//! against a DIMACS CNF with the in-tree forward RUP/RAT checker and
+//! exits 0 only if every step checks and the proof refutes the CNF.
 
 #![forbid(unsafe_code)]
 
@@ -49,8 +64,12 @@ fn main() {
         Some("dimacs") => cmd_dimacs(&args[1..]),
         Some("depth") => cmd_depth(&args[1..]),
         Some("lint-cnf") => cmd_lint_cnf(&args[1..]),
+        Some("check-proof") => cmd_check_proof(&args[1..]),
         _ => {
-            eprintln!("usage: lassynth <synth|verify|render|dimacs|depth|lint-cnf> <file> [flags]");
+            eprintln!(
+                "usage: lassynth <synth|verify|render|dimacs|depth|lint-cnf|check-proof> \
+                 <file> [flags]"
+            );
             eprintln!("       see `src/main.rs` docs or README.md");
             2
         }
@@ -94,6 +113,9 @@ fn options_from(args: &[String]) -> Result<SynthOptions, String> {
             "off" => false,
             other => return Err(format!("--chrono expects \"on\" or \"off\", got {other:?}")),
         });
+    }
+    if args.iter().any(|a| a == "--certify") {
+        options.certify = true;
     }
     if args.iter().any(|a| a == "--varisat") {
         if !cfg!(feature = "varisat") {
@@ -188,6 +210,7 @@ fn run_synth(
     options: SynthOptions,
     mode: SeedsMode,
     want_stats: bool,
+    drat_out: Option<&str>,
 ) -> Result<SynthResult, lassynth::synth::SynthError> {
     let single = |synth: Synthesizer, options: SynthOptions| {
         let mut s = synth.with_options(options);
@@ -196,6 +219,20 @@ fn run_synth(
             match s.last_solver_stats() {
                 Some(stats) => print_stats(stats, None),
                 None => println!("solver stats: unavailable for this backend"),
+            }
+        }
+        if let Some(path) = drat_out {
+            match s.last_proof() {
+                Some(log) => {
+                    // Binary DRAT for `.bdrat` files, text otherwise —
+                    // both formats drat-trim understands.
+                    let binary = path.ends_with(".bdrat");
+                    let mut buf = Vec::new();
+                    log.write_drat(&mut buf, binary).expect("serialize DRAT");
+                    std::fs::write(path, buf).expect("write DRAT file");
+                    println!("wrote {path} ({} proof steps)", log.len());
+                }
+                None => println!("no proof to write (requires --certify)"),
             }
         }
         result
@@ -241,7 +278,7 @@ fn cmd_synth(args: &[String]) -> i32 {
         eprintln!(
             "usage: lassynth synth <spec.json> [--out DIR] [--timeout SECS] \
              [--seeds N|auto] [--stats] [--restart-policy luby|ema] [--chrono on|off] \
-             [--audit-cnf]"
+             [--audit-cnf] [--certify] [--drat FILE]"
         );
         return 2;
     };
@@ -278,8 +315,20 @@ fn cmd_synth(args: &[String]) -> i32 {
             return 2;
         }
     };
+    let drat_out = flag_value(args, "--drat");
+    if drat_out.is_some() && !matches!(mode, SeedsMode::Single) {
+        // The proof lives in the winning worker's solver; only the
+        // single-solve path can hand it back.
+        eprintln!("--drat requires a single solve (drop --seeds)");
+        return 2;
+    }
+    if drat_out.is_some() && !options.certify {
+        eprintln!("--drat requires --certify (no proof is logged otherwise)");
+        return 2;
+    }
+    let certify = options.certify;
     let start = std::time::Instant::now();
-    let result = run_synth(spec, options, mode, want_stats);
+    let result = run_synth(spec, options, mode, want_stats, drat_out.as_deref());
     match result {
         Ok(SynthResult::Sat(design)) => {
             println!(
@@ -299,7 +348,8 @@ fn cmd_synth(args: &[String]) -> i32 {
         }
         Ok(SynthResult::Unsat) => {
             println!(
-                "UNSAT in {:.2?} — no design fits this volume",
+                "UNSAT{} in {:.2?} — no design fits this volume",
+                if certify { " (DRAT proof checked)" } else { "" },
                 start.elapsed()
             );
             1
@@ -459,12 +509,68 @@ fn cmd_lint_cnf(args: &[String]) -> i32 {
     }
 }
 
+/// Replays a DRAT file against a DIMACS CNF with the in-tree forward
+/// RUP/RAT checker. Exit 0 only for a checked refutation.
+fn cmd_check_proof(args: &[String]) -> i32 {
+    let (Some(cnf_path), Some(drat_path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: lassynth check-proof <file.cnf> <file.drat>");
+        return 2;
+    };
+    let cnf = match std::fs::read_to_string(cnf_path)
+        .map_err(|e| format!("reading {cnf_path}: {e}"))
+        .and_then(|t| sat::dimacs::parse_str(&t).map_err(|e| format!("parsing {cnf_path}: {e}")))
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    // Binary DRAT is not UTF-8: read raw bytes and let the parser
+    // auto-detect the format.
+    let drat = match std::fs::read(drat_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("reading {drat_path}: {e}");
+            return 1;
+        }
+    };
+    let log = match sat::ProofLog::from_cnf_and_drat(&cnf, &drat) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("parsing {drat_path}: {e}");
+            return 1;
+        }
+    };
+    match sat::proof::check(&log) {
+        Ok(report) if report.refuted() => {
+            println!(
+                "PROOF OK: {} steps, {} derivations checked, formula refuted",
+                report.steps, report.derived_checked
+            );
+            0
+        }
+        Ok(report) => {
+            println!(
+                "PROOF INCOMPLETE: all {} steps check, but no refutation \
+                 (the empty clause is never derived)",
+                report.steps
+            );
+            1
+        }
+        Err(e) => {
+            println!("PROOF REJECTED: {e}");
+            1
+        }
+    }
+}
+
 fn cmd_depth(args: &[String]) -> i32 {
     let Some(path) = args.first() else {
         eprintln!(
             "usage: lassynth depth <spec.json> --lo L --hi H [--start S] \
              [--no-incremental] [--stats] [--restart-policy luby|ema] [--chrono on|off] \
-             [--audit-cnf]"
+             [--audit-cnf] [--certify]"
         );
         return 2;
     };
@@ -523,13 +629,14 @@ fn cmd_depth(args: &[String]) -> i32 {
         Ok(search) => {
             for p in &search.probes {
                 println!(
-                    "max_k {}: {} ({:.2?})",
+                    "max_k {}: {}{} ({:.2?})",
                     p.max_k,
                     match p.sat {
                         Some(true) => "SAT",
                         Some(false) => "UNSAT",
                         None => "UNKNOWN",
                     },
+                    if p.certified { " [proof checked]" } else { "" },
                     p.time
                 );
                 if want_stats {

@@ -372,6 +372,129 @@ fn audit_cnf_flag_reports_before_solving() {
     );
 }
 
+/// The certification surface end to end: `depth --certify` marks its
+/// UNSAT probe as proof-checked, `synth --certify --drat` writes a DRAT
+/// file that `check-proof` accepts against the `dimacs` output, and a
+/// corrupted proof is rejected.
+#[test]
+fn certify_and_check_proof_round_trip() {
+    let dir = std::env::temp_dir().join(format!("lassynth-cli-certify-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    let depth = bin()
+        .arg("depth")
+        .arg(cnot_spec_path())
+        .args(["--lo", "2", "--hi", "4", "--start", "3", "--certify"])
+        .output()
+        .expect("run lassynth depth --certify");
+    assert!(
+        depth.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&depth.stderr)
+    );
+    let text = String::from_utf8_lossy(&depth.stdout).to_string();
+    assert!(text.contains("optimal depth: 3"), "{text}");
+    assert!(
+        text.contains("UNSAT [proof checked]"),
+        "the UNSAT probe carries the certification marker: {text}"
+    );
+
+    // An unsatisfiable CNOT variant: forbid both interior columns so
+    // the qubits can never interact (same construction as the
+    // `impossible_spec_is_unsat` unit test).
+    let spec = std::fs::read_to_string(cnot_spec_path())
+        .expect("read cnot spec")
+        .replace("\"name\": \"cnot\"", "\"name\": \"cnot-unsat\"")
+        .replace(
+            "\"forbidden_cubes\": [[0, 0, 0], [1, 1, 0]]",
+            "\"forbidden_cubes\": [[0,0,0],[0,0,1],[0,0,2],[1,1,0],[1,1,1],[1,1,2]]",
+        );
+    assert!(spec.contains("cnot-unsat"), "spec rewrite applied");
+    let spec_path = dir.join("cnot_unsat.json");
+    std::fs::write(&spec_path, spec).expect("write spec");
+
+    let cnf = bin()
+        .arg("dimacs")
+        .arg(&spec_path)
+        .output()
+        .expect("run lassynth dimacs");
+    assert!(cnf.status.success());
+    let cnf_path = dir.join("cnot_unsat.cnf");
+    std::fs::write(&cnf_path, &cnf.stdout).expect("write cnf");
+
+    for drat_name in ["proof.drat", "proof.bdrat"] {
+        let drat_path = dir.join(drat_name);
+        let synth = bin()
+            .arg("synth")
+            .arg(&spec_path)
+            .arg("--certify")
+            .arg("--drat")
+            .arg(&drat_path)
+            .output()
+            .expect("run lassynth synth --certify --drat");
+        // UNSAT exits 1 by design; the proof must still be written and
+        // the verdict marked as checked.
+        assert_eq!(synth.status.code(), Some(1), "UNSAT verdict exits 1");
+        let text = String::from_utf8_lossy(&synth.stdout).to_string();
+        assert!(text.contains("UNSAT (DRAT proof checked)"), "{text}");
+        assert!(drat_path.exists(), "wrote {}", drat_path.display());
+
+        let check = bin()
+            .arg("check-proof")
+            .arg(&cnf_path)
+            .arg(&drat_path)
+            .output()
+            .expect("run lassynth check-proof");
+        assert!(
+            check.status.success(),
+            "{drat_name}: {}",
+            String::from_utf8_lossy(&check.stdout)
+        );
+        assert!(
+            String::from_utf8_lossy(&check.stdout).contains("PROOF OK"),
+            "{drat_name} accepted"
+        );
+    }
+
+    // A deletion of a clause that was never added cannot check: the
+    // checker's deletions are strict.
+    let bad_path = dir.join("bad.drat");
+    std::fs::write(&bad_path, "d 99 0\n").expect("write bad drat");
+    let check = bin()
+        .arg("check-proof")
+        .arg(&cnf_path)
+        .arg(&bad_path)
+        .output()
+        .expect("run lassynth check-proof on a corrupt proof");
+    assert_eq!(check.status.code(), Some(1), "corrupt proof exits 1");
+    assert!(
+        String::from_utf8_lossy(&check.stdout).contains("PROOF REJECTED"),
+        "rejection reported"
+    );
+
+    // `--drat` without `--certify` (or with a portfolio) is a usage
+    // error before any solving.
+    let out = bin()
+        .arg("synth")
+        .arg(&spec_path)
+        .arg("--drat")
+        .arg(dir.join("x.drat"))
+        .output()
+        .expect("run lassynth synth --drat without --certify");
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin()
+        .arg("synth")
+        .arg(&spec_path)
+        .args(["--certify", "--seeds", "2", "--drat"])
+        .arg(dir.join("x.drat"))
+        .output()
+        .expect("run lassynth synth --drat with --seeds");
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn usage_errors_exit_nonzero() {
     let out = bin().output().expect("run lassynth");
