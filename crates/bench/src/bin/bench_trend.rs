@@ -77,6 +77,8 @@ fn paper_anchor(name: &str) -> &'static str {
         "BENCH_min_depth_majority_3x3x5_incremental.json" => "Fig. 15, min-depth (incremental)",
         "BENCH_min_depth_majority_3x3x5_scratch.json" => "Fig. 15, min-depth (from scratch)",
         "BENCH_t_factory_budgeted.json" => "Fig. 17 probe, 60k-conflict budget",
+        "BENCH_t_factory_shared_portfolio.json" => "Fig. 17 probe, 4-seed fleet, clause sharing",
+        "BENCH_t_factory_isolated_portfolio.json" => "Fig. 17 probe, 4-seed fleet, no sharing",
         _ => "\u{2014}",
     }
 }

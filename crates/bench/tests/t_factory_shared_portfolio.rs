@@ -1,0 +1,241 @@
+//! Shared-clause lockstep portfolio on the budgeted Fig. 17 instance.
+//!
+//! Companion to `t_factory_budgeted`: the same 9x4 depth-4 T-factory
+//! encoding, solved by a 4-seed diversified fleet under the
+//! deterministic single-threaded lockstep driver, once with clause
+//! sharing off (every worker isolated) and once with sharing on
+//! (low-LBD learnt clauses fanned out through the bounded exchange and
+//! RUP-filtered on import). The tracked comparison is *total fleet
+//! conflicts until the driver stops* — a verdict from any worker, or
+//! every per-worker budget exhausted. Conflicts are deterministic for
+//! a given code + seeds + quantum (the driver is single-threaded, the
+//! exchange order is seed-stable), so the gates below are
+//! machine-independent; wall time is printed for the trail only.
+//!
+//! Gates:
+//! * the sharing fleet is bit-deterministic: two consecutive runs
+//!   produce identical verdicts and identical per-worker stats,
+//! * sharing is live: the fleet imports and keeps foreign clauses,
+//! * if either fleet reaches a verdict, the sharing fleet reaches one
+//!   in no more total conflicts than the isolated fleet — the win
+//!   clause sharing is for (with neither fleet reaching a verdict,
+//!   both must burn exactly the full budget),
+//! * the propagations-per-conflict ceiling of the budgeted probe also
+//!   holds for the fleet total.
+//!
+//! Emits `BENCH_t_factory_shared_portfolio.json` (sharing on) and
+//! `BENCH_t_factory_isolated_portfolio.json` (sharing off); CI's
+//! bench-smoke job diffs both against the committed records.
+//!
+//! `#[ignore]`d locally (seconds of solving); the CI bench-smoke job
+//! runs it with `--ignored`.
+
+use bench_support::report::BenchRecord;
+use sat::{Budget, CdclConfig, CdclSolver, ClauseExchange, ShareLimits, SolveOutcome, SolverStats};
+use std::sync::Arc;
+use synth::Synthesizer;
+use workloads::specs::t_factory_spec;
+
+/// The diversified fleet (seed 0 is the reference configuration the
+/// single-solve probe runs).
+const SEEDS: [u64; 4] = [0, 1, 2, 3];
+/// Per-worker conflict budget: the fleet's total equals the
+/// single-solve probe's 60k budget, so the two records measure the
+/// same amount of work.
+const PER_WORKER_CONFLICTS: u64 = 15_000;
+/// Lockstep turn length, in conflicts.
+const QUANTUM: u64 = 2_000;
+/// Same deterministic ceiling as the single-solve budgeted probe,
+/// applied to the fleet totals.
+const MAX_PROPAGATIONS_PER_CONFLICT: u64 = 2000;
+
+struct FleetOutcome {
+    /// `Some((worker, is_sat))` when a worker reached a verdict.
+    verdict: Option<(usize, bool)>,
+    per_worker: Vec<SolverStats>,
+}
+
+impl FleetOutcome {
+    fn total(&self) -> SolverStats {
+        self.per_worker
+            .iter()
+            .copied()
+            .fold(SolverStats::default(), SolverStats::merged)
+    }
+}
+
+/// One deterministic lockstep run: round-robin turns of `QUANTUM`
+/// conflicts over the seed fleet until a verdict or exhaustion.
+fn run_fleet(cnf: &sat::Cnf, share: bool) -> FleetOutcome {
+    let hub = share.then(|| Arc::new(ClauseExchange::new(SEEDS.len(), 1024)));
+    let mut workers: Vec<CdclSolver> = SEEDS
+        .iter()
+        .enumerate()
+        .map(|(index, &seed)| {
+            let mut solver = CdclSolver::with_config(CdclConfig::diversified(seed));
+            solver.add_cnf(cnf);
+            if let Some(hub) = &hub {
+                solver.connect_exchange(Arc::clone(hub), index, ShareLimits::default());
+            }
+            solver
+        })
+        .collect();
+    let mut remaining = vec![PER_WORKER_CONFLICTS; workers.len()];
+    let mut verdict = None;
+    'driver: loop {
+        let mut progressed = false;
+        for index in 0..workers.len() {
+            if remaining[index] == 0 {
+                continue;
+            }
+            let turn = QUANTUM.min(remaining[index]);
+            let before = workers[index].session_stats().conflicts;
+            let outcome = workers[index].solve_assuming(&[], &Budget::conflict_limit(turn));
+            let spent = workers[index].session_stats().conflicts - before;
+            remaining[index] = remaining[index].saturating_sub(spent.max(1));
+            progressed = true;
+            match outcome {
+                SolveOutcome::Sat(model) => {
+                    assert!(cnf.eval(&model), "worker {index} returned a bogus model");
+                    verdict = Some((index, true));
+                    break 'driver;
+                }
+                SolveOutcome::Unsat => {
+                    verdict = Some((index, false));
+                    break 'driver;
+                }
+                SolveOutcome::Unknown => {}
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    FleetOutcome {
+        verdict,
+        per_worker: workers.iter().map(CdclSolver::session_stats).collect(),
+    }
+}
+
+fn describe(label: &str, fleet: &FleetOutcome, wall_s: f64) {
+    let total = fleet.total();
+    println!(
+        "{label}: verdict={:?} total conflicts={} propagations={} \
+         exported={} imported={} kept={} in {wall_s:.2} s",
+        fleet.verdict,
+        total.conflicts,
+        total.propagations,
+        total.exported_clauses,
+        total.imported_clauses,
+        total.imported_kept
+    );
+    for (seed, stats) in SEEDS.iter().zip(&fleet.per_worker) {
+        println!(
+            "  seed {seed}: conflicts={} propagations={} exported={} imported={} kept={}",
+            stats.conflicts,
+            stats.propagations,
+            stats.exported_clauses,
+            stats.imported_clauses,
+            stats.imported_kept
+        );
+    }
+}
+
+#[test]
+#[ignore = "budgeted T-factory portfolio probe (seconds): run by the CI bench-smoke job"]
+fn t_factory_shared_portfolio_probe() {
+    let spec = t_factory_spec(4);
+    let synth = Synthesizer::new(spec).expect("valid T-factory spec");
+    let cnf = synth.cnf();
+
+    let start = std::time::Instant::now();
+    let isolated = run_fleet(cnf, false);
+    let isolated_wall = start.elapsed().as_secs_f64();
+    describe("isolated fleet", &isolated, isolated_wall);
+
+    let start = std::time::Instant::now();
+    let shared = run_fleet(cnf, true);
+    let shared_wall = start.elapsed().as_secs_f64();
+    describe("shared fleet", &shared, shared_wall);
+
+    // Determinism gate: an identical second sharing run must reproduce
+    // the verdict and every per-worker counter bit for bit.
+    let rerun = run_fleet(cnf, true);
+    assert_eq!(
+        shared.verdict, rerun.verdict,
+        "sharing fleet verdict is not reproducible"
+    );
+    assert_eq!(
+        shared.per_worker, rerun.per_worker,
+        "sharing fleet stats are not reproducible"
+    );
+
+    // The paper finds a design at this depth: UNSAT is a solver bug.
+    for fleet in [&isolated, &shared] {
+        assert!(
+            !matches!(fleet.verdict, Some((_, false))),
+            "T-factory depth-4 misreported UNSAT"
+        );
+    }
+
+    // Sharing must actually be live (and quiet when off).
+    let shared_total = shared.total();
+    let isolated_total = isolated.total();
+    assert_eq!(isolated_total.imported_clauses, 0);
+    assert!(
+        shared_total.imported_kept > 0,
+        "the sharing fleet never kept an imported clause"
+    );
+
+    // The machine-independent comparison: conflicts until the driver
+    // stopped. A verdict must not cost the sharing fleet more total
+    // conflicts than the isolated fleet; with no verdict anywhere both
+    // fleets burn exactly the full budget.
+    match (shared.verdict, isolated.verdict) {
+        (None, None) => {
+            let budget = PER_WORKER_CONFLICTS * SEEDS.len() as u64;
+            assert_eq!(shared_total.conflicts, budget);
+            assert_eq!(isolated_total.conflicts, budget);
+        }
+        _ => assert!(
+            shared_total.conflicts <= isolated_total.conflicts,
+            "clause sharing made the verdict more expensive: {} vs {} total conflicts",
+            shared_total.conflicts,
+            isolated_total.conflicts
+        ),
+    }
+
+    for (label, total) in [("shared", &shared_total), ("isolated", &isolated_total)] {
+        assert!(
+            total.propagations <= total.conflicts.max(1) * MAX_PROPAGATIONS_PER_CONFLICT,
+            "{label} fleet propagations per conflict blew past the deterministic ceiling: \
+             {} conflicts, {} propagations (limit {}/conflict)",
+            total.conflicts,
+            total.propagations,
+            MAX_PROPAGATIONS_PER_CONFLICT
+        );
+    }
+
+    for (name, total, wall_s) in [
+        ("t_factory_shared_portfolio", &shared_total, shared_wall),
+        (
+            "t_factory_isolated_portfolio",
+            &isolated_total,
+            isolated_wall,
+        ),
+    ] {
+        let record = BenchRecord {
+            name: name.into(),
+            wall_ms: wall_s * 1e3,
+            conflicts: total.conflicts,
+            propagations: total.propagations,
+            // The budgeted fleets stop at Unknown/SAT — nothing to
+            // certify.
+            proof_checked: None,
+        };
+        match record.write() {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write bench record: {e}"),
+        }
+    }
+}

@@ -5,12 +5,12 @@
 //! or grow it until SAT (ascending), and optionally explore port
 //! permutations in parallel with first-success cancellation.
 
-use crate::decode::decode_layered;
-use crate::encode::encode_layered;
+use crate::decode::{decode, decode_layered};
+use crate::encode::{encode, encode_layered};
 use crate::synthesize::{BackendChoice, SynthError, SynthOptions, SynthResult, Synthesizer};
 use crate::verify::verify;
 use lasre::{LasDesign, LasSpec};
-use sat::{CdclSolver, SolveOutcome, SolverStats};
+use sat::{Budget, CdclSolver, ClauseExchange, ShareLimits, SolveOutcome, SolverStats};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -142,12 +142,23 @@ fn drive_depth_search(
 /// probe re-encodes `spec.with_depth(k)` and solves from scratch. Both
 /// modes probe the same depths and return the same verdicts.
 ///
+/// With `options.depth_parallel` (CDCL backend, `lo >= 1`) the walk is
+/// replaced by [`find_min_depth_parallel`]: one lockstep worker per
+/// candidate depth over a shared depth-layered encoding, with the
+/// monotone depth axis pruning every depth a verdict dominates. The
+/// answer (`best_depth`, error behavior on malformed depths) matches
+/// the sequential modes; the *probe list* differs — it holds one entry
+/// per worker that ran, in ascending depth order, and `sat: None`
+/// marks a worker pruned or out of budget before its own verdict.
+///
 /// # Errors
 ///
-/// Propagates [`SynthError`] from any probe. Both modes error on the
+/// Propagates [`SynthError`] from any probe. All modes error on the
 /// probe that reaches a depth whose spec is malformed; depths the
 /// search never probes are never validated (incremental sessions are
-/// pre-shrunk to contiguous valid-depth sub-ranges).
+/// pre-shrunk to contiguous valid-depth sub-ranges, and the
+/// depth-parallel mode reproduces the sequential walk-off-the-edge
+/// errors explicitly).
 pub fn find_min_depth(
     spec: &LasSpec,
     lo: usize,
@@ -155,6 +166,12 @@ pub fn find_min_depth(
     start: usize,
     options: &SynthOptions,
 ) -> Result<DepthSearch, SynthError> {
+    if options.depth_parallel && lo >= 1 {
+        if let BackendChoice::Cdcl(config) = &options.backend {
+            let config = options.solver_config(config.clone());
+            return find_min_depth_parallel(spec, lo, hi, start, options, config);
+        }
+    }
     if options.incremental && lo >= 1 {
         if let BackendChoice::Cdcl(config) = &options.backend {
             let config = options.solver_config(config.clone());
@@ -370,6 +387,238 @@ fn find_min_depth_incremental(
     })
 }
 
+/// Capacity of each worker's inbox in a clause-sharing run. Clauses
+/// past a full inbox are dropped (deterministically — the lockstep
+/// drivers below are single-threaded), so this only trades sharing
+/// coverage against memory; it never blocks a worker.
+const EXCHANGE_CAPACITY: usize = 1024;
+
+/// How far one per-depth worker has got.
+enum DepthWorkerState {
+    /// Still inside the undecided window with budget left.
+    Running,
+    /// Spent its per-probe conflict budget without a verdict.
+    Exhausted,
+    /// Resolved its depth: `true` = SAT, `false` = UNSAT.
+    Verdict(bool),
+}
+
+/// One per-depth worker of [`find_min_depth_parallel`].
+struct DepthWorker {
+    /// The `max_k` this worker owns.
+    k: usize,
+    solver: CdclSolver,
+    /// Conflicts this worker may still spend. Each depth is one probe,
+    /// so each worker gets the full per-probe budget
+    /// (`options.budget.max_conflicts`); `None` is unlimited.
+    remaining: Option<u64>,
+    /// Cumulative wall time of this worker's turns.
+    time: Duration,
+    /// Lockstep turns taken (workers with none are omitted from the
+    /// probe list — the search never touched their depth).
+    turns: u64,
+    state: DepthWorkerState,
+    /// Whether this worker's UNSAT verdict was proof-checked.
+    certified: bool,
+}
+
+/// Depth-parallel mode: one lockstep worker per candidate depth.
+///
+/// All workers share one depth-layered encoding ([`encode_layered`])
+/// over the contiguous valid-depth window around `start`; worker `i`
+/// owns depth `vlo + i` and probes it as `solve_assuming` under that
+/// depth's activation literals. A single-threaded round-robin driver
+/// (ascending depth order, `options.parallel_quantum` conflicts per
+/// turn — the target machines have one vCPU) runs every worker still
+/// inside the *undecided window*: SAT at depth `k` implies SAT at
+/// every deeper depth and UNSAT implies UNSAT at every shallower one,
+/// so each verdict shrinks the window `(highest UNSAT, lowest SAT)`
+/// and prunes the workers it dominates mid-flight. The search ends
+/// when the window is empty (minimum found or whole range refuted) or
+/// when every worker in it ran out of budget.
+///
+/// With `options.share_clauses` the workers also exchange learnt
+/// clauses: clauses learnt under depth-`k` assumptions are
+/// consequences of the shared CNF alone (assumptions enter learnt
+/// clauses only negated), so cross-depth sharing is sound — and the
+/// importer RUP-checks every clause against its own database anyway.
+///
+/// Deterministic by construction: fixed worker order, fixed quanta, no
+/// threads — two runs produce identical verdicts, stats and import
+/// sequences (only the `time` fields vary).
+fn find_min_depth_parallel(
+    spec: &LasSpec,
+    lo: usize,
+    hi: usize,
+    start: usize,
+    options: &SynthOptions,
+    config: sat::CdclConfig,
+) -> Result<DepthSearch, SynthError> {
+    assert!(lo <= start && start <= hi, "start depth outside [lo, hi]");
+    // The sequential modes probe `start` first and error if its spec is
+    // malformed; fail identically before building anything.
+    spec.with_depth(start)
+        .validate()
+        .map_err(SynthError::Spec)?;
+    let vlo = valid_depths_down(spec, lo, start);
+    let vhi = valid_depths_up(spec, start, hi);
+    let layered = encode_layered(spec, vlo, vhi).map_err(SynthError::Spec)?;
+    let worker_count = vhi - vlo + 1;
+    let hub = options
+        .share_clauses
+        .then(|| Arc::new(ClauseExchange::new(worker_count, EXCHANGE_CAPACITY)));
+    let mut workers: Vec<DepthWorker> = Vec::with_capacity(worker_count);
+    for index in 0..worker_count {
+        let mut solver = CdclSolver::with_config(config.clone());
+        if options.certify {
+            // Proof logging must open before the first clause so each
+            // worker's log is self-contained (imports are logged as
+            // derived RUP steps and stay checkable).
+            solver.enable_proof();
+        }
+        solver.add_cnf(&layered.encoding.cnf);
+        // Activation literals return as assumptions on every turn:
+        // variable elimination must never resolve them away.
+        for &a in &layered.activation {
+            solver.freeze(a.var());
+        }
+        if let Some(hub) = &hub {
+            solver.connect_exchange(Arc::clone(hub), index, ShareLimits::default());
+        }
+        workers.push(DepthWorker {
+            k: vlo + index,
+            solver,
+            remaining: options.budget.max_conflicts,
+            time: Duration::ZERO,
+            turns: 0,
+            state: DepthWorkerState::Running,
+            certified: false,
+        });
+    }
+    let quantum = options.parallel_quantum.max(1);
+    let deadline = options.budget.max_time.map(|t| Instant::now() + t);
+    let mut lowest_sat: Option<usize> = None;
+    let mut highest_unsat: Option<usize> = None;
+    let mut best: Option<LasDesign> = None;
+    'driver: loop {
+        let mut progressed = false;
+        for worker in workers.iter_mut() {
+            // Recompute the undecided window every turn: a verdict
+            // earlier in this round may have closed it or pruned this
+            // worker (`vlo >= lo >= 1`, so `s - 1` cannot underflow).
+            let window_lo = highest_unsat.map_or(vlo, |u| u + 1);
+            let window_hi = lowest_sat.map_or(vhi, |s| s - 1);
+            if window_lo > window_hi {
+                break 'driver;
+            }
+            let k = worker.k;
+            if !matches!(worker.state, DepthWorkerState::Running) || k < window_lo || k > window_hi
+            {
+                continue;
+            }
+            if let Some(stop) = &options.budget.stop {
+                if stop.load(Ordering::Relaxed) {
+                    break 'driver;
+                }
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                break 'driver;
+            }
+            let turn = worker.remaining.map_or(quantum, |r| quantum.min(r));
+            let assumptions = layered.assumptions_for(k);
+            let before = worker.solver.session_stats().conflicts;
+            let started = Instant::now();
+            let outcome = worker
+                .solver
+                .solve_assuming(&assumptions, &Budget::conflict_limit(turn));
+            worker.time += started.elapsed();
+            worker.turns += 1;
+            let spent = worker.solver.session_stats().conflicts - before;
+            if let Some(r) = &mut worker.remaining {
+                *r = r.saturating_sub(spent);
+            }
+            progressed = true;
+            match outcome {
+                SolveOutcome::Sat(model) => {
+                    worker.state = DepthWorkerState::Verdict(true);
+                    // The window cap keeps dominated workers idle, so
+                    // every SAT processed here is a new minimum.
+                    lowest_sat = Some(k);
+                    let mut design = decode_layered(&layered, spec, k, &model);
+                    let violations = lasre::check_validity(&design);
+                    if !violations.is_empty() {
+                        return Err(SynthError::InvalidDesign(violations));
+                    }
+                    if !options.skip_verify {
+                        verify(&design).map_err(SynthError::Verify)?;
+                        design.set_verified(true);
+                    }
+                    best = Some(design);
+                }
+                SolveOutcome::Unsat => {
+                    worker.state = DepthWorkerState::Verdict(false);
+                    if options.certify {
+                        // Unreachable: the worker enabled proof logging
+                        // before its first clause.
+                        // lint:allow(no-panic)
+                        let log = worker.solver.proof().expect("proof logging enabled");
+                        sat::certify_unsat(log, worker.solver.final_assumption_conflict())
+                            .map_err(|e| SynthError::Certify(e.to_string()))?;
+                        worker.certified = true;
+                    }
+                    // The window floor keeps dominated workers idle, so
+                    // every UNSAT processed here raises the floor.
+                    highest_unsat = Some(k);
+                }
+                SolveOutcome::Unknown => {
+                    // Out of per-probe conflict budget (a turn is
+                    // stop-free and time-free, so Unknown means the
+                    // turn's conflict quantum ran dry); `spent == 0` is
+                    // a defensive no-progress guard.
+                    if worker.remaining == Some(0) || spent == 0 {
+                        worker.state = DepthWorkerState::Exhausted;
+                    }
+                }
+            }
+        }
+        if !progressed {
+            break; // only exhausted or pruned workers left in the window
+        }
+    }
+    // Sequential mode walks off the valid window's edges: descending
+    // from a SAT verdict at the window floor it probes `vlo - 1`, and
+    // ascending past an all-UNSAT window it probes `vhi + 1` — erring
+    // exactly when that depth's spec is malformed (which, when the
+    // window was shrunk, is by construction). Reproduce those errors.
+    if lowest_sat == Some(vlo) && vlo > lo {
+        if let Err(e) = spec.with_depth(vlo - 1).validate() {
+            return Err(SynthError::Spec(e));
+        }
+    }
+    if lowest_sat.is_none() && highest_unsat == Some(vhi) && vhi < hi {
+        if let Err(e) = spec.with_depth(vhi + 1).validate() {
+            return Err(SynthError::Spec(e));
+        }
+    }
+    let probes = workers
+        .iter()
+        .filter(|w| w.turns > 0)
+        .map(|w| DepthProbe {
+            max_k: w.k,
+            sat: match w.state {
+                DepthWorkerState::Verdict(sat) => Some(sat),
+                // Pruned by a dominating verdict, or out of budget:
+                // this worker itself never resolved its depth.
+                _ => None,
+            },
+            time: w.time,
+            stats: Some(w.solver.session_stats()),
+            certified: w.certified,
+        })
+        .collect();
+    Ok(DepthSearch { probes, best })
+}
+
 /// Runs one synthesis per port permutation in parallel (one thread per
 /// permutation, as the paper runs "many LaSsynth jobs in parallel"),
 /// returning the first verified design. All other workers are cancelled
@@ -434,7 +683,7 @@ pub fn explore_port_orders(
 }
 
 /// Outcome of [`solve_portfolio_detailed`]: the verdict plus which
-/// worker produced it and that worker's solver statistics.
+/// worker produced it and the whole fleet's solver statistics.
 #[derive(Debug)]
 pub struct PortfolioOutcome {
     /// The first definitive verdict (or `Unknown` if none).
@@ -444,6 +693,16 @@ pub struct PortfolioOutcome {
     /// Solver statistics of the winning worker, when its backend
     /// reports them.
     pub stats: Option<sat::SolverStats>,
+    /// Every worker's `(seed, stats)` in the caller's seed order,
+    /// losers included — the cost the portfolio actually paid, not
+    /// just the winner's share (losing workers' stats used to be
+    /// dropped on the floor).
+    pub worker_stats: Vec<(u64, Option<SolverStats>)>,
+    /// Element-wise sum of every reporting worker's statistics
+    /// ([`SolverStats::merged`]): what `--stats` prints as the
+    /// `portfolio total` line. `None` only when no worker reported
+    /// stats at all.
+    pub total: Option<SolverStats>,
 }
 
 /// Runs one synthesis per seed in parallel and returns the first
@@ -467,27 +726,38 @@ pub fn solve_portfolio(
     solve_portfolio_detailed(spec, seeds, options).map(|o| o.result)
 }
 
-/// [`solve_portfolio`] with the winning seed and its solver statistics
-/// (what `lassynth synth --seeds … --stats` prints).
+/// [`solve_portfolio`] with the winning seed and the whole fleet's
+/// solver statistics (what `lassynth synth --seeds … --stats` prints).
+///
+/// With `options.share_clauses` the free-running threads are replaced
+/// by [`solve_portfolio_shared`]: the same diversified fleet run by a
+/// deterministic single-threaded lockstep driver that exchanges
+/// low-LBD learnt clauses between the workers.
 ///
 /// # Errors
 ///
-/// Propagates a [`SynthError`] only if every worker errors.
+/// Propagates a [`SynthError`] only if every worker errors — the error
+/// of the *first* failing worker in the caller's seed order (receive
+/// order is a thread race; an earlier version kept whichever error
+/// arrived last).
 pub fn solve_portfolio_detailed(
     spec: &LasSpec,
     seeds: &[u64],
     options: &SynthOptions,
 ) -> Result<PortfolioOutcome, SynthError> {
+    if options.share_clauses {
+        return solve_portfolio_shared(spec, seeds, options);
+    }
     use std::sync::mpsc;
     type WorkerReport = (
-        u64,
+        usize,
         Option<sat::SolverStats>,
         Result<SynthResult, SynthError>,
     );
     let stop = Arc::new(AtomicBool::new(false));
     let (tx, rx) = mpsc::channel::<WorkerReport>();
     crossbeam::thread::scope(|scope| {
-        for &seed in seeds {
+        for (index, &seed) in seeds.iter().enumerate() {
             let mut options = options.clone().with_diversified_seed(seed);
             options.budget.stop = Some(stop.clone());
             let spec = spec.clone();
@@ -504,35 +774,203 @@ pub fn solve_portfolio_detailed(
                 if matches!(result, Ok(SynthResult::Sat(_)) | Ok(SynthResult::Unsat)) {
                     stop.store(true, Ordering::Relaxed);
                 }
-                let _ = tx.send((seed, stats, result));
+                let _ = tx.send((index, stats, result));
             });
         }
         drop(tx);
-        let mut first_error = None;
-        let mut unknown_seen = false;
-        for (seed, stats, result) in rx {
+        // Drain *every* worker's report: the first definitive verdict
+        // to arrive still wins, but the losers' stats are part of the
+        // portfolio's cost, and they observe the stop flag and report
+        // promptly once a winner raises it.
+        let mut winner: Option<(usize, Option<SolverStats>, SynthResult)> = None;
+        let mut reports: Vec<(usize, Option<SolverStats>)> = Vec::with_capacity(seeds.len());
+        let mut errors: Vec<(usize, SynthError)> = Vec::new();
+        for (index, stats, result) in rx {
+            reports.push((index, stats));
             match result {
                 Ok(r @ (SynthResult::Sat(_) | SynthResult::Unsat)) => {
-                    return Ok(PortfolioOutcome {
-                        result: r,
-                        winner_seed: Some(seed),
-                        stats,
-                    })
+                    if winner.is_none() {
+                        winner = Some((index, stats, r));
+                    }
                 }
-                Ok(SynthResult::Unknown) => unknown_seen = true,
-                Err(e) => first_error = Some(e),
+                Ok(SynthResult::Unknown) => {}
+                Err(e) => errors.push((index, e)),
             }
         }
-        match (unknown_seen, first_error) {
-            (false, Some(e)) => Err(e),
-            _ => Ok(PortfolioOutcome {
+        reports.sort_by_key(|&(index, _)| index);
+        let total = reports
+            .iter()
+            .filter_map(|&(_, stats)| stats)
+            .reduce(SolverStats::merged);
+        let worker_stats: Vec<(u64, Option<SolverStats>)> = reports
+            .into_iter()
+            .map(|(index, stats)| (seeds[index], stats))
+            .collect();
+        match winner {
+            Some((index, stats, result)) => Ok(PortfolioOutcome {
+                result,
+                winner_seed: Some(seeds[index]),
+                stats,
+                worker_stats,
+                total,
+            }),
+            None if errors.len() == seeds.len() => {
+                // Every worker failed: keep the error of the first
+                // worker in seed order, deterministically.
+                errors.sort_by_key(|&(index, _)| index);
+                match errors.into_iter().next() {
+                    Some((_, e)) => Err(e),
+                    // Unreachable: `seeds` is non-empty whenever
+                    // `errors` is.
+                    None => Ok(PortfolioOutcome {
+                        result: SynthResult::Unknown,
+                        winner_seed: None,
+                        stats: None,
+                        worker_stats,
+                        total,
+                    }),
+                }
+            }
+            None => Ok(PortfolioOutcome {
                 result: SynthResult::Unknown,
                 winner_seed: None,
                 stats: None,
+                worker_stats,
+                total,
             }),
         }
     })
     .expect("portfolio scope") // lint:allow(no-panic)
+}
+
+/// Deterministic clause-sharing portfolio: the same diversified seed
+/// fleet as the threaded path, run by a single-threaded round-robin
+/// driver that hands each worker `options.parallel_quantum` conflicts
+/// per turn and fans each worker's low-LBD learnt clauses out to the
+/// others through a bounded [`ClauseExchange`].
+///
+/// Single-threaded by design: the evaluation machines have one vCPU,
+/// so a free-threaded sharing portfolio would measure scheduler noise.
+/// What sharing buys is *fewer total conflicts to a verdict* than the
+/// same fleet running isolated; the lockstep schedule makes every run
+/// bit-reproducible — same spec, seeds and quantum give the same
+/// winner, the same stats and the same import sequence. Workers import
+/// only at their own restart boundaries (and solve-entry), and every
+/// import is RUP-checked and proof-logged, so `options.certify`
+/// composes: an UNSAT verdict from an import-fed worker still carries
+/// a checkable DRAT log.
+fn solve_portfolio_shared(
+    spec: &LasSpec,
+    seeds: &[u64],
+    options: &SynthOptions,
+) -> Result<PortfolioOutcome, SynthError> {
+    let encoding = encode(spec).map_err(SynthError::Spec)?;
+    let hub = Arc::new(ClauseExchange::new(seeds.len().max(1), EXCHANGE_CAPACITY));
+    let mut workers: Vec<CdclSolver> = Vec::with_capacity(seeds.len());
+    for (index, &seed) in seeds.iter().enumerate() {
+        let config = options.solver_config(sat::CdclConfig::diversified(seed));
+        let mut solver = CdclSolver::with_config(config);
+        if options.certify {
+            // Proof logging must open before the first clause so the
+            // log is self-contained.
+            solver.enable_proof();
+        }
+        solver.add_cnf(&encoding.cnf);
+        solver.connect_exchange(Arc::clone(&hub), index, ShareLimits::default());
+        workers.push(solver);
+    }
+    let quantum = options.parallel_quantum.max(1);
+    let deadline = options.budget.max_time.map(|t| Instant::now() + t);
+    let mut remaining: Vec<Option<u64>> = vec![options.budget.max_conflicts; seeds.len()];
+    let mut exhausted = vec![false; seeds.len()];
+    let mut winner: Option<(usize, SolveOutcome)> = None;
+    'driver: while exhausted.iter().any(|done| !done) {
+        for index in 0..workers.len() {
+            if exhausted[index] {
+                continue;
+            }
+            if let Some(stop) = &options.budget.stop {
+                if stop.load(Ordering::Relaxed) {
+                    break 'driver;
+                }
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                break 'driver;
+            }
+            let turn = remaining[index].map_or(quantum, |r| quantum.min(r));
+            let before = workers[index].session_stats().conflicts;
+            let outcome = workers[index].solve_assuming(&[], &Budget::conflict_limit(turn));
+            let spent = workers[index].session_stats().conflicts - before;
+            if let Some(r) = &mut remaining[index] {
+                *r = r.saturating_sub(spent);
+            }
+            match outcome {
+                SolveOutcome::Unknown => {
+                    // Out of per-worker conflict budget (a turn budget
+                    // carries no stop flag and no deadline, so Unknown
+                    // means the conflict quantum ran dry); `spent == 0`
+                    // is a defensive no-progress guard.
+                    if remaining[index] == Some(0) || spent == 0 {
+                        exhausted[index] = true;
+                    }
+                }
+                verdict => {
+                    winner = Some((index, verdict));
+                    break 'driver;
+                }
+            }
+        }
+    }
+    let worker_stats: Vec<(u64, Option<SolverStats>)> = seeds
+        .iter()
+        .zip(&workers)
+        .map(|(&seed, worker)| (seed, Some(worker.session_stats())))
+        .collect();
+    let total = worker_stats
+        .iter()
+        .filter_map(|&(_, stats)| stats)
+        .reduce(SolverStats::merged);
+    let (result, winner_seed, stats) = match winner {
+        Some((index, SolveOutcome::Sat(model))) => {
+            let mut design = decode(spec, &encoding, &model);
+            let violations = lasre::check_validity(&design);
+            if !violations.is_empty() {
+                return Err(SynthError::InvalidDesign(violations));
+            }
+            if !options.skip_verify {
+                verify(&design).map_err(SynthError::Verify)?;
+                design.set_verified(true);
+            }
+            (
+                SynthResult::Sat(Box::new(design)),
+                Some(seeds[index]),
+                Some(workers[index].session_stats()),
+            )
+        }
+        Some((index, SolveOutcome::Unsat)) => {
+            if options.certify {
+                // Unreachable: the worker enabled proof logging before
+                // its first clause.
+                // lint:allow(no-panic)
+                let log = workers[index].proof().expect("proof logging enabled");
+                sat::certify_unsat(log, workers[index].final_assumption_conflict())
+                    .map_err(|e| SynthError::Certify(e.to_string()))?;
+            }
+            (
+                SynthResult::Unsat,
+                Some(seeds[index]),
+                Some(workers[index].session_stats()),
+            )
+        }
+        Some((_, SolveOutcome::Unknown)) | None => (SynthResult::Unknown, None, None),
+    };
+    Ok(PortfolioOutcome {
+        result,
+        winner_seed,
+        stats,
+        worker_stats,
+        total,
+    })
 }
 
 /// All permutations of `0..n` (for small `n`), a convenience for
@@ -747,6 +1185,194 @@ mod tests {
         // And an unsatisfiable variant is proven UNSAT by some worker.
         let r = solve_portfolio(&spec.with_depth(2), &[0, 1], &SynthOptions::default()).unwrap();
         assert!(r.is_unsat());
+    }
+
+    /// Losing workers' statistics are no longer dropped: every worker
+    /// reports, and the total is at least the winner's share.
+    #[test]
+    fn portfolio_accounts_for_losing_workers() {
+        let spec = cnot_spec();
+        let o = solve_portfolio_detailed(&spec, &[0, 1, 2], &SynthOptions::default()).unwrap();
+        assert!(o.result.is_sat());
+        assert_eq!(o.worker_stats.len(), 3, "losers report too");
+        let winner = o.winner_seed.unwrap();
+        assert!(o.worker_stats.iter().any(|&(seed, _)| seed == winner));
+        let total = o.total.expect("CDCL workers report stats");
+        let winner_stats = o.stats.unwrap();
+        assert!(total.propagations >= winner_stats.propagations);
+    }
+
+    /// When every worker fails, the portfolio surfaces the error
+    /// instead of an `Unknown` — two deliberately failing workers
+    /// (depth 1 is invalid for the CNOT, so both die in
+    /// `Synthesizer::new`) must yield the spec error.
+    #[test]
+    fn portfolio_propagates_error_when_all_workers_fail() {
+        let spec = cnot_spec().with_depth(1);
+        let r = solve_portfolio_detailed(&spec, &[0, 1], &SynthOptions::default());
+        assert!(
+            matches!(r, Err(SynthError::Spec(_))),
+            "expected the first worker's spec error"
+        );
+    }
+
+    fn shared_options() -> SynthOptions {
+        SynthOptions {
+            share_clauses: true,
+            // Small quantum so even the CNOT-sized fixtures take
+            // several lockstep turns and actually exchange clauses.
+            parallel_quantum: 20,
+            ..SynthOptions::default()
+        }
+    }
+
+    #[test]
+    fn shared_portfolio_agrees_with_threaded_verdicts() {
+        let spec = cnot_spec();
+        let o = solve_portfolio_detailed(&spec, &[0, 1, 2], &shared_options()).unwrap();
+        assert!(o.result.is_sat());
+        assert!(o.winner_seed.is_some());
+        assert_eq!(o.worker_stats.len(), 3);
+        assert!(o.total.expect("lockstep workers report stats").propagations > 0);
+        if let SynthResult::Sat(d) = &o.result {
+            assert!(d.verified());
+        }
+        let u = solve_portfolio_detailed(&spec.with_depth(2), &[0, 1], &shared_options()).unwrap();
+        assert!(u.result.is_unsat());
+    }
+
+    /// Two identical shared-portfolio runs are bit-identical: same
+    /// winner, same per-worker conflicts/propagations and the same
+    /// export/import/kept sequence.
+    #[test]
+    fn shared_portfolio_runs_are_deterministic() {
+        let spec = cnot_spec();
+        let options = SynthOptions {
+            // One conflict per turn: the CNOT solves in a couple of
+            // conflicts, so anything larger lets the first worker win
+            // before the fleet ever trades a clause.
+            parallel_quantum: 1,
+            ..shared_options()
+        };
+        let run = || {
+            let o = solve_portfolio_detailed(&spec, &[0, 1, 2, 3], &options).unwrap();
+            assert!(o.result.is_sat());
+            let fleet: Vec<_> = o
+                .worker_stats
+                .iter()
+                .map(|&(seed, stats)| {
+                    let s = stats.unwrap();
+                    (
+                        seed,
+                        s.conflicts,
+                        s.propagations,
+                        s.exported_clauses,
+                        s.imported_clauses,
+                        s.imported_kept,
+                    )
+                })
+                .collect();
+            (o.winner_seed, fleet)
+        };
+        let first = run();
+        assert_eq!(first, run());
+        let exchanged: u64 = first.1.iter().map(|t| t.4).sum();
+        assert!(exchanged > 0, "the fleet never exchanged a clause");
+    }
+
+    /// An UNSAT verdict from an import-fed worker still carries a
+    /// checkable DRAT log.
+    #[test]
+    fn shared_portfolio_unsat_certifies() {
+        let spec = cnot_spec().with_depth(2);
+        let options = SynthOptions {
+            certify: true,
+            ..shared_options()
+        };
+        let o = solve_portfolio_detailed(&spec, &[0, 1], &options).unwrap();
+        assert!(o.result.is_unsat());
+    }
+
+    fn depth_parallel_options(share: bool) -> SynthOptions {
+        SynthOptions {
+            depth_parallel: true,
+            share_clauses: share,
+            parallel_quantum: 20,
+            ..SynthOptions::default()
+        }
+    }
+
+    /// Depth-parallel mode (with and without sharing) agrees with the
+    /// sequential walk on the minimum, and both bracketing verdicts
+    /// come from the depths' own workers.
+    #[test]
+    fn depth_parallel_finds_the_same_minimum() {
+        let spec = cnot_spec();
+        for share in [false, true] {
+            let search = find_min_depth(&spec, 2, 5, 4, &depth_parallel_options(share)).unwrap();
+            assert_eq!(search.best_depth(), Some(3), "share={share}");
+            assert!(search.best.as_ref().unwrap().verified());
+            let verdict = |k: usize| {
+                search
+                    .probes
+                    .iter()
+                    .find(|p| p.max_k == k)
+                    .and_then(|p| p.sat)
+            };
+            assert_eq!(verdict(2), Some(false), "share={share}");
+            assert_eq!(verdict(3), Some(true), "share={share}");
+        }
+    }
+
+    #[test]
+    fn depth_parallel_runs_are_deterministic() {
+        let spec = cnot_spec();
+        let run = || {
+            let s = find_min_depth(&spec, 2, 5, 5, &depth_parallel_options(true)).unwrap();
+            let probes: Vec<_> = s
+                .probes
+                .iter()
+                .map(|p| {
+                    let st = p.stats.unwrap();
+                    (
+                        p.max_k,
+                        p.sat,
+                        st.conflicts,
+                        st.propagations,
+                        st.imported_clauses,
+                        st.imported_kept,
+                    )
+                })
+                .collect();
+            (s.best_depth(), probes)
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// Depth-parallel UNSAT verdicts proof-check under `certify`.
+    #[test]
+    fn depth_parallel_certifies_unsat_depths() {
+        let spec = cnot_spec();
+        let options = SynthOptions {
+            certify: true,
+            ..depth_parallel_options(true)
+        };
+        let search = find_min_depth(&spec, 2, 5, 4, &options).unwrap();
+        assert_eq!(search.best_depth(), Some(3));
+        let p2 = search.probes.iter().find(|p| p.max_k == 2).unwrap();
+        assert_eq!(p2.sat, Some(false));
+        assert!(p2.certified, "UNSAT depth 2 carries a checked proof");
+    }
+
+    /// Depth-parallel reproduces the sequential edge semantics:
+    /// starting at the CNOT's invalid depth 1 errors up front, while a
+    /// range whose invalid depths are never needed succeeds.
+    #[test]
+    fn depth_parallel_edge_semantics_match_sequential() {
+        let r = find_min_depth(&cnot_spec(), 1, 5, 1, &depth_parallel_options(false));
+        assert!(matches!(r, Err(SynthError::Spec(_))));
+        let s = find_min_depth(&cnot_spec(), 1, 5, 4, &depth_parallel_options(false)).unwrap();
+        assert_eq!(s.best_depth(), Some(3));
     }
 
     #[test]

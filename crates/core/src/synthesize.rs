@@ -61,6 +61,31 @@ pub struct SynthOptions {
     /// CDCL backend only; an UNSAT whose proof fails to check is
     /// surfaced as [`SynthError::Certify`] instead of being trusted.
     pub certify: bool,
+    /// Exchange low-LBD learnt clauses between the workers of
+    /// [`crate::optimize::solve_portfolio_detailed`] (and, with
+    /// [`SynthOptions::depth_parallel`], between the per-depth workers
+    /// of a depth-parallel search). Sharing switches the portfolio
+    /// from free-running threads to a deterministic single-threaded
+    /// lockstep driver — the target machines have one vCPU, so the
+    /// win sought is *fewer total conflicts to a verdict*, and the
+    /// run (winner, stats, import sequence) is bit-reproducible.
+    /// CDCL backend only. The CLI's `--share-clauses` flag lands here.
+    pub share_clauses: bool,
+    /// Run [`crate::optimize::find_min_depth`] with one lockstep
+    /// worker per candidate depth (each owning one `max_k` of a
+    /// shared depth-layered encoding) instead of the sequential
+    /// descend/ascend probe walk; the first definitive verdict prunes
+    /// every depth it dominates through the SAT-monotonicity of the
+    /// depth axis. CDCL backend only; composes with
+    /// [`SynthOptions::share_clauses`]. The CLI's `--depth-parallel`
+    /// flag lands here.
+    pub depth_parallel: bool,
+    /// Conflicts each lockstep worker runs per turn under
+    /// [`SynthOptions::share_clauses`] / [`SynthOptions::depth_parallel`].
+    /// Smaller quanta exchange clauses more often (and fan work out
+    /// more fairly) at the cost of more restart overhead; the value
+    /// only shifts *which* deterministic trajectory a run takes.
+    pub parallel_quantum: u64,
 }
 
 impl Default for SynthOptions {
@@ -73,6 +98,9 @@ impl Default for SynthOptions {
             restart_policy: None,
             chrono: None,
             certify: false,
+            share_clauses: false,
+            depth_parallel: false,
+            parallel_quantum: 2_000,
         }
     }
 }

@@ -1,0 +1,219 @@
+//! Deterministic bounded clause exchange between portfolio workers.
+//!
+//! The paper's seed portfolio (Sec. V-E, "random seed: more is
+//! different") runs identical searches that never talk to each other.
+//! This module is the HordeSat-style upgrade: each worker exports its
+//! good learnt clauses (low LBD, short) into the other workers'
+//! bounded inboxes and imports whatever arrived, so one worker's
+//! refutation work prunes everyone else's search.
+//!
+//! Determinism is the design constraint (the target box has a single
+//! vCPU, so parallelism buys nothing by itself — reproducibility
+//! does). Three properties make a sharing run replayable:
+//!
+//! * **seed-ordered fan-out** — [`ClauseExchange::publish`] writes to
+//!   the per-worker inboxes in ascending worker index, and a full inbox
+//!   drops the clause for exactly that worker (bounded memory, no
+//!   blocking, deterministic victim);
+//! * **deterministic import points** — the solver drains its inbox only
+//!   at restart boundaries and at `solve_assuming` entry, never
+//!   mid-search (see `import_shared_clauses` in the solver);
+//! * **lockstep scheduling** — the portfolio driver in
+//!   `synth::optimize` runs the workers round-robin under fixed
+//!   conflict quanta on one thread, so inbox contents at every drain
+//!   are a pure function of the seeds.
+//!
+//! Every imported clause is re-verified by the importer with a
+//! reverse-unit-propagation (RUP) test before it is attached, and
+//! logged as a derived step, so `--certify` keeps working on
+//! import-enabled sessions.
+
+use crate::types::Lit;
+use crossbeam::queue::ArrayQueue;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Admission limits for exporting a learnt clause to the exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShareLimits {
+    /// Export only clauses with LBD at or below this (units always
+    /// qualify — they are root facts).
+    pub max_lbd: u32,
+    /// Export only clauses at or below this many literals.
+    pub max_len: usize,
+}
+
+impl Default for ShareLimits {
+    fn default() -> ShareLimits {
+        // HordeSat exports aggressively and filters at the receiver;
+        // we filter at both ends. LBD ≤ 6 matches the solver's tier2
+        // admission bound, so everything exported would be considered
+        // worth keeping by the exporter itself.
+        ShareLimits {
+            max_lbd: 6,
+            max_len: 30,
+        }
+    }
+}
+
+/// One clause in flight between workers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SharedClause {
+    /// Index of the exporting worker.
+    pub source: usize,
+    /// The clause literals (slot order as learnt; importers
+    /// re-simplify against their own root state).
+    pub lits: Vec<Lit>,
+    /// The exporter's LBD for the clause (import keeps
+    /// `min(lbd, len)`).
+    pub lbd: u32,
+}
+
+/// The exchange hub: one bounded FIFO inbox per worker.
+///
+/// Shared via `Arc` between the portfolio driver and every connected
+/// solver. All methods take `&self`; the counters are atomics and the
+/// inboxes are [`ArrayQueue`]s, so the hub is `Sync` without any
+/// locking visible to callers.
+#[derive(Debug)]
+pub struct ClauseExchange {
+    inboxes: Vec<ArrayQueue<SharedClause>>,
+    published: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl ClauseExchange {
+    /// A hub for `workers` participants whose inboxes hold at most
+    /// `capacity` clauses each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `capacity` is zero.
+    pub fn new(workers: usize, capacity: usize) -> ClauseExchange {
+        assert!(workers > 0, "exchange needs at least one worker");
+        ClauseExchange {
+            inboxes: (0..workers).map(|_| ArrayQueue::new(capacity)).collect(),
+            published: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of participating workers.
+    pub fn num_workers(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// Fans a clause out to every worker except `source`, in ascending
+    /// worker order. A full inbox drops the clause for that worker
+    /// only. Returns how many inboxes accepted it.
+    pub fn publish(&self, source: usize, lits: &[Lit], lbd: u32) -> usize {
+        let mut accepted = 0;
+        for (worker, inbox) in self.inboxes.iter().enumerate() {
+            if worker == source {
+                continue;
+            }
+            let clause = SharedClause {
+                source,
+                lits: lits.to_vec(),
+                lbd,
+            };
+            match inbox.push(clause) {
+                Ok(()) => accepted += 1,
+                Err(_) => {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.published.fetch_add(1, Ordering::Relaxed);
+        accepted
+    }
+
+    /// Empties `worker`'s inbox, returning the clauses in arrival
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn drain(&self, worker: usize) -> Vec<SharedClause> {
+        let inbox = &self.inboxes[worker];
+        let mut batch = Vec::with_capacity(inbox.len());
+        while let Some(clause) = inbox.pop() {
+            batch.push(clause);
+        }
+        batch
+    }
+
+    /// Clauses published so far (each counted once, not per fan-out).
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Fan-out copies dropped because the receiving inbox was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(ds: &[i64]) -> Vec<Lit> {
+        ds.iter().map(|&d| Lit::from_dimacs(d)).collect()
+    }
+
+    #[test]
+    fn publish_fans_out_to_all_but_source() {
+        let hub = ClauseExchange::new(3, 8);
+        assert_eq!(hub.publish(1, &lits(&[1, -2]), 2), 2);
+        assert_eq!(hub.drain(1), vec![]);
+        let got0 = hub.drain(0);
+        let got2 = hub.drain(2);
+        assert_eq!(got0, got2);
+        assert_eq!(got0.len(), 1);
+        assert_eq!(got0[0].source, 1);
+        assert_eq!(got0[0].lits, lits(&[1, -2]));
+        assert_eq!(got0[0].lbd, 2);
+        assert_eq!(hub.published(), 1);
+        assert_eq!(hub.dropped(), 0);
+    }
+
+    #[test]
+    fn drain_preserves_arrival_order() {
+        let hub = ClauseExchange::new(2, 8);
+        hub.publish(0, &lits(&[1]), 1);
+        hub.publish(0, &lits(&[2]), 1);
+        hub.publish(0, &lits(&[3]), 1);
+        let got: Vec<Vec<Lit>> = hub.drain(1).into_iter().map(|c| c.lits).collect();
+        assert_eq!(got, vec![lits(&[1]), lits(&[2]), lits(&[3])]);
+        assert!(hub.drain(1).is_empty());
+    }
+
+    #[test]
+    fn full_inbox_drops_deterministically() {
+        let hub = ClauseExchange::new(2, 2);
+        assert_eq!(hub.publish(0, &lits(&[1]), 1), 1);
+        assert_eq!(hub.publish(0, &lits(&[2]), 1), 1);
+        // Inbox 1 is full: the third publish is dropped for worker 1.
+        assert_eq!(hub.publish(0, &lits(&[3]), 1), 0);
+        assert_eq!(hub.dropped(), 1);
+        let kept: Vec<Vec<Lit>> = hub.drain(1).into_iter().map(|c| c.lits).collect();
+        assert_eq!(kept, vec![lits(&[1]), lits(&[2])]);
+    }
+
+    #[test]
+    fn default_limits_match_tier2_bound() {
+        let limits = ShareLimits::default();
+        assert_eq!(limits.max_lbd, 6);
+        assert!(limits.max_len >= 2);
+    }
+
+    #[test]
+    fn share_limits_are_value_types() {
+        let a = ShareLimits {
+            max_lbd: 3,
+            max_len: 10,
+        };
+        assert_eq!(a, a);
+        assert_ne!(a, ShareLimits::default());
+    }
+}

@@ -40,6 +40,7 @@ pub mod analyze;
 mod builder;
 mod cnf;
 pub mod dimacs;
+pub mod exchange;
 pub mod proof;
 mod solver;
 mod types;
@@ -49,6 +50,7 @@ mod varisat_backend;
 pub use analyze::{CnfLint, CnfReport};
 pub use builder::CnfBuilder;
 pub use cnf::Cnf;
+pub use exchange::{ClauseExchange, ShareLimits, SharedClause};
 pub use proof::{certify_unsat, CheckReport, ProofLog};
 pub use solver::{CdclConfig, CdclSolver, RestartPolicy, SolverStats};
 pub use types::{Backend, Budget, Lit, Model, SolveOutcome, Var};

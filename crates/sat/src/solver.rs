@@ -163,11 +163,13 @@
 //! eliminated variable reintroduces it from the elimination stack
 //! before solving.
 
+use crate::exchange::{ClauseExchange, ShareLimits};
 use crate::proof::ProofLog;
 use crate::{Backend, Budget, Cnf, Lit, Model, SolveOutcome, Var};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 mod audit;
@@ -561,6 +563,15 @@ pub struct SolverStats {
     /// Probed literals whose propagation conflicted — each one learns
     /// a root-level unit (the literal's negation).
     pub failed_literals: u64,
+    /// Learnt clauses exported to the clause exchange (counted once
+    /// per clause, not per receiving worker).
+    pub exported_clauses: u64,
+    /// Clauses received from the clause exchange (before the import
+    /// filter).
+    pub imported_clauses: u64,
+    /// Received clauses that passed the importer's RUP re-check and
+    /// were attached (or asserted, for units).
+    pub imported_kept: u64,
 }
 
 impl SolverStats {
@@ -602,6 +613,44 @@ impl SolverStats {
             elim_resolvents: self.elim_resolvents.saturating_sub(earlier.elim_resolvents),
             probed_literals: self.probed_literals.saturating_sub(earlier.probed_literals),
             failed_literals: self.failed_literals.saturating_sub(earlier.failed_literals),
+            exported_clauses: self
+                .exported_clauses
+                .saturating_sub(earlier.exported_clauses),
+            imported_clauses: self
+                .imported_clauses
+                .saturating_sub(earlier.imported_clauses),
+            imported_kept: self.imported_kept.saturating_sub(earlier.imported_kept),
+        }
+    }
+
+    /// Element-wise sum of two snapshots — the portfolio's "total work"
+    /// aggregate across workers.
+    pub fn merged(self, other: SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions + other.decisions,
+            conflicts: self.conflicts + other.conflicts,
+            propagations: self.propagations + other.propagations,
+            restarts: self.restarts + other.restarts,
+            learned: self.learned + other.learned,
+            deleted: self.deleted + other.deleted,
+            minimized_lits: self.minimized_lits + other.minimized_lits,
+            gc_passes: self.gc_passes + other.gc_passes,
+            gc_reclaimed_words: self.gc_reclaimed_words + other.gc_reclaimed_words,
+            vivified_lits: self.vivified_lits + other.vivified_lits,
+            subsumed_clauses: self.subsumed_clauses + other.subsumed_clauses,
+            strengthened_clauses: self.strengthened_clauses + other.strengthened_clauses,
+            chrono_backtracks: self.chrono_backtracks + other.chrono_backtracks,
+            oob_enqueues: self.oob_enqueues + other.oob_enqueues,
+            missed_implications: self.missed_implications + other.missed_implications,
+            restarts_blocked: self.restarts_blocked + other.restarts_blocked,
+            rephases: self.rephases + other.rephases,
+            eliminated_vars: self.eliminated_vars + other.eliminated_vars,
+            elim_resolvents: self.elim_resolvents + other.elim_resolvents,
+            probed_literals: self.probed_literals + other.probed_literals,
+            failed_literals: self.failed_literals + other.failed_literals,
+            exported_clauses: self.exported_clauses + other.exported_clauses,
+            imported_clauses: self.imported_clauses + other.imported_clauses,
+            imported_kept: self.imported_kept + other.imported_kept,
         }
     }
 }
@@ -766,6 +815,44 @@ impl CdclSolver {
     /// assumptions — [`crate::proof::certify_unsat`] checks both.
     pub fn proof(&self) -> Option<&ProofLog> {
         self.session.as_ref().and_then(|s| s.proof.as_deref())
+    }
+
+    /// Connects the incremental session to a clause-exchange hub as
+    /// worker `worker` (its inbox index; it never publishes to itself).
+    ///
+    /// Exports happen as clauses are learnt — every learnt unit, and
+    /// every learnt clause within `limits` — and are counted in
+    /// [`SolverStats::exported_clauses`]. Imports happen only at
+    /// deterministic points (entry to
+    /// [`CdclSolver::solve_assuming`] and restart boundaries, both at
+    /// decision level 0): each drained clause is re-verified by
+    /// reverse unit propagation against the session's own database
+    /// before it is attached, and logged as a derived proof step, so
+    /// sharing composes with [`CdclSolver::enable_proof`] and
+    /// incremental solving. A clause that fails the re-check (already
+    /// satisfied at root, or not RUP here yet) is skipped —
+    /// [`SolverStats::imported_kept`] vs
+    /// [`SolverStats::imported_clauses`] reports the ratio.
+    ///
+    /// Exchange applies to the incremental session only; one-shot
+    /// [`Backend::solve_with`] calls use a throwaway state and never
+    /// share.
+    pub fn connect_exchange(
+        &mut self,
+        hub: Arc<ClauseExchange>,
+        worker: usize,
+        limits: ShareLimits,
+    ) {
+        assert!(
+            worker < hub.num_workers(),
+            "worker index {worker} out of range for a {}-worker exchange",
+            hub.num_workers()
+        );
+        self.session_mut().exchange = Some(ExchangeLink {
+            hub,
+            worker,
+            limits,
+        });
     }
 }
 
@@ -1072,6 +1159,26 @@ impl VarOrder {
     }
 }
 
+/// Whether a cooperative cancellation flag is raised. Shared by the
+/// search loop's budget poll, the restart-boundary prompt exit, and
+/// the inprocessing pass-boundary checks.
+fn stop_requested(stop: Option<&AtomicBool>) -> bool {
+    stop.is_some_and(|s| s.load(Ordering::Relaxed))
+}
+
+/// A session's connection to a [`ClauseExchange`] hub
+/// ([`CdclSolver::connect_exchange`]).
+#[derive(Clone, Debug)]
+struct ExchangeLink {
+    hub: Arc<ClauseExchange>,
+    /// This session's worker index (owns inbox `worker`, never
+    /// publishes to it).
+    worker: usize,
+    /// Export admission bounds; import accepts everything that passes
+    /// the RUP re-check.
+    limits: ShareLimits,
+}
+
 #[derive(Clone, Debug)]
 struct State {
     config: CdclConfig,
@@ -1208,6 +1315,10 @@ struct State {
     /// default) makes every hook a single branch; logging never
     /// influences the search.
     proof: Option<Box<ProofLog>>,
+    /// Clause-exchange connection, if this session participates in a
+    /// sharing portfolio. `None` (the default) keeps every hook a
+    /// single branch, exactly like proof logging.
+    exchange: Option<ExchangeLink>,
     /// Whether the deep state auditor is active (`CdclConfig::audit` or
     /// `LASSYNTH_AUDIT=1`); sampled once at construction.
     audit_on: bool,
@@ -1278,6 +1389,7 @@ impl State {
             num_added_clauses: 0,
             assumption_conflict: Vec::new(),
             proof: None,
+            exchange: None,
             audit_on,
             audit_tick: 0,
         }
@@ -2370,6 +2482,145 @@ impl State {
         );
     }
 
+    /// Exports a freshly learnt clause to the exchange when it passes
+    /// the admission limits. Learnt units always qualify — they are
+    /// root facts, the cheapest and strongest thing to share.
+    fn export_learnt(&mut self, lits: &[Lit], lbd: u32) {
+        let Some(link) = &self.exchange else { return };
+        if lits.len() > 1 && (lbd > link.limits.max_lbd || lits.len() > link.limits.max_len) {
+            return;
+        }
+        link.hub.publish(link.worker, lits, lbd);
+        self.stats.exported_clauses += 1;
+    }
+
+    /// Drains this worker's exchange inbox and attaches every clause
+    /// that passes a local RUP re-check. Called only at decision
+    /// level 0 — `solve` entry and restart boundaries — so unit
+    /// imports assert as root facts, inbox contents are a
+    /// deterministic function of the portfolio schedule, and the
+    /// incremental invariants (everything retained is a consequence
+    /// of the added clauses alone) are preserved.
+    fn import_shared_clauses(&mut self) {
+        if self.exchange.is_none() || self.root_unsat {
+            return;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        let (hub, worker) = {
+            let link = self.exchange.as_ref().expect("checked above"); // lint:allow(no-panic)
+            (Arc::clone(&link.hub), link.worker)
+        };
+        for shared in hub.drain(worker) {
+            if self.root_unsat {
+                break;
+            }
+            self.stats.imported_clauses += 1;
+            if self.try_import_clause(&shared.lits, shared.lbd) {
+                self.stats.imported_kept += 1;
+            }
+        }
+    }
+
+    /// Re-verifies one imported clause by reverse unit propagation
+    /// and attaches it on success; returns whether it was kept.
+    ///
+    /// An imported clause is entailed by the shared formula but not
+    /// necessarily derivable by unit propagation from *this* session's
+    /// current database, and the DRAT checker verifies each derived
+    /// step against the importer's own log — so the importer replays
+    /// the RUP test itself and simply skips clauses that do not pass
+    /// (the exporter keeps them; nothing is lost but the shortcut).
+    /// The filter runs whether or not proof logging is enabled, so
+    /// certified and uncertified runs keep bit-identical trajectories.
+    fn try_import_clause(&mut self, lits: &[Lit], lbd: u32) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        // Clauses cross the exchange only between workers on the same
+        // formula; reject unknown variables anyway (defensive, and
+        // deterministic either way).
+        if lits.iter().any(|l| l.var().index() >= self.num_vars) {
+            return false;
+        }
+        // A clause mentioning an eliminated variable reintroduces it
+        // (and, LIFO, everything eliminated after it) first, exactly
+        // as `add_clause_checked` does.
+        for &l in lits {
+            if self.eliminated[l.var().index()] {
+                self.restore_var(l.var().index());
+                if self.root_unsat {
+                    return false;
+                }
+            }
+        }
+        // Root-level simplification, as for original clauses.
+        let mut kept: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            match self.value(l) {
+                1 => return false, // satisfied at root: nothing to gain
+                -1 => {}
+                _ => {
+                    if kept.contains(&!l) {
+                        return false; // tautology
+                    }
+                    if !kept.contains(&l) {
+                        kept.push(l);
+                    }
+                }
+            }
+        }
+        if kept.is_empty() {
+            // Every literal is false at the root. The clause may well
+            // witness unsatisfiability, but the *empty* clause is not
+            // RUP here (our own root propagation has not conflicted),
+            // so it cannot enter the proof log; skip it and let the
+            // search refute locally.
+            return false;
+        }
+        // RUP re-check at a pseudo-level — the vivification probe
+        // pattern: assume the negation of every literal; the clause
+        // is RUP iff a literal turns true (enqueueing its negation
+        // would conflict) or propagation conflicts. Phase saving is
+        // suspended so probing cannot pollute the search's saved
+        // polarities.
+        self.phase_probing = true;
+        self.trail_lim.push(self.trail.len());
+        let mut rup = false;
+        for &l in &kept {
+            match self.value(l) {
+                1 => {
+                    rup = true;
+                    break;
+                }
+                -1 => {}
+                _ => {
+                    self.enqueue(!l, ClauseRef::NONE);
+                    if self.propagate().is_some() {
+                        rup = true;
+                        break;
+                    }
+                }
+            }
+        }
+        self.cancel_until(0);
+        self.phase_probing = false;
+        if !rup {
+            return false;
+        }
+        // RUP against our database: log it, then keep it. Units
+        // assert at the root (propagating to fixpoint; a contradiction
+        // latches `root_unsat` with the empty clause logged). Longer
+        // clauses attach as learnt — `reduce_db` may drop them later
+        // like any other learnt — without bumping the `learned`
+        // counter, which reports local derivations only.
+        self.proof_add_derived(&kept);
+        if kept.len() == 1 {
+            self.assert_root_unit(kept[0]);
+        } else {
+            let lbd = lbd.clamp(1, kept.len() as u32);
+            self.attach_clause_quiet(&kept, true, lbd);
+        }
+        true
+    }
+
     /// Whether the per-call budget has run out: conflicts checked every
     /// time (cheap), wall clock and stop flag amortized to every 256th
     /// conflict. Used identically by the analysis and repair paths.
@@ -2437,6 +2688,12 @@ impl State {
         if self.propagate().is_some() {
             self.root_unsat = true;
             self.proof_add_empty();
+            return SolveOutcome::Unsat;
+        }
+        // Deterministic import point: drain the exchange inbox before
+        // the search starts (level 0, assumptions not yet applied).
+        self.import_shared_clauses();
+        if self.root_unsat {
             return SolveOutcome::Unsat;
         }
         let start = Instant::now();
@@ -2540,6 +2797,7 @@ impl State {
                 self.cancel_until(target);
                 let learnt = std::mem::take(&mut self.learnt_buf);
                 self.proof_add_derived(&learnt);
+                self.export_learnt(&learnt, lbd);
                 if learnt.len() == 1 {
                     self.enqueue_at(learnt[0], ClauseRef::NONE, 0);
                 } else {
@@ -2572,9 +2830,24 @@ impl State {
                         // applied, so everything it derives is a
                         // consequence of the clauses alone and stays
                         // sound across the incremental session.
-                        self.maybe_inprocess();
+                        self.maybe_inprocess(budget.stop.as_deref());
                         if self.root_unsat {
                             return SolveOutcome::Unsat;
+                        }
+                        // The other deterministic import point: clause
+                        // exchange joins inprocessing at the restart
+                        // boundary, after the passes have settled the
+                        // database the RUP re-check runs against.
+                        self.import_shared_clauses();
+                        if self.root_unsat {
+                            return SolveOutcome::Unsat;
+                        }
+                        // A cancelled worker leaves promptly at the
+                        // boundary instead of waiting for the
+                        // 256-conflict stop poll (it just paid for
+                        // inprocessing pass-boundary checks too).
+                        if stop_requested(budget.stop.as_deref()) {
+                            return SolveOutcome::Unknown;
                         }
                         self.maybe_rephase();
                         // Root-level out-of-order assignments survive
@@ -3738,5 +4011,211 @@ mod tests {
             }
             st.check_watcher_integrity();
         }
+    }
+
+    /// Drives `seeds.len()` exchange-connected incremental sessions in
+    /// deterministic lockstep (round-robin, fixed conflict quanta) on
+    /// one thread until a worker returns a definitive verdict. The
+    /// returned trace records every turn's cumulative per-worker
+    /// conflict and import counters — two runs must produce it
+    /// identically for the sharing design to count as deterministic.
+    #[allow(clippy::type_complexity)]
+    fn drive_lockstep(
+        c: &Cnf,
+        seeds: &[u64],
+        quantum: u64,
+        certify: bool,
+    ) -> (
+        usize,
+        SolveOutcome,
+        Vec<SolverStats>,
+        Vec<(usize, u64, u64)>,
+    ) {
+        let hub = Arc::new(ClauseExchange::new(seeds.len(), 256));
+        let mut workers: Vec<CdclSolver> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| {
+                let mut s = CdclSolver::with_config(CdclConfig::diversified(seed));
+                if certify {
+                    s.enable_proof();
+                }
+                s.add_cnf(c);
+                s.connect_exchange(Arc::clone(&hub), i, ShareLimits::default());
+                s
+            })
+            .collect();
+        let mut trace = Vec::new();
+        loop {
+            for i in 0..workers.len() {
+                let outcome = workers[i].solve_assuming(&[], &Budget::conflict_limit(quantum));
+                let stats = workers[i].session_stats();
+                trace.push((i, stats.conflicts, stats.imported_clauses));
+                if !matches!(outcome, SolveOutcome::Unknown) {
+                    if certify && outcome.is_unsat() {
+                        let log = workers[i].proof().expect("proof enabled");
+                        crate::proof::certify_unsat(log, workers[i].final_assumption_conflict())
+                            .expect("imported-clause refutation certifies");
+                    }
+                    let finals = workers.iter().map(|w| w.session_stats()).collect();
+                    return (i, outcome, finals, trace);
+                }
+            }
+        }
+    }
+
+    /// Two identical lockstep sharing runs replay bit-identically:
+    /// same winner, same per-turn conflict/import trace, same final
+    /// stats — the determinism contract of the sharing portfolio.
+    #[test]
+    fn exchange_lockstep_runs_are_deterministic() {
+        let c = pigeonhole(7);
+        let run1 = drive_lockstep(&c, &[0, 1, 2], 200, false);
+        let run2 = drive_lockstep(&c, &[0, 1, 2], 200, false);
+        assert_eq!(run1.0, run2.0, "winner differs between runs");
+        assert!(run1.1.is_unsat() && run2.1.is_unsat());
+        assert_eq!(run1.2, run2.2, "final stats differ between runs");
+        assert_eq!(run1.3, run2.3, "import/conflict trace differs");
+        // Sharing actually happened: someone exported, someone
+        // imported, and at least one import survived the RUP check.
+        let total: SolverStats = run1
+            .2
+            .iter()
+            .copied()
+            .fold(SolverStats::default(), SolverStats::merged);
+        assert!(total.exported_clauses > 0, "no clauses exported");
+        assert!(total.imported_clauses > 0, "no clauses imported");
+        assert!(total.imported_kept > 0, "no import survived the re-check");
+    }
+
+    /// An import-enabled session's UNSAT answer still certifies: every
+    /// imported clause entered the log as a RUP step the forward
+    /// checker accepts.
+    #[test]
+    fn exchange_unsat_with_imports_certifies() {
+        let c = pigeonhole(6);
+        let (_, outcome, finals, _) = drive_lockstep(&c, &[0, 1], 100, true);
+        assert!(outcome.is_unsat());
+        let total = finals
+            .iter()
+            .copied()
+            .fold(SolverStats::default(), SolverStats::merged);
+        assert!(
+            total.imported_clauses > 0,
+            "the certified run never exercised an import"
+        );
+    }
+
+    /// The import filter: satisfied clauses are rejected, clauses not
+    /// yet RUP locally are rejected, RUP units are asserted at the
+    /// root.
+    #[test]
+    fn import_filter_keeps_only_rup_clauses() {
+        let c = cnf(&[&[1, 2], &[-1, 2], &[3, 4]]);
+        let mut st = State::new(&c, CdclConfig::default());
+        let hub = Arc::new(ClauseExchange::new(2, 8));
+        st.exchange = Some(ExchangeLink {
+            hub: Arc::clone(&hub),
+            worker: 0,
+            limits: ShareLimits::default(),
+        });
+        // (2) is RUP: assuming ¬2 makes both binary clauses unit on
+        // 1 and ¬1. (3 4) duplicates a present clause, whose live copy
+        // propagates under the probe — duplicates pass the re-check
+        // (sound, mildly wasteful). (1 3) is not implied by unit
+        // propagation: assuming ¬1 ¬3 propagates 4 and conflicts
+        // nowhere, so it is rejected. (8 9) is over unknown
+        // variables, rejected outright.
+        hub.publish(1, &[lit(2)], 1);
+        hub.publish(1, &[lit(3), lit(4)], 2);
+        hub.publish(1, &[lit(1), lit(3)], 2);
+        hub.publish(1, &[lit(8), lit(9)], 2);
+        st.import_shared_clauses();
+        assert_eq!(st.stats.imported_clauses, 4);
+        assert_eq!(st.stats.imported_kept, 2);
+        assert_eq!(st.value(lit(2)), 1, "RUP unit asserted at root");
+        // A clause satisfied at the root is rejected on arrival.
+        hub.publish(1, &[lit(2), lit(4)], 2);
+        st.import_shared_clauses();
+        assert_eq!(st.stats.imported_clauses, 5);
+        assert_eq!(st.stats.imported_kept, 2);
+        st.check_watcher_integrity();
+    }
+
+    /// Export honors the admission limits: units always, longer
+    /// clauses only within the LBD/length bounds.
+    #[test]
+    fn export_respects_share_limits() {
+        let c = cnf(&[&[1, 2], &[-1, 2], &[3, 4]]);
+        let mut st = State::new(&c, CdclConfig::default());
+        let hub = Arc::new(ClauseExchange::new(2, 8));
+        st.exchange = Some(ExchangeLink {
+            hub: Arc::clone(&hub),
+            worker: 0,
+            limits: ShareLimits {
+                max_lbd: 2,
+                max_len: 3,
+            },
+        });
+        st.export_learnt(&[lit(2)], 9); // unit: always exported
+        st.export_learnt(&[lit(1), lit(3)], 2); // within limits
+        st.export_learnt(&[lit(1), lit(3)], 3); // LBD too high
+        st.export_learnt(&[lit(1), lit(2), lit(3), lit(4)], 2); // too long
+        assert_eq!(st.stats.exported_clauses, 2);
+        assert_eq!(hub.drain(1).len(), 2);
+    }
+
+    /// Satellite regression: a raised stop flag is honored at
+    /// inprocessing pass boundaries — a cancelled worker must not burn
+    /// a full subsumption/elimination pass after the winner finished.
+    #[test]
+    fn stop_flag_skips_inprocessing_passes() {
+        use std::sync::atomic::AtomicBool;
+        let build = || {
+            let mut st = State::new(
+                &cnf(&[&[1, 2], &[1, 2, 3], &[-1, 4], &[-2, -3], &[3, 4, 5]]),
+                CdclConfig {
+                    simplify_activation_conflicts: 0,
+                    ..CdclConfig::default()
+                },
+            );
+            // Pretend the schedule is due.
+            st.stats.conflicts = st.next_inprocess;
+            st
+        };
+        let stopped = AtomicBool::new(true);
+        let mut st = build();
+        st.maybe_inprocess(Some(&stopped));
+        assert_eq!(st.stats.subsumed_clauses, 0, "subsumption ran despite stop");
+        assert_eq!(st.stats.eliminated_vars, 0, "elimination ran despite stop");
+        let mut st = build();
+        st.maybe_inprocess(None);
+        assert!(
+            st.stats.subsumed_clauses > 0 || st.stats.eliminated_vars > 0,
+            "control run was expected to simplify something"
+        );
+    }
+
+    /// Satellite regression: a raised stop flag exits at the *restart
+    /// boundary*, well before the 256-conflict amortized budget poll.
+    #[test]
+    fn stop_flag_exits_at_restart_boundary() {
+        use std::sync::atomic::AtomicBool;
+        let config = CdclConfig {
+            restart_policy: RestartPolicy::Luby,
+            restart_base: 10,
+            restart_activation_conflicts: 0,
+            ..CdclConfig::default()
+        };
+        let mut solver = CdclSolver::with_config(config);
+        solver.add_cnf(&pigeonhole(7));
+        let stop = Arc::new(AtomicBool::new(true));
+        let outcome = solver.solve_assuming(&[], &Budget::default().with_stop(Arc::clone(&stop)));
+        assert!(matches!(outcome, SolveOutcome::Unknown));
+        assert!(
+            solver.session_stats().conflicts < 256,
+            "stop was only honored by the amortized poll, got {} conflicts",
+            solver.session_stats().conflicts
+        );
     }
 }

@@ -66,7 +66,16 @@ impl State {
     /// schedule. Called at restart boundaries only — the solver must
     /// sit at decision level 0. With restarts disabled inprocessing
     /// never triggers.
-    pub(super) fn maybe_inprocess(&mut self) {
+    ///
+    /// `stop` is the cooperative cancellation flag of the caller's
+    /// [`Budget`]: it is re-checked at every pass boundary (and
+    /// between elimination rounds), so a cancelled portfolio worker
+    /// abandons the remaining passes instead of burning a full
+    /// subsume/eliminate/vivify/probe cycle after the winner already
+    /// finished. Search-level determinism is unaffected — the flag
+    /// only ever *skips* work on the way out of a run whose result is
+    /// already discarded.
+    pub(super) fn maybe_inprocess(&mut self, stop: Option<&AtomicBool>) {
         if !self.config.use_vivification
             && !self.config.use_subsumption
             && !self.config.use_elim
@@ -85,6 +94,7 @@ impl State {
         let mut changed = false;
         if self.config.use_subsumption
             && !self.root_unsat
+            && !stop_requested(stop)
             && self.stats.conflicts >= self.next_subsume
         {
             changed |= self.subsume();
@@ -99,12 +109,16 @@ impl State {
         // shrunk database) and before vivification, so vivification
         // never wastes budget distilling clauses elimination is about
         // to resolve away.
-        if self.config.use_elim && simplify_on && !self.root_unsat {
+        if self.config.use_elim && simplify_on && !self.root_unsat && !stop_requested(stop) {
             for _ in 0..self.config.elim_rounds.max(1) {
-                if !self.eliminate_vars() || self.root_unsat {
+                // Record the round's work *before* deciding whether to
+                // continue: a stop raised mid-pass must not skip the
+                // closing GC for deletions already marked.
+                let round_changed = self.eliminate_vars();
+                changed |= round_changed;
+                if !round_changed || self.root_unsat || stop_requested(stop) {
                     break;
                 }
-                changed = true;
             }
             if !self.root_unsat {
                 self.audit_checkpoint(AuditPoint::Inprocess);
@@ -112,6 +126,7 @@ impl State {
         }
         if self.config.use_vivification
             && !self.root_unsat
+            && !stop_requested(stop)
             && self.stats.conflicts >= self.next_vivify
         {
             changed |= self.vivify();
@@ -120,7 +135,7 @@ impl State {
                 self.audit_checkpoint(AuditPoint::Inprocess);
             }
         }
-        if self.config.use_probing && simplify_on && !self.root_unsat {
+        if self.config.use_probing && simplify_on && !self.root_unsat && !stop_requested(stop) {
             self.probe_failed_literals();
             if !self.root_unsat {
                 self.audit_checkpoint(AuditPoint::Inprocess);

@@ -514,3 +514,130 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Fewer cases than the plain matrix: each case drives two workers
+    // per config, so the per-case work roughly doubles.
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// Import-enabled axis of the torture matrix: every matrix config
+    /// drives a *pair* of incremental sessions (seeds 0 and 1) wired
+    /// through a [`sat::ClauseExchange`], so each solve also consumes
+    /// whatever its sibling exported on earlier solves — imports land
+    /// at solve entry and restart boundaries, after RUP-filtering, and
+    /// interleave with clause additions, assumption solves and every
+    /// inprocessing pass the config enables. Each worker's verdict
+    /// must match a fresh solver on the accumulated formula, SAT
+    /// models are checked against formula and assumptions, and every
+    /// UNSAT must certify under the DRAT checker: imported clauses are
+    /// logged as derived (RUP) steps, so an import-fed session's log
+    /// stays self-contained and checkable.
+    #[test]
+    fn exchange_fed_sessions_match_fresh_and_certify(
+        n in 6usize..10,
+        ops in proptest::collection::vec(
+            (any::<bool>(), proptest::collection::vec((0u32..10, any::<bool>()), 2..5)),
+            1..35,
+        ),
+    ) {
+        use std::sync::Arc;
+        let mut fleets: Vec<(CdclConfig, Vec<CdclSolver>)> = inprocessing_matrix()
+            .into_iter()
+            .map(|config| {
+                let hub = Arc::new(sat::ClauseExchange::new(2, 256));
+                let workers: Vec<CdclSolver> = (0..2)
+                    .map(|w| {
+                        let mut solver = CdclSolver::with_config(CdclConfig {
+                            seed: w as u64,
+                            ..config.clone()
+                        });
+                        solver.enable_proof();
+                        for _ in 0..n {
+                            solver.new_var();
+                        }
+                        solver.connect_exchange(
+                            Arc::clone(&hub),
+                            w,
+                            sat::ShareLimits::default(),
+                        );
+                        solver
+                    })
+                    .collect();
+                (config, workers)
+            })
+            .collect();
+        let mut accumulated = Cnf::new(n);
+        for (is_clause, raw) in &ops {
+            let lits: Vec<Lit> = raw
+                .iter()
+                .map(|&(v, neg)| Lit::new(Var(v % n as u32), neg))
+                .collect();
+            if *is_clause {
+                accumulated.add_clause(lits.clone());
+                for (_, workers) in &mut fleets {
+                    for session in workers.iter_mut() {
+                        session.add_clause(lits.clone());
+                    }
+                }
+                continue;
+            }
+            let fresh = CdclSolver::default()
+                .solve_with(&accumulated, &lits, &Budget::default());
+            for (config, workers) in &mut fleets {
+                for (w, session) in workers.iter_mut().enumerate() {
+                    let ours = session.solve_assuming(&lits, &Budget::default());
+                    prop_assert_eq!(
+                        ours.is_sat(),
+                        fresh.is_sat(),
+                        "import-fed worker {} diverges from fresh under viv={} sub={} \
+                         chrono={} tiers={} elim={} probing={}",
+                        w,
+                        config.use_vivification,
+                        config.use_subsumption,
+                        config.use_chrono,
+                        config.use_tiers,
+                        config.use_elim,
+                        config.use_probing
+                    );
+                    match ours {
+                        sat::SolveOutcome::Sat(model) => {
+                            prop_assert!(accumulated.eval(&model), "bogus import-fed model");
+                            for &a in &lits {
+                                prop_assert!(model.lit_true(a), "model violates assumption {a}");
+                            }
+                        }
+                        sat::SolveOutcome::Unsat => {
+                            let core = session.final_assumption_conflict().to_vec();
+                            for l in &core {
+                                prop_assert!(lits.contains(l), "core literal {l} not assumed");
+                            }
+                            let recheck = CdclSolver::default()
+                                .solve_with(&accumulated, &core, &Budget::default());
+                            prop_assert!(recheck.is_unsat(), "assumption core fails to refute");
+                            let certified = sat::certify_unsat(
+                                session.proof().expect("proof logging enabled"),
+                                &core,
+                            );
+                            prop_assert!(
+                                certified.is_ok(),
+                                "DRAT check rejects an import-fed proof (worker {}) under \
+                                 viv={} sub={} chrono={} tiers={} elim={} probing={}: {:?}",
+                                w,
+                                config.use_vivification,
+                                config.use_subsumption,
+                                config.use_chrono,
+                                config.use_tiers,
+                                config.use_elim,
+                                config.use_probing,
+                                certified.err()
+                            );
+                        }
+                        sat::SolveOutcome::Unknown => {
+                            prop_assert!(false, "unbounded solve returned unknown")
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

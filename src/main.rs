@@ -4,13 +4,13 @@
 //! ```text
 //! lassynth synth  <spec.json>  [--out DIR] [--timeout SECS] [--seeds N|auto] [--stats] [--varisat]
 //!                              [--restart-policy luby|ema] [--chrono on|off] [--audit-cnf]
-//!                              [--certify] [--drat FILE]
+//!                              [--certify] [--drat FILE] [--share-clauses] [--quantum N]
 //! lassynth verify <design.lasre>
 //! lassynth render <design.lasre>
 //! lassynth dimacs <spec.json>
 //! lassynth depth  <spec.json> --lo L --hi H [--start S] [--timeout SECS] [--no-incremental] [--stats]
 //!                              [--restart-policy luby|ema] [--chrono on|off] [--audit-cnf]
-//!                              [--certify]
+//!                              [--certify] [--depth-parallel] [--share-clauses] [--quantum N]
 //! lassynth lint-cnf <spec.json|file.cnf> [--lo L --hi H]
 //! lassynth check-proof <file.cnf> <file.drat>
 //! ```
@@ -25,6 +25,18 @@
 //! by default (learnt clauses shared across probes);
 //! `--no-incremental` re-encodes and re-solves every probe from
 //! scratch, and `--stats` prints each probe's search counters.
+//!
+//! `--share-clauses` (with `--seeds`) switches the portfolio to a
+//! deterministic single-threaded lockstep fleet whose workers exchange
+//! low-LBD learnt clauses; `--depth-parallel` on `depth` gives every
+//! candidate depth its own lockstep worker over one shared layered
+//! encoding, monotone pruning cancelling dominated depths (the two
+//! compose: sharing then runs between the depth workers). `--quantum N`
+//! sets the per-turn conflict quantum of either lockstep driver. Both
+//! modes are deterministic — same spec, seeds and quantum reproduce the
+//! same verdicts, stats and import sequences — and `--stats` reports
+//! the exchange counters (exported/imported/kept) plus a `portfolio
+//! total` line covering every worker, losers included.
 //!
 //! `--restart-policy luby|ema` and `--chrono on|off` override the CDCL
 //! restart schedule and chronological backtracking for every solver of
@@ -117,12 +129,30 @@ fn options_from(args: &[String]) -> Result<SynthOptions, String> {
     if args.iter().any(|a| a == "--certify") {
         options.certify = true;
     }
+    if args.iter().any(|a| a == "--share-clauses") {
+        options.share_clauses = true;
+    }
+    if args.iter().any(|a| a == "--depth-parallel") {
+        options.depth_parallel = true;
+    }
+    if let Some(q) = flag_value(args, "--quantum") {
+        options.parallel_quantum = q
+            .parse::<u64>()
+            .ok()
+            .filter(|&q| q > 0)
+            .ok_or_else(|| format!("--quantum expects a positive conflict count, got {q:?}"))?;
+    }
     if args.iter().any(|a| a == "--varisat") {
         if !cfg!(feature = "varisat") {
             return Err(
                 "--varisat requested, but this binary was built without the \
                         `varisat` feature (on by default); rebuild with it enabled"
                     .into(),
+            );
+        }
+        if options.share_clauses || options.depth_parallel {
+            return Err(
+                "--share-clauses/--depth-parallel need the CDCL backend (drop --varisat)".into(),
             );
         }
         options.backend = BackendChoice::Varisat;
@@ -180,6 +210,10 @@ fn print_stats(stats: sat::SolverStats, seed: Option<u64>) {
     println!(
         "  eliminated_vars={} elim_resolvents={} probed_literals={} failed_literals={}",
         stats.eliminated_vars, stats.elim_resolvents, stats.probed_literals, stats.failed_literals
+    );
+    println!(
+        "  exported_clauses={} imported_clauses={} imported_kept={}",
+        stats.exported_clauses, stats.imported_clauses, stats.imported_kept
     );
 }
 
@@ -245,6 +279,25 @@ fn run_synth(
                 Some(stats) => print_stats(stats, outcome.winner_seed),
                 None => println!("solver stats: no worker reported statistics"),
             }
+            // The whole fleet's bill, losers included — the winner's
+            // share above is what the verdict cost, this is what the
+            // machine paid.
+            match outcome.total {
+                Some(t) => println!(
+                    "portfolio total ({} workers): conflicts={} propagations={} \
+                     decisions={} restarts={} exported_clauses={} imported_clauses={} \
+                     imported_kept={}",
+                    outcome.worker_stats.len(),
+                    t.conflicts,
+                    t.propagations,
+                    t.decisions,
+                    t.restarts,
+                    t.exported_clauses,
+                    t.imported_clauses,
+                    t.imported_kept
+                ),
+                None => println!("portfolio total: no worker reported statistics"),
+            }
         }
         Ok(outcome.result)
     };
@@ -278,7 +331,7 @@ fn cmd_synth(args: &[String]) -> i32 {
         eprintln!(
             "usage: lassynth synth <spec.json> [--out DIR] [--timeout SECS] \
              [--seeds N|auto] [--stats] [--restart-policy luby|ema] [--chrono on|off] \
-             [--audit-cnf] [--certify] [--drat FILE]"
+             [--audit-cnf] [--certify] [--drat FILE] [--share-clauses] [--quantum N]"
         );
         return 2;
     };
@@ -315,6 +368,10 @@ fn cmd_synth(args: &[String]) -> i32 {
             return 2;
         }
     };
+    if options.share_clauses && matches!(mode, SeedsMode::Single) {
+        eprintln!("--share-clauses needs a portfolio (add --seeds N or --seeds auto)");
+        return 2;
+    }
     let drat_out = flag_value(args, "--drat");
     if drat_out.is_some() && !matches!(mode, SeedsMode::Single) {
         // The proof lives in the winning worker's solver; only the
@@ -570,7 +627,7 @@ fn cmd_depth(args: &[String]) -> i32 {
         eprintln!(
             "usage: lassynth depth <spec.json> --lo L --hi H [--start S] \
              [--no-incremental] [--stats] [--restart-policy luby|ema] [--chrono on|off] \
-             [--audit-cnf] [--certify]"
+             [--audit-cnf] [--certify] [--depth-parallel] [--share-clauses] [--quantum N]"
         );
         return 2;
     };
@@ -647,7 +704,8 @@ fn cmd_depth(args: &[String]) -> i32 {
                              restarts={} learned={} vivified_lits={} subsumed_clauses={} \
                              strengthened_clauses={} chrono_backtracks={} restarts_blocked={} \
                              rephases={} eliminated_vars={} elim_resolvents={} \
-                             probed_literals={} failed_literals={}",
+                             probed_literals={} failed_literals={} exported_clauses={} \
+                             imported_clauses={} imported_kept={}",
                             s.conflicts,
                             s.conflicts.saturating_sub(s.missed_implications),
                             s.missed_implications,
@@ -664,7 +722,10 @@ fn cmd_depth(args: &[String]) -> i32 {
                             s.eliminated_vars,
                             s.elim_resolvents,
                             s.probed_literals,
-                            s.failed_literals
+                            s.failed_literals,
+                            s.exported_clauses,
+                            s.imported_clauses,
+                            s.imported_kept
                         ),
                         None => println!("    (no solver stats for this backend)"),
                     }

@@ -1,12 +1,110 @@
 //! Minimal vendored stand-in for the `crossbeam` crate (offline build).
 //!
-//! Only [`thread::scope`] is provided, implemented on top of
-//! `std::thread::scope` (stable since 1.63, which makes crossbeam's
-//! scoped threads mostly redundant). API differences kept:
-//! crossbeam's `scope` returns a `Result` and its spawn closures take a
-//! scope argument (callers here ignore it with `|_|`).
+//! Two pieces are provided:
+//!
+//! * [`thread::scope`], implemented on top of `std::thread::scope`
+//!   (stable since 1.63, which makes crossbeam's scoped threads mostly
+//!   redundant). API differences kept: crossbeam's `scope` returns a
+//!   `Result` and its spawn closures take a scope argument (callers
+//!   here ignore it with `|_|`).
+//! * [`queue::ArrayQueue`], the bounded MPMC queue. The real crate's
+//!   lock-free ring buffer needs `unsafe`; this stand-in trades the
+//!   lock-freedom for a mutex around a `VecDeque` while keeping the
+//!   exact `push`/`pop` semantics (bounded capacity, FIFO order,
+//!   rejected element handed back on a full queue). Callers here are
+//!   clause-exchange buffers drained at restart boundaries, far off
+//!   any hot path.
 
 #![forbid(unsafe_code)]
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// A bounded multi-producer multi-consumer FIFO queue.
+    ///
+    /// ```
+    /// use crossbeam::queue::ArrayQueue;
+    /// let q = ArrayQueue::new(2);
+    /// assert!(q.push(1).is_ok());
+    /// assert!(q.push(2).is_ok());
+    /// assert_eq!(q.push(3), Err(3)); // full: element handed back
+    /// assert_eq!(q.pop(), Some(1));
+    /// ```
+    pub struct ArrayQueue<T> {
+        items: Mutex<VecDeque<T>>,
+        capacity: usize,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// Creates a queue holding at most `capacity` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `capacity` is zero (as the real crate does).
+        pub fn new(capacity: usize) -> ArrayQueue<T> {
+            assert!(capacity > 0, "capacity must be non-zero");
+            ArrayQueue {
+                items: Mutex::new(VecDeque::with_capacity(capacity)),
+                capacity,
+            }
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            // Mutex poisoning cannot leave the VecDeque in a torn state
+            // (every critical section is a single VecDeque call), so a
+            // panicked producer does not invalidate the queue.
+            match self.items.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            }
+        }
+
+        /// Appends `value`, or hands it back if the queue is full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut items = self.lock();
+            if items.len() >= self.capacity {
+                return Err(value);
+            }
+            items.push_back(value);
+            Ok(())
+        }
+
+        /// Removes and returns the oldest element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        /// Number of elements currently queued.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        /// Whether the queue holds no elements.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        /// Whether the queue is at capacity.
+        pub fn is_full(&self) -> bool {
+            self.len() >= self.capacity
+        }
+
+        /// The fixed capacity the queue was created with.
+        pub fn capacity(&self) -> usize {
+            self.capacity
+        }
+    }
+
+    impl<T> std::fmt::Debug for ArrayQueue<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("ArrayQueue")
+                .field("len", &self.len())
+                .field("capacity", &self.capacity)
+                .finish()
+        }
+    }
+}
 
 pub mod thread {
     use std::thread::Result;
@@ -56,6 +154,48 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn array_queue_fifo_and_bounded() {
+        let q = super::queue::ArrayQueue::new(3);
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), 3);
+        for i in 0..3 {
+            assert!(q.push(i).is_ok());
+        }
+        assert!(q.is_full());
+        assert_eq!(q.push(99), Err(99));
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.len(), 2);
+        assert!(q.push(3).is_ok());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn array_queue_shared_across_threads() {
+        let q = std::sync::Arc::new(super::queue::ArrayQueue::new(64));
+        let total: usize = super::thread::scope(|scope| {
+            let producers: Vec<_> = (0..4)
+                .map(|t| {
+                    let q = q.clone();
+                    scope.spawn(move |_| {
+                        for i in 0..16 {
+                            q.push(t * 16 + i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for p in producers {
+                p.join().unwrap();
+            }
+            std::iter::from_fn(|| q.pop()).count()
+        })
+        .unwrap();
+        assert_eq!(total, 64);
+    }
+
     #[test]
     fn scope_joins_and_returns() {
         let data = [1, 2, 3];
