@@ -65,7 +65,7 @@ fn t_factory_budgeted_probe() {
         SolveOutcome::Unsat => {
             panic!("T-factory depth-4 misreported UNSAT (the paper finds a design here)")
         }
-        SolveOutcome::Unknown => println!("budget expired (expected)"),
+        SolveOutcome::Unknown(_) => println!("budget expired (expected)"),
     }
     let stats = solver.stats;
     let secs = wall.as_secs_f64();

@@ -104,7 +104,7 @@ fn run_fleet(cnf: &sat::Cnf, share: bool) -> FleetOutcome {
                     verdict = Some((index, false));
                     break 'driver;
                 }
-                SolveOutcome::Unknown => {}
+                SolveOutcome::Unknown(_) => {}
             }
         }
         if !progressed {

@@ -10,10 +10,26 @@ use crate::encode::{encode, encode_layered};
 use crate::synthesize::{BackendChoice, SynthError, SynthOptions, SynthResult, Synthesizer};
 use crate::verify::verify;
 use lasre::{LasDesign, LasSpec};
-use sat::{Budget, CdclSolver, ClauseExchange, ShareLimits, SolveOutcome, SolverStats};
+use sat::{
+    Budget, CdclSolver, ClauseExchange, ExhaustionReason, ShareLimits, SolveOutcome, SolverStats,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Renders a caught panic payload (the crash reports quarantined
+/// workers carry). `panic!` with a format string yields a `String`,
+/// with a literal a `&str`; anything else is opaque.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast_ref::<&str>() {
+        Some(s) => (*s).to_string(),
+        None => match payload.downcast_ref::<String>() {
+            Some(s) => s.clone(),
+            None => "worker panicked (non-string payload)".to_string(),
+        },
+    }
+}
 
 /// One probe of the depth search.
 #[derive(Debug)]
@@ -33,21 +49,63 @@ pub struct DepthProbe {
     /// `false` for SAT/Unknown probes — a failing check aborts the
     /// search with [`SynthError::Certify`] instead).
     pub certified: bool,
+    /// Which budget axis expired when `sat` is `None` (conflicts,
+    /// propagations, deadline, memory ceiling, or a cancellation).
+    /// `None` for resolved probes and for backends that report no
+    /// statistics.
+    pub exhaustion: Option<ExhaustionReason>,
 }
 
 /// Result of [`find_min_depth`].
+///
+/// Always returned, even when the budget died mid-search: the *anytime*
+/// answer is the window [`DepthSearch::certified_lower_bound`] ..
+/// [`DepthSearch::best_depth`], with [`DepthSearch::exhaustion`]
+/// explaining which resource ran out (`None` means the search resolved
+/// the minimum exactly).
 #[derive(Debug)]
 pub struct DepthSearch {
     /// Every probe performed, in order.
     pub probes: Vec<DepthProbe>,
     /// The best verified design found, if any.
     pub best: Option<LasDesign>,
+    /// The searched depth range, as requested (inclusive).
+    pub lo: usize,
+    /// See [`DepthSearch::lo`].
+    pub hi: usize,
+    /// Why the search stopped without resolving the minimum, if it
+    /// did: the budget axis that expired (or the cancellation) on the
+    /// probe/driver that gave up first. `None` when the window closed.
+    pub exhaustion: Option<ExhaustionReason>,
+    /// Depth-parallel workers that crashed mid-search, as `(max_k,
+    /// panic message)` — the fleet continued on the survivors.
+    pub quarantined: Vec<(usize, String)>,
 }
 
 impl DepthSearch {
     /// The minimal satisfiable `max_k` discovered.
     pub fn best_depth(&self) -> Option<usize> {
         self.best.as_ref().map(|d| d.spec().max_k)
+    }
+
+    /// The largest depth proven unreachable plus one: every depth below
+    /// this is refuted (UNSAT), so the true minimum — if any design
+    /// exists in range — is at least this deep. Falls back to the
+    /// range floor `lo` when no probe returned UNSAT.
+    pub fn certified_lower_bound(&self) -> usize {
+        self.probes
+            .iter()
+            .filter(|p| p.sat == Some(false))
+            .map(|p| p.max_k + 1)
+            .max()
+            .map_or(self.lo, |b| b.max(self.lo))
+    }
+
+    /// The anytime answer: `(certified lower bound, best SAT depth)`.
+    /// When the search resolved, the two coincide; under an expired
+    /// budget they bracket where the true minimum can still hide.
+    pub fn window(&self) -> (usize, Option<usize>) {
+        (self.certified_lower_bound(), self.best_depth())
     }
 
     /// Total solver time across probes.
@@ -63,6 +121,7 @@ struct ProbeOutcome {
     time: Duration,
     stats: Option<SolverStats>,
     certified: bool,
+    exhaustion: Option<ExhaustionReason>,
 }
 
 /// The paper's probe order (start somewhere, descend while SAT, ascend
@@ -95,6 +154,7 @@ fn drive_depth_search(
             time: outcome.time,
             stats: outcome.stats,
             certified: outcome.certified,
+            exhaustion: outcome.exhaustion,
         });
         Ok(outcome.sat)
     };
@@ -122,7 +182,21 @@ fn drive_depth_search(
         }
         None => {}
     }
-    Ok(DepthSearch { probes, best })
+    // The walk stops at the first undecided probe, so the anytime
+    // exhaustion reason is that probe's (there is at most one).
+    let exhaustion =
+        probes
+            .iter()
+            .rev()
+            .find_map(|p| if p.sat.is_none() { p.exhaustion } else { None });
+    Ok(DepthSearch {
+        probes,
+        best,
+        lo,
+        hi,
+        exhaustion,
+        quarantined: Vec::new(),
+    })
 }
 
 /// Finds the minimal time extent (`max_k`) at which `spec` is
@@ -208,6 +282,13 @@ fn find_min_depth_scratch(
             // `Synthesizer::run` has already checked the proof of a
             // certifying UNSAT (it errors otherwise).
             certified: options.certify && sat == Some(false),
+            // Each probe is a fresh solver, so the session counters
+            // are this probe's own (`None` under varisat, which
+            // reports no statistics).
+            exhaustion: match sat {
+                None => stats.and_then(|s| s.exhaustion_reason()),
+                Some(_) => None,
+            },
         })
     })
 }
@@ -351,6 +432,7 @@ fn find_min_depth_incremental(
                     time,
                     stats,
                     certified: false,
+                    exhaustion: None,
                 })
             }
             SolveOutcome::Unsat => {
@@ -374,14 +456,16 @@ fn find_min_depth_incremental(
                     time,
                     stats,
                     certified,
+                    exhaustion: None,
                 })
             }
-            SolveOutcome::Unknown => Ok(ProbeOutcome {
+            SolveOutcome::Unknown(reason) => Ok(ProbeOutcome {
                 sat: None,
                 design: None,
                 time,
                 stats,
                 certified: false,
+                exhaustion: Some(reason),
             }),
         }
     })
@@ -401,6 +485,9 @@ enum DepthWorkerState {
     Exhausted,
     /// Resolved its depth: `true` = SAT, `false` = UNSAT.
     Verdict(bool),
+    /// Panicked mid-turn and was quarantined (the payload is the panic
+    /// message); the fleet continued on the survivors.
+    Crashed(String),
 }
 
 /// One per-depth worker of [`find_min_depth_parallel`].
@@ -420,6 +507,8 @@ struct DepthWorker {
     state: DepthWorkerState,
     /// Whether this worker's UNSAT verdict was proof-checked.
     certified: bool,
+    /// Which budget axis ran this worker dry, when one did.
+    exhaustion: Option<ExhaustionReason>,
 }
 
 /// Depth-parallel mode: one lockstep worker per candidate depth.
@@ -493,6 +582,7 @@ fn find_min_depth_parallel(
             turns: 0,
             state: DepthWorkerState::Running,
             certified: false,
+            exhaustion: None,
         });
     }
     let quantum = options.parallel_quantum.max(1);
@@ -500,6 +590,9 @@ fn find_min_depth_parallel(
     let mut lowest_sat: Option<usize> = None;
     let mut highest_unsat: Option<usize> = None;
     let mut best: Option<LasDesign> = None;
+    // Set when the *driver* (not an individual worker) gives up: the
+    // fleet deadline passed or the caller's stop flag was raised.
+    let mut driver_exhaustion: Option<ExhaustionReason> = None;
     'driver: loop {
         let mut progressed = false;
         for worker in workers.iter_mut() {
@@ -518,21 +611,39 @@ fn find_min_depth_parallel(
             }
             if let Some(stop) = &options.budget.stop {
                 if stop.load(Ordering::Relaxed) {
+                    driver_exhaustion = Some(ExhaustionReason::Cancelled);
                     break 'driver;
                 }
             }
             if deadline.is_some_and(|d| Instant::now() >= d) {
+                driver_exhaustion = Some(ExhaustionReason::Deadline);
                 break 'driver;
             }
             let turn = worker.remaining.map_or(quantum, |r| quantum.min(r));
+            let mut turn_budget = Budget::conflict_limit(turn);
+            // The memory ceiling applies per worker, every turn; time
+            // and stop stay driver-level (checked between quanta).
+            turn_budget.max_memory_words = options.budget.max_memory_words;
             let assumptions = layered.assumptions_for(k);
             let before = worker.solver.session_stats().conflicts;
             let started = Instant::now();
-            let outcome = worker
-                .solver
-                .solve_assuming(&assumptions, &Budget::conflict_limit(turn));
+            // The quantum is the crash-isolation boundary: a worker
+            // that panics (a solver bug, or an injected fault) is
+            // quarantined with its message and the fleet continues on
+            // the survivors.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                worker.solver.solve_assuming(&assumptions, &turn_budget)
+            }));
             worker.time += started.elapsed();
             worker.turns += 1;
+            let outcome = match outcome {
+                Ok(outcome) => outcome,
+                Err(payload) => {
+                    worker.state = DepthWorkerState::Crashed(panic_message(payload));
+                    progressed = true;
+                    continue;
+                }
+            };
             let spent = worker.solver.session_stats().conflicts - before;
             if let Some(r) = &mut worker.remaining {
                 *r = r.saturating_sub(spent);
@@ -570,13 +681,19 @@ fn find_min_depth_parallel(
                     // every UNSAT processed here raises the floor.
                     highest_unsat = Some(k);
                 }
-                SolveOutcome::Unknown => {
-                    // Out of per-probe conflict budget (a turn is
-                    // stop-free and time-free, so Unknown means the
-                    // turn's conflict quantum ran dry); `spent == 0` is
-                    // a defensive no-progress guard.
-                    if worker.remaining == Some(0) || spent == 0 {
+                SolveOutcome::Unknown(reason) => {
+                    // The memory ceiling never recovers on its own:
+                    // retire the worker now. Otherwise the turn budget
+                    // is conflict-only, so Unknown means the quantum
+                    // ran dry; the worker retires once its per-probe
+                    // budget is spent (`spent == 0` is a defensive
+                    // no-progress guard).
+                    if reason == ExhaustionReason::Memory {
                         worker.state = DepthWorkerState::Exhausted;
+                        worker.exhaustion = Some(ExhaustionReason::Memory);
+                    } else if worker.remaining == Some(0) || spent == 0 {
+                        worker.state = DepthWorkerState::Exhausted;
+                        worker.exhaustion = Some(ExhaustionReason::Conflicts);
                     }
                 }
             }
@@ -600,6 +717,19 @@ fn find_min_depth_parallel(
             return Err(SynthError::Spec(e));
         }
     }
+    let quarantined: Vec<(usize, String)> = workers
+        .iter()
+        .filter_map(|w| match &w.state {
+            DepthWorkerState::Crashed(msg) => Some((w.k, msg.clone())),
+            _ => None,
+        })
+        .collect();
+    // A fleet with no survivors has no anytime answer to stand on:
+    // propagate the first crash (lowest depth) as the search error.
+    if !quarantined.is_empty() && quarantined.len() == workers.len() {
+        let (k, msg) = &quarantined[0];
+        return Err(SynthError::WorkerPanic(format!("depth {k} worker: {msg}")));
+    }
     let probes = workers
         .iter()
         .filter(|w| w.turns > 0)
@@ -607,16 +737,34 @@ fn find_min_depth_parallel(
             max_k: w.k,
             sat: match w.state {
                 DepthWorkerState::Verdict(sat) => Some(sat),
-                // Pruned by a dominating verdict, or out of budget:
-                // this worker itself never resolved its depth.
+                // Pruned by a dominating verdict, out of budget, or
+                // crashed: this worker never resolved its depth.
                 _ => None,
             },
             time: w.time,
             stats: Some(w.solver.session_stats()),
             certified: w.certified,
+            exhaustion: w.exhaustion,
         })
         .collect();
-    Ok(DepthSearch { probes, best })
+    // Anytime accounting: if the undecided window is still open, the
+    // search ran out of something — the driver's reason (deadline or
+    // cancellation) wins, else the first dried-up worker's.
+    let window_lo = highest_unsat.map_or(vlo, |u| u + 1);
+    let window_hi = lowest_sat.map_or(vhi, |s| s - 1);
+    let exhaustion = if window_lo <= window_hi {
+        driver_exhaustion.or_else(|| workers.iter().find_map(|w| w.exhaustion))
+    } else {
+        None
+    };
+    Ok(DepthSearch {
+        probes,
+        best,
+        lo,
+        hi,
+        exhaustion,
+        quarantined,
+    })
 }
 
 /// Runs one synthesis per port permutation in parallel (one thread per
@@ -644,20 +792,28 @@ pub fn explore_port_orders(
                 options.budget.stop = Some(stop.clone());
                 let stop = stop.clone();
                 scope.spawn(move |_| {
-                    let mut synth = match Synthesizer::new(spec) {
-                        Ok(s) => s.with_options(options),
-                        Err(e) => return Err(e),
-                    };
-                    let result = synth.run()?;
-                    if let SynthResult::Sat(d) = result {
-                        stop.store(true, Ordering::Relaxed);
-                        return Ok(Some(*d));
-                    }
-                    Ok(None)
+                    // Crash isolation: a panicking worker is this
+                    // worker's failure, not the whole exploration's —
+                    // without the catch the join below would re-raise
+                    // and poison every other permutation.
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let mut synth = match Synthesizer::new(spec) {
+                            Ok(s) => s.with_options(options),
+                            Err(e) => return Err(e),
+                        };
+                        let result = synth.run()?;
+                        if let SynthResult::Sat(d) = result {
+                            stop.store(true, Ordering::Relaxed);
+                            return Ok(Some(*d));
+                        }
+                        Ok(None)
+                    }))
+                    .unwrap_or_else(|payload| Err(SynthError::WorkerPanic(panic_message(payload))))
                 })
             })
             .collect();
         for h in handles {
+            // Unreachable: every worker closure catches its own panics.
             // lint:allow(no-panic)
             match h.join().expect("worker panicked") {
                 Ok(Some(d)) => {
@@ -703,6 +859,10 @@ pub struct PortfolioOutcome {
     /// `portfolio total` line. `None` only when no worker reported
     /// stats at all.
     pub total: Option<SolverStats>,
+    /// Workers that crashed (panicked) mid-solve, as `(seed, panic
+    /// message)` in seed order. The fleet continued on the survivors;
+    /// only when *every* worker fails does the run error out instead.
+    pub quarantined: Vec<(u64, String)>,
 }
 
 /// Runs one synthesis per seed in parallel and returns the first
@@ -765,12 +925,19 @@ pub fn solve_portfolio_detailed(
             let tx = tx.clone();
             scope.spawn(move |_| {
                 let mut stats = None;
-                let result = Synthesizer::new(spec).and_then(|s| {
-                    let mut s = s.with_options(options);
-                    let r = s.run();
-                    stats = s.last_solver_stats();
-                    r
-                });
+                // Crash isolation: a panicking worker (solver bug or
+                // injected fault) must not poison the whole portfolio
+                // through the scope join — catch it here and report it
+                // as this worker's error instead.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    Synthesizer::new(spec).and_then(|s| {
+                        let mut s = s.with_options(options);
+                        let r = s.run();
+                        stats = s.last_solver_stats();
+                        r
+                    })
+                }))
+                .unwrap_or_else(|payload| Err(SynthError::WorkerPanic(panic_message(payload))));
                 if matches!(result, Ok(SynthResult::Sat(_)) | Ok(SynthResult::Unsat)) {
                     stop.store(true, Ordering::Relaxed);
                 }
@@ -785,6 +952,7 @@ pub fn solve_portfolio_detailed(
         let mut winner: Option<(usize, Option<SolverStats>, SynthResult)> = None;
         let mut reports: Vec<(usize, Option<SolverStats>)> = Vec::with_capacity(seeds.len());
         let mut errors: Vec<(usize, SynthError)> = Vec::new();
+        let mut crashed: Vec<(usize, String)> = Vec::new();
         for (index, stats, result) in rx {
             reports.push((index, stats));
             match result {
@@ -794,9 +962,19 @@ pub fn solve_portfolio_detailed(
                     }
                 }
                 Ok(SynthResult::Unknown) => {}
-                Err(e) => errors.push((index, e)),
+                Err(e) => {
+                    if let SynthError::WorkerPanic(msg) = &e {
+                        crashed.push((index, msg.clone()));
+                    }
+                    errors.push((index, e));
+                }
             }
         }
+        crashed.sort_by_key(|&(index, _)| index);
+        let quarantined: Vec<(u64, String)> = crashed
+            .into_iter()
+            .map(|(index, msg)| (seeds[index], msg))
+            .collect();
         reports.sort_by_key(|&(index, _)| index);
         let total = reports
             .iter()
@@ -813,6 +991,7 @@ pub fn solve_portfolio_detailed(
                 stats,
                 worker_stats,
                 total,
+                quarantined,
             }),
             None if errors.len() == seeds.len() => {
                 // Every worker failed: keep the error of the first
@@ -828,6 +1007,7 @@ pub fn solve_portfolio_detailed(
                         stats: None,
                         worker_stats,
                         total,
+                        quarantined,
                     }),
                 }
             }
@@ -837,6 +1017,7 @@ pub fn solve_portfolio_detailed(
                 stats: None,
                 worker_stats,
                 total,
+                quarantined,
             }),
         }
     })
@@ -883,6 +1064,7 @@ fn solve_portfolio_shared(
     let deadline = options.budget.max_time.map(|t| Instant::now() + t);
     let mut remaining: Vec<Option<u64>> = vec![options.budget.max_conflicts; seeds.len()];
     let mut exhausted = vec![false; seeds.len()];
+    let mut quarantined: Vec<(u64, String)> = Vec::new();
     let mut winner: Option<(usize, SolveOutcome)> = None;
     'driver: while exhausted.iter().any(|done| !done) {
         for index in 0..workers.len() {
@@ -898,19 +1080,41 @@ fn solve_portfolio_shared(
                 break 'driver;
             }
             let turn = remaining[index].map_or(quantum, |r| quantum.min(r));
+            let mut turn_budget = Budget::conflict_limit(turn);
+            // The memory ceiling applies per worker, every turn; time
+            // and stop stay driver-level (checked between quanta).
+            turn_budget.max_memory_words = options.budget.max_memory_words;
             let before = workers[index].session_stats().conflicts;
-            let outcome = workers[index].solve_assuming(&[], &Budget::conflict_limit(turn));
+            // The quantum is the crash-isolation boundary: a worker
+            // that panics mid-turn (a solver bug, or an injected
+            // fault) is quarantined and the fleet continues on the
+            // survivors.
+            let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                workers[index].solve_assuming(&[], &turn_budget)
+            })) {
+                Ok(outcome) => outcome,
+                Err(payload) => {
+                    exhausted[index] = true;
+                    quarantined.push((seeds[index], panic_message(payload)));
+                    continue;
+                }
+            };
             let spent = workers[index].session_stats().conflicts - before;
             if let Some(r) = &mut remaining[index] {
                 *r = r.saturating_sub(spent);
             }
             match outcome {
-                SolveOutcome::Unknown => {
-                    // Out of per-worker conflict budget (a turn budget
-                    // carries no stop flag and no deadline, so Unknown
-                    // means the conflict quantum ran dry); `spent == 0`
-                    // is a defensive no-progress guard.
-                    if remaining[index] == Some(0) || spent == 0 {
+                SolveOutcome::Unknown(reason) => {
+                    // A memory ceiling never recovers on its own:
+                    // retire the worker now. Otherwise the turn budget
+                    // is conflict-only, so Unknown means the quantum
+                    // ran dry; the worker retires once its per-worker
+                    // budget is spent (`spent == 0` is a defensive
+                    // no-progress guard).
+                    if reason == ExhaustionReason::Memory
+                        || remaining[index] == Some(0)
+                        || spent == 0
+                    {
                         exhausted[index] = true;
                     }
                 }
@@ -920,6 +1124,15 @@ fn solve_portfolio_shared(
                 }
             }
         }
+    }
+    // A fleet with no survivors has nothing to report: propagate the
+    // first crash in seed order instead (the vector is already in
+    // driver = seed order).
+    if !quarantined.is_empty() && quarantined.len() == seeds.len() {
+        let (seed, msg) = &quarantined[0];
+        return Err(SynthError::WorkerPanic(format!(
+            "seed {seed} worker: {msg}"
+        )));
     }
     let worker_stats: Vec<(u64, Option<SolverStats>)> = seeds
         .iter()
@@ -962,7 +1175,7 @@ fn solve_portfolio_shared(
                 Some(workers[index].session_stats()),
             )
         }
-        Some((_, SolveOutcome::Unknown)) | None => (SynthResult::Unknown, None, None),
+        Some((_, SolveOutcome::Unknown(_))) | None => (SynthResult::Unknown, None, None),
     };
     Ok(PortfolioOutcome {
         result,
@@ -970,6 +1183,7 @@ fn solve_portfolio_shared(
         stats,
         worker_stats,
         total,
+        quarantined,
     })
 }
 
@@ -1383,5 +1597,165 @@ mod tests {
         let d = explore_port_orders(&spec, &perms, &SynthOptions::default()).unwrap();
         assert!(d.is_some());
         assert!(d.unwrap().verified());
+    }
+
+    fn panic_fault(at: u64, only_seed: Option<u64>) -> Option<sat::FaultPlan> {
+        Some(sat::FaultPlan {
+            kind: sat::FaultKind::Panic,
+            at,
+            only_seed,
+        })
+    }
+
+    /// An expired per-probe budget no longer loses the work done: the
+    /// search comes back as an anytime window instead of a bare
+    /// Unknown, naming the axis that ran dry.
+    #[test]
+    fn exhausted_depth_search_returns_an_anytime_window() {
+        let spec = cnot_spec();
+        // One conflict per probe: the first probe gives up immediately.
+        let options = SynthOptions {
+            budget: Budget::conflict_limit(1),
+            ..SynthOptions::default()
+        };
+        let search = find_min_depth(&spec, 2, 5, 4, &options).unwrap();
+        assert_eq!(search.exhaustion, Some(ExhaustionReason::Conflicts));
+        assert_eq!(search.window(), (2, None));
+        assert_eq!(search.probes.len(), 1);
+        assert_eq!(
+            search.probes[0].exhaustion,
+            Some(ExhaustionReason::Conflicts)
+        );
+
+        // The memory governor surfaces the same way.
+        let options = SynthOptions {
+            budget: Budget::memory_limit_words(1),
+            ..SynthOptions::default()
+        };
+        let search = find_min_depth(&spec, 2, 5, 4, &options).unwrap();
+        assert_eq!(search.exhaustion, Some(ExhaustionReason::Memory));
+        assert_eq!(search.certified_lower_bound(), 2);
+    }
+
+    /// A resolved search reports no exhaustion and a closed window.
+    #[test]
+    fn resolved_depth_search_has_a_closed_window() {
+        let search = find_min_depth(&cnot_spec(), 2, 5, 4, &SynthOptions::default()).unwrap();
+        assert_eq!(search.exhaustion, None);
+        assert_eq!(search.window(), (3, Some(3)));
+        assert!(search.quarantined.is_empty());
+    }
+
+    /// Regression (crash isolation): a panicking portfolio worker used
+    /// to poison the whole solve when its thread was joined. Now the
+    /// panic is caught in the worker, the fleet continues, and the
+    /// verdict stands.
+    #[test]
+    fn threaded_portfolio_survives_an_injected_worker_panic() {
+        let spec = cnot_spec();
+        let options = SynthOptions {
+            fault_plan: panic_fault(0, Some(1)),
+            ..SynthOptions::default()
+        };
+        let o = solve_portfolio_detailed(&spec, &[0, 1, 2], &options).unwrap();
+        assert!(o.result.is_sat());
+        // Seed 1 either crashed (quarantined) or was cancelled by the
+        // winner before its first conflict; no other worker may crash.
+        assert!(o.quarantined.iter().all(|&(seed, _)| seed == 1));
+    }
+
+    /// When every worker crashes, the portfolio errors with the first
+    /// crash in seed order instead of panicking the caller.
+    #[test]
+    fn threaded_portfolio_total_crash_is_an_error_not_a_panic() {
+        let spec = cnot_spec();
+        let options = SynthOptions {
+            fault_plan: panic_fault(0, None),
+            ..SynthOptions::default()
+        };
+        let r = solve_portfolio_detailed(&spec, &[0, 1], &options);
+        match r {
+            Err(SynthError::WorkerPanic(msg)) => {
+                assert!(msg.contains("injected fault"), "{msg}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    /// The lockstep sharing driver quarantines a crashed worker
+    /// deterministically and finishes on the survivors.
+    #[test]
+    fn shared_portfolio_quarantines_a_crashed_worker() {
+        let spec = cnot_spec();
+        let options = SynthOptions {
+            fault_plan: panic_fault(1, Some(1)),
+            // One conflict per turn: worker 1 crashes on its first
+            // turn, before any worker can win.
+            parallel_quantum: 1,
+            ..shared_options()
+        };
+        let o = solve_portfolio_detailed(&spec, &[0, 1, 2], &options).unwrap();
+        assert!(o.result.is_sat());
+        assert_eq!(o.quarantined.len(), 1);
+        assert_eq!(o.quarantined[0].0, 1);
+        assert!(o.quarantined[0].1.contains("injected fault"));
+        // Survivors (and the casualty's partial work) still report
+        // stats into the portfolio total.
+        assert!(o.total.expect("stats").propagations > 0);
+    }
+
+    /// The depth-parallel fleet keeps the verdicts it already has when
+    /// later workers crash: depth 2 resolves UNSAT in its first turn
+    /// (1 conflict), then every deeper worker trips the conflict-10
+    /// panic — the search still returns, quarantines the casualties
+    /// and reports the certified lower bound.
+    #[test]
+    fn depth_parallel_crash_keeps_the_partial_answer() {
+        let spec = cnot_spec();
+        let options = SynthOptions {
+            fault_plan: panic_fault(10, None),
+            ..depth_parallel_options(false)
+        };
+        let search = find_min_depth(&spec, 2, 5, 4, &options).unwrap();
+        let quarantined: Vec<usize> = search.quarantined.iter().map(|&(k, _)| k).collect();
+        assert_eq!(quarantined, vec![3, 4, 5]);
+        assert_eq!(search.certified_lower_bound(), 3);
+        assert_eq!(search.best_depth(), None);
+    }
+
+    /// A depth-parallel fleet with no survivors propagates the first
+    /// crash (lowest depth) as an error.
+    #[test]
+    fn depth_parallel_total_crash_is_an_error() {
+        let spec = cnot_spec();
+        let options = SynthOptions {
+            fault_plan: panic_fault(1, None),
+            ..depth_parallel_options(false)
+        };
+        let r = find_min_depth(&spec, 2, 5, 4, &options);
+        match r {
+            Err(SynthError::WorkerPanic(msg)) => {
+                assert!(msg.contains("depth 2"), "{msg}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    /// A crashed port-order worker is that permutation's failure, not
+    /// the exploration's: the surviving permutation still answers.
+    #[test]
+    fn port_order_exploration_survives_a_crashed_worker() {
+        let spec = cnot_spec();
+        let perms = vec![vec![0, 1, 2, 3], vec![1, 0, 3, 2]];
+        // The fault fires in every worker; with a high trigger only
+        // whoever works longest hits it — and with trigger 0, all do.
+        let options = SynthOptions {
+            fault_plan: panic_fault(0, None),
+            ..SynthOptions::default()
+        };
+        let r = explore_port_orders(&spec, &perms, &options);
+        // All workers crash: the first error surfaces as WorkerPanic
+        // (not a caller panic, which the old join would have raised).
+        assert!(matches!(r, Err(SynthError::WorkerPanic(_))));
     }
 }

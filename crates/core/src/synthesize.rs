@@ -86,6 +86,14 @@ pub struct SynthOptions {
     /// more fairly) at the cost of more restart overhead; the value
     /// only shifts *which* deterministic trajectory a run takes.
     pub parallel_quantum: u64,
+    /// Arms a deterministic injected fault ([`sat::FaultPlan`]) on
+    /// every CDCL solver this run constructs — including diversified
+    /// portfolio workers, whose configs are rebuilt per seed and would
+    /// otherwise drop a fault armed on [`SynthOptions::backend`]. Use
+    /// the plan's `only_seed` to pick one fleet member. Testing and
+    /// the `LASSYNTH_FAULT` harness only; `None` (the default) is
+    /// zero-cost.
+    pub fault_plan: Option<sat::FaultPlan>,
 }
 
 impl Default for SynthOptions {
@@ -101,6 +109,7 @@ impl Default for SynthOptions {
             share_clauses: false,
             depth_parallel: false,
             parallel_quantum: 2_000,
+            fault_plan: None,
         }
     }
 }
@@ -139,6 +148,9 @@ impl SynthOptions {
         if let Some(chrono) = self.chrono {
             config.use_chrono = chrono;
         }
+        if config.fault_plan.is_none() {
+            config.fault_plan = self.fault_plan;
+        }
         config
     }
 }
@@ -159,6 +171,12 @@ pub enum SynthError {
     /// `--certify` was requested and an UNSAT verdict's DRAT proof
     /// failed the in-tree checker (or the backend cannot emit proofs).
     Certify(String),
+    /// Every worker of a portfolio or depth-parallel fleet crashed
+    /// (panicked); the payload is the first crash's message in seed /
+    /// depth order. A *partial* crash never surfaces here — the fleet
+    /// continues on the survivors and reports the crashed workers as
+    /// quarantined instead.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for SynthError {
@@ -179,6 +197,9 @@ impl fmt::Display for SynthError {
                  rebuild with the `{name}` cargo feature (on by default)"
             ),
             SynthError::Certify(reason) => write!(f, "UNSAT certification failed: {reason}"),
+            SynthError::WorkerPanic(msg) => {
+                write!(f, "every solver worker crashed; first crash: {msg}")
+            }
         }
     }
 }
@@ -391,7 +412,7 @@ impl Synthesizer {
                 Ok(SynthResult::Sat(Box::new(design)))
             }
             SolveOutcome::Unsat => Ok(SynthResult::Unsat),
-            SolveOutcome::Unknown => Ok(SynthResult::Unknown),
+            SolveOutcome::Unknown(_) => Ok(SynthResult::Unknown),
         }
     }
 

@@ -27,6 +27,15 @@
 //! reverse-unit-propagation (RUP) test before it is attached, and
 //! logged as a derived step, so `--certify` keeps working on
 //! import-enabled sessions.
+//!
+//! That RUP re-check doubles as the exchange's *fault barrier*: a
+//! worker publishing a corrupted clause — a flipped literal from a
+//! buggy learner or a torn write, exercised deterministically by the
+//! `corrupt-clause` injection of [`crate::FaultPlan`] — cannot poison
+//! its peers. Whatever arrives is either RUP-derivable from the
+//! importer's own database (hence a sound consequence no matter what
+//! the exporter intended) or silently skipped; nothing unverified is
+//! ever attached or logged.
 
 use crate::types::Lit;
 use crossbeam::queue::ArrayQueue;

@@ -55,6 +55,11 @@ pub struct ProofLog {
     /// `ends[i]` = one past the last literal of step `i` in `lits`.
     ends: Vec<u32>,
     lits: Vec<Lit>,
+    /// A frozen log silently drops every later step — the
+    /// truncated-proof fault (a crashed writer, a full disk). The
+    /// checker must then reject the log for lacking a refutation;
+    /// nothing downstream may trust a frozen log.
+    frozen: bool,
 }
 
 impl ProofLog {
@@ -64,9 +69,23 @@ impl ProofLog {
     }
 
     fn push(&mut self, kind: StepKind, lits: &[Lit]) {
+        if self.frozen {
+            return;
+        }
         self.lits.extend_from_slice(lits);
         self.ends.push(self.lits.len() as u32);
         self.kinds.push(kind);
+    }
+
+    /// Freezes the log: every later `add_input`/`add_derived`/`delete`
+    /// is dropped, simulating a truncated proof. Irreversible.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Whether the log was frozen (truncated) mid-run.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
     }
 
     /// Records a caller-asserted clause.
@@ -389,6 +408,12 @@ pub fn certify_unsat(
     log: &ProofLog,
     failed_assumptions: &[Lit],
 ) -> Result<CheckReport, CheckError> {
+    if log.is_frozen() {
+        return Err(CheckError {
+            step: None,
+            reason: "proof log was truncated mid-run (frozen); later steps are missing".into(),
+        });
+    }
     let report = check(log)?;
     let last = log.last_derived();
     if failed_assumptions.is_empty() {

@@ -165,7 +165,7 @@
 
 use crate::exchange::{ClauseExchange, ShareLimits};
 use crate::proof::ProofLog;
-use crate::{Backend, Budget, Cnf, Lit, Model, SolveOutcome, Var};
+use crate::{Backend, Budget, Cnf, ExhaustionReason, Lit, Model, SolveOutcome, Var};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -174,11 +174,13 @@ use std::time::Instant;
 
 mod audit;
 mod elim;
+mod fault;
 mod inprocess;
 mod restart;
 
 use audit::AuditPoint;
 use elim::ElimFrame;
+pub use fault::{FaultKind, FaultPlan};
 
 /// Multiply-shift hasher for clause-keyed side tables: the keys are
 /// arena offsets (already well spread), and SipHash is a measurable
@@ -380,6 +382,13 @@ pub struct CdclConfig {
     /// without quadratic slowdown. Structural checkpoints (GC,
     /// inprocessing, SAT answers) always run. `0` is treated as `1`.
     pub audit_interval: u64,
+    /// Deterministic one-shot fault to inject (see [`fault`](self)):
+    /// a forced panic, a corrupted exported clause, a frozen proof
+    /// log, or a simulated arena-growth failure, each at a fixed
+    /// trigger point. `None` (the default) costs one branch per
+    /// conflict; `LASSYNTH_FAULT` in the environment arms a plan for
+    /// every solver whose seed it matches, regardless of this field.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for CdclConfig {
@@ -435,6 +444,7 @@ impl Default for CdclConfig {
             probe_propagation_budget: 100_000,
             audit: false,
             audit_interval: 1,
+            fault_plan: None,
         }
     }
 }
@@ -572,6 +582,18 @@ pub struct SolverStats {
     /// Received clauses that passed the importer's RUP re-check and
     /// were attached (or asserted, for units).
     pub imported_kept: u64,
+    /// Solves that gave up because the conflict budget expired.
+    pub exhausted_conflicts: u64,
+    /// Solves that gave up because the propagation budget expired.
+    pub exhausted_propagations: u64,
+    /// Solves that gave up because the wall-clock deadline passed.
+    pub exhausted_deadline: u64,
+    /// Solves that gave up at the memory ceiling (or on a simulated
+    /// arena-growth failure).
+    pub exhausted_memory: u64,
+    /// Solves that gave up because the cooperative stop flag was
+    /// raised.
+    pub exhausted_cancelled: u64,
 }
 
 impl SolverStats {
@@ -620,6 +642,21 @@ impl SolverStats {
                 .imported_clauses
                 .saturating_sub(earlier.imported_clauses),
             imported_kept: self.imported_kept.saturating_sub(earlier.imported_kept),
+            exhausted_conflicts: self
+                .exhausted_conflicts
+                .saturating_sub(earlier.exhausted_conflicts),
+            exhausted_propagations: self
+                .exhausted_propagations
+                .saturating_sub(earlier.exhausted_propagations),
+            exhausted_deadline: self
+                .exhausted_deadline
+                .saturating_sub(earlier.exhausted_deadline),
+            exhausted_memory: self
+                .exhausted_memory
+                .saturating_sub(earlier.exhausted_memory),
+            exhausted_cancelled: self
+                .exhausted_cancelled
+                .saturating_sub(earlier.exhausted_cancelled),
         }
     }
 
@@ -651,7 +688,32 @@ impl SolverStats {
             exported_clauses: self.exported_clauses + other.exported_clauses,
             imported_clauses: self.imported_clauses + other.imported_clauses,
             imported_kept: self.imported_kept + other.imported_kept,
+            exhausted_conflicts: self.exhausted_conflicts + other.exhausted_conflicts,
+            exhausted_propagations: self.exhausted_propagations + other.exhausted_propagations,
+            exhausted_deadline: self.exhausted_deadline + other.exhausted_deadline,
+            exhausted_memory: self.exhausted_memory + other.exhausted_memory,
+            exhausted_cancelled: self.exhausted_cancelled + other.exhausted_cancelled,
         }
+    }
+
+    /// The exhaustion reason of the most recent give-up recorded in
+    /// this snapshot view, preferring the per-call [`SolverStats::since`]
+    /// delta: with at most one give-up per solve call, exactly one
+    /// counter is non-zero in a per-call delta. On merged/aggregate
+    /// snapshots this reports the dominant (highest-count) reason.
+    pub fn exhaustion_reason(&self) -> Option<crate::ExhaustionReason> {
+        use crate::ExhaustionReason as R;
+        [
+            (self.exhausted_conflicts, R::Conflicts),
+            (self.exhausted_propagations, R::Propagations),
+            (self.exhausted_deadline, R::Deadline),
+            (self.exhausted_memory, R::Memory),
+            (self.exhausted_cancelled, R::Cancelled),
+        ]
+        .into_iter()
+        .filter(|&(n, _)| n > 0)
+        .max_by_key(|&(n, _)| n)
+        .map(|(_, r)| r)
     }
 }
 
@@ -1166,6 +1228,15 @@ fn stop_requested(stop: Option<&AtomicBool>) -> bool {
     stop.is_some_and(|s| s.load(Ordering::Relaxed))
 }
 
+/// The governor's pass-boundary halt test: the stop flag or the wall
+/// deadline, whichever trips first. Used between inprocessing passes,
+/// elimination rounds and probing batches, so a solve that has run out
+/// of time stops starting new simplification work. With neither limit
+/// set this is two `Option` tests — zero-cost off.
+fn governor_halt(stop: Option<&AtomicBool>, deadline: Option<Instant>) -> bool {
+    stop_requested(stop) || deadline.is_some_and(|d| Instant::now() >= d)
+}
+
 /// A session's connection to a [`ClauseExchange`] hub
 /// ([`CdclSolver::connect_exchange`]).
 #[derive(Clone, Debug)]
@@ -1325,6 +1396,14 @@ struct State {
     /// Count of throttled audit checkpoints reached, compared against
     /// `CdclConfig::audit_interval`.
     audit_tick: u64,
+    /// Armed fault-injection plan (`CdclConfig::fault_plan` or
+    /// `LASSYNTH_FAULT`, filtered by seed); sampled once at
+    /// construction, exactly like the auditor switch.
+    fault: Option<FaultPlan>,
+    /// One-shot latch: a fired fault never fires again in the session
+    /// (so e.g. a simulated arena-growth failure leaves the session
+    /// sound for a re-solve).
+    fault_fired: bool,
 }
 
 impl State {
@@ -1336,6 +1415,10 @@ impl State {
         let next_inprocess = config.inprocess_interval;
         let rephase = RephaseSched::new(&config);
         let audit_on = config.audit || audit::env_enabled();
+        let fault = config
+            .fault_plan
+            .or_else(FaultPlan::from_env)
+            .filter(|plan| plan.applies_to(config.seed));
         State {
             config,
             stats: SolverStats::default(),
@@ -1392,6 +1475,8 @@ impl State {
             exchange: None,
             audit_on,
             audit_tick: 0,
+            fault,
+            fault_fired: false,
         }
     }
 
@@ -2490,7 +2575,25 @@ impl State {
         if lits.len() > 1 && (lbd > link.limits.max_lbd || lits.len() > link.limits.max_len) {
             return;
         }
-        link.hub.publish(link.worker, lits, lbd);
+        let (hub, worker) = (Arc::clone(&link.hub), link.worker);
+        // Corrupt-exchange fault: the first admitted export at or past
+        // the trigger conflict is published with its first literal
+        // flipped. Only the in-flight copy is corrupted — the exporter
+        // keeps its own (sound) learnt, so the containment on trial is
+        // the *importer's* RUP filter.
+        let corrupt = self.fault.is_some_and(|plan| {
+            !self.fault_fired
+                && plan.kind == FaultKind::CorruptExchange
+                && self.stats.conflicts >= plan.at
+        });
+        if corrupt {
+            self.fault_fired = true;
+            let mut bad = lits.to_vec();
+            bad[0] = !bad[0];
+            hub.publish(worker, &bad, lbd);
+        } else {
+            hub.publish(worker, lits, lbd);
+        }
         self.stats.exported_clauses += 1;
     }
 
@@ -2621,28 +2724,100 @@ impl State {
         true
     }
 
-    /// Whether the per-call budget has run out: conflicts checked every
-    /// time (cheap), wall clock and stop flag amortized to every 256th
-    /// conflict. Used identically by the analysis and repair paths.
-    fn budget_exhausted(&self, budget: &Budget, start: &Instant, conflicts_at_start: u64) -> bool {
+    /// Which budget axis (if any) has run out: conflicts, propagations
+    /// and the arena memory ceiling checked on every conflict (each is
+    /// one `u64` compare behind an `Option` test), wall clock and stop
+    /// flag amortized to every 256th conflict. Used identically by the
+    /// analysis and repair paths.
+    fn budget_exhausted(
+        &self,
+        budget: &Budget,
+        start: &Instant,
+        conflicts_at_start: u64,
+        propagations_at_start: u64,
+    ) -> Option<ExhaustionReason> {
         if let Some(max) = budget.max_conflicts {
             if self.stats.conflicts - conflicts_at_start >= max {
-                return true;
+                return Some(ExhaustionReason::Conflicts);
+            }
+        }
+        if let Some(max) = budget.max_propagations {
+            if self.stats.propagations - propagations_at_start >= max {
+                return Some(ExhaustionReason::Propagations);
+            }
+        }
+        if let Some(max) = budget.max_memory_words {
+            if self.arena.data.len() as u64 >= max {
+                return Some(ExhaustionReason::Memory);
             }
         }
         if self.stats.conflicts.is_multiple_of(256) {
             if let Some(max) = budget.max_time {
                 if start.elapsed() >= max {
-                    return true;
+                    return Some(ExhaustionReason::Deadline);
                 }
             }
             if let Some(stop) = &budget.stop {
                 if stop.load(Ordering::Relaxed) {
-                    return true;
+                    return Some(ExhaustionReason::Cancelled);
                 }
             }
         }
-        false
+        None
+    }
+
+    /// Books an exhausted solve under its reason (for `--stats` and
+    /// portfolio totals) and returns the matching outcome.
+    fn record_exhaustion(&mut self, reason: ExhaustionReason) -> SolveOutcome {
+        match reason {
+            ExhaustionReason::Conflicts => self.stats.exhausted_conflicts += 1,
+            ExhaustionReason::Propagations => self.stats.exhausted_propagations += 1,
+            ExhaustionReason::Deadline => self.stats.exhausted_deadline += 1,
+            ExhaustionReason::Memory => self.stats.exhausted_memory += 1,
+            ExhaustionReason::Cancelled => self.stats.exhausted_cancelled += 1,
+        }
+        SolveOutcome::Unknown(reason)
+    }
+
+    /// One-shot fault triggers, checked once per conflict (a single
+    /// `Option` test when no plan is armed — the off state changes no
+    /// trajectory). The panic fault unwinds from here; the truncated
+    /// proof freezes silently; a simulated arena-growth failure
+    /// surfaces as a memory exhaustion for the caller to return. The
+    /// corrupt-exchange fault fires in `export_learnt` instead.
+    fn fault_tick(&mut self) -> Option<ExhaustionReason> {
+        let plan = self.fault?;
+        if self.fault_fired {
+            return None;
+        }
+        match plan.kind {
+            FaultKind::Panic => {
+                if self.stats.conflicts >= plan.at {
+                    self.fault_fired = true;
+                    // lint:allow(no-panic): the panic *is* the injected fault
+                    panic!(
+                        "injected fault: forced panic at conflict {}",
+                        self.stats.conflicts
+                    );
+                }
+            }
+            FaultKind::TruncateProof => {
+                if self.stats.conflicts >= plan.at {
+                    self.fault_fired = true;
+                    if let Some(p) = &mut self.proof {
+                        p.freeze();
+                    }
+                }
+            }
+            FaultKind::ArenaOom => {
+                if self.arena.data.len() as u64 >= plan.at {
+                    self.fault_fired = true;
+                    return Some(ExhaustionReason::Memory);
+                }
+            }
+            FaultKind::CorruptExchange => {}
+        }
+        None
     }
 
     fn solve(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
@@ -2698,6 +2873,10 @@ impl State {
         }
         let start = Instant::now();
         let conflicts_at_start = self.stats.conflicts;
+        let propagations_at_start = self.stats.propagations;
+        // Governor view of the wall deadline, passed into inprocessing
+        // so a pass boundary can honor it like the stop flag.
+        let deadline = budget.max_time.map(|t| start + t);
         let mut sched = RestartSched::new(&self.config, self.stats.restarts);
         self.oob_active = self.config.use_chrono
             && self.stats.conflicts >= self.config.chrono_activation_conflicts;
@@ -2707,6 +2886,9 @@ impl State {
             if let Some(confl) = self.propagate() {
                 self.audit_checkpoint(AuditPoint::Propagate);
                 self.stats.conflicts += 1;
+                if let Some(reason) = self.fault_tick() {
+                    return self.record_exhaustion(reason);
+                }
                 self.oob_active = self.config.use_chrono
                     && self.stats.conflicts >= self.config.chrono_activation_conflicts;
                 self.tiers_active = self.config.use_tiers
@@ -2767,8 +2949,13 @@ impl State {
                         self.cancel_until(conflict_level - 1);
                         self.enqueue(lone, confl);
                         self.audit_checkpoint(AuditPoint::Backtrack);
-                        if self.budget_exhausted(budget, &start, conflicts_at_start) {
-                            return SolveOutcome::Unknown;
+                        if let Some(reason) = self.budget_exhausted(
+                            budget,
+                            &start,
+                            conflicts_at_start,
+                            propagations_at_start,
+                        ) {
+                            return self.record_exhaustion(reason);
                         }
                         continue;
                     }
@@ -2809,8 +2996,10 @@ impl State {
                 self.audit_checkpoint(AuditPoint::Backtrack);
                 self.var_inc /= self.config.var_decay;
                 self.cla_inc /= self.config.clause_decay;
-                if self.budget_exhausted(budget, &start, conflicts_at_start) {
-                    return SolveOutcome::Unknown;
+                if let Some(reason) =
+                    self.budget_exhausted(budget, &start, conflicts_at_start, propagations_at_start)
+                {
+                    return self.record_exhaustion(reason);
                 }
             } else {
                 self.audit_checkpoint(AuditPoint::Propagate);
@@ -2830,7 +3019,7 @@ impl State {
                         // applied, so everything it derives is a
                         // consequence of the clauses alone and stays
                         // sound across the incremental session.
-                        self.maybe_inprocess(budget.stop.as_deref());
+                        self.maybe_inprocess(budget.stop.as_deref(), deadline);
                         if self.root_unsat {
                             return SolveOutcome::Unsat;
                         }
@@ -2842,12 +3031,16 @@ impl State {
                         if self.root_unsat {
                             return SolveOutcome::Unsat;
                         }
-                        // A cancelled worker leaves promptly at the
-                        // boundary instead of waiting for the
-                        // 256-conflict stop poll (it just paid for
-                        // inprocessing pass-boundary checks too).
+                        // A cancelled or out-of-time worker leaves
+                        // promptly at the boundary instead of waiting
+                        // for the 256-conflict amortized poll (it just
+                        // paid for inprocessing pass-boundary checks
+                        // too).
                         if stop_requested(budget.stop.as_deref()) {
-                            return SolveOutcome::Unknown;
+                            return self.record_exhaustion(ExhaustionReason::Cancelled);
+                        }
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            return self.record_exhaustion(ExhaustionReason::Deadline);
                         }
                         self.maybe_rephase();
                         // Root-level out-of-order assignments survive
@@ -3215,7 +3408,66 @@ mod tests {
     fn conflict_budget_reports_unknown() {
         let c = pigeonhole(6);
         let out = CdclSolver::default().solve_with(&c, &[], &Budget::conflict_limit(10));
-        assert!(matches!(out, SolveOutcome::Unknown));
+        assert!(matches!(out, SolveOutcome::Unknown(_)));
+    }
+
+    /// Every governor axis names itself in the verdict and in the
+    /// per-reason stats counters (what `--stats` prints).
+    #[test]
+    fn exhaustion_reasons_are_attributed_per_axis() {
+        let c = pigeonhole(6);
+        let mut s = CdclSolver::default();
+        let out = s.solve_with(&c, &[], &Budget::conflict_limit(10));
+        assert!(matches!(
+            out,
+            SolveOutcome::Unknown(ExhaustionReason::Conflicts)
+        ));
+        assert_eq!(s.stats.exhausted_conflicts, 1);
+        assert_eq!(
+            s.stats.exhaustion_reason(),
+            Some(ExhaustionReason::Conflicts)
+        );
+
+        let mut s = CdclSolver::default();
+        let out = s.solve_with(&c, &[], &Budget::propagation_limit(20));
+        assert!(matches!(
+            out,
+            SolveOutcome::Unknown(ExhaustionReason::Propagations)
+        ));
+        assert_eq!(s.stats.exhausted_propagations, 1);
+
+        // A one-word ceiling is below any non-empty arena: the solve
+        // halts on its first conflict with a memory verdict.
+        let mut s = CdclSolver::default();
+        let out = s.solve_with(&c, &[], &Budget::memory_limit_words(1));
+        assert!(matches!(
+            out,
+            SolveOutcome::Unknown(ExhaustionReason::Memory)
+        ));
+        assert_eq!(s.stats.exhausted_memory, 1);
+
+        let mut s = CdclSolver::default();
+        let out = s.solve_with(&c, &[], &Budget::time_limit(std::time::Duration::ZERO));
+        assert!(matches!(
+            out,
+            SolveOutcome::Unknown(ExhaustionReason::Deadline)
+        ));
+        assert_eq!(s.stats.exhausted_deadline, 1);
+    }
+
+    /// A memory verdict is anytime: lifting the ceiling and re-solving
+    /// the same session still reaches the real verdict.
+    #[test]
+    fn memory_exhausted_session_recovers_on_resolve() {
+        let c = pigeonhole(4);
+        let mut s = CdclSolver::default();
+        s.add_cnf(&c);
+        let out = s.solve_assuming(&[], &Budget::memory_limit_words(1));
+        assert!(matches!(
+            out,
+            SolveOutcome::Unknown(ExhaustionReason::Memory)
+        ));
+        assert!(s.solve_assuming(&[], &Budget::default()).is_unsat());
     }
 
     #[test]
@@ -3572,7 +3824,7 @@ mod tests {
             .is_unsat());
         assert!(!s.final_assumption_conflict().is_empty());
         let out = s.solve_assuming(&[lit(-sel)], &Budget::conflict_limit(1));
-        assert!(matches!(out, SolveOutcome::Unknown), "got {out:?}");
+        assert!(matches!(out, SolveOutcome::Unknown(_)), "got {out:?}");
         assert!(
             s.final_assumption_conflict().is_empty(),
             "Unknown must clear the previous core"
@@ -3632,7 +3884,7 @@ mod tests {
         for _ in 0..3 {
             assert!(matches!(
                 s.solve_assuming(&[], &budget),
-                SolveOutcome::Unknown
+                SolveOutcome::Unknown(_)
             ));
         }
         // Cumulative conflicts exceed a single call's budget.
@@ -4007,7 +4259,7 @@ mod tests {
                     // Cross-check against the default configuration.
                     assert!(solve(&c).is_unsat(), "verdict flipped in round {round}");
                 }
-                SolveOutcome::Unknown => panic!("unbounded solve returned unknown"),
+                SolveOutcome::Unknown(_) => panic!("unbounded solve returned unknown"),
             }
             st.check_watcher_integrity();
         }
@@ -4051,7 +4303,7 @@ mod tests {
                 let outcome = workers[i].solve_assuming(&[], &Budget::conflict_limit(quantum));
                 let stats = workers[i].session_stats();
                 trace.push((i, stats.conflicts, stats.imported_clauses));
-                if !matches!(outcome, SolveOutcome::Unknown) {
+                if !matches!(outcome, SolveOutcome::Unknown(_)) {
                     if certify && outcome.is_unsat() {
                         let log = workers[i].proof().expect("proof enabled");
                         crate::proof::certify_unsat(log, workers[i].final_assumption_conflict())
@@ -4103,6 +4355,117 @@ mod tests {
         assert!(
             total.imported_clauses > 0,
             "the certified run never exercised an import"
+        );
+    }
+
+    fn faulted_config(kind: FaultKind, at: u64) -> CdclConfig {
+        CdclConfig {
+            fault_plan: Some(FaultPlan {
+                kind,
+                at,
+                only_seed: None,
+            }),
+            ..CdclConfig::default()
+        }
+    }
+
+    /// The injected panic fires at its trigger conflict and unwinds
+    /// out of `solve` (portfolio drivers catch it at the quantum
+    /// boundary).
+    #[test]
+    fn injected_panic_fires_at_trigger() {
+        let c = pigeonhole(6);
+        let result = std::panic::catch_unwind(|| {
+            CdclSolver::with_config(faulted_config(FaultKind::Panic, 5)).solve_with(
+                &c,
+                &[],
+                &Budget::default(),
+            )
+        });
+        let payload = result.expect_err("the injected panic must fire");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("injected fault"), "unexpected payload {msg:?}");
+    }
+
+    /// A simulated arena-growth failure surfaces as a memory verdict,
+    /// fires exactly once, and leaves the session sound: the re-solve
+    /// reaches the true verdict.
+    #[test]
+    fn injected_arena_oom_is_one_shot_and_sound() {
+        let c = pigeonhole(4);
+        let mut s = CdclSolver::with_config(faulted_config(FaultKind::ArenaOom, 1));
+        s.add_cnf(&c);
+        let out = s.solve_assuming(&[], &Budget::default());
+        assert!(matches!(
+            out,
+            SolveOutcome::Unknown(ExhaustionReason::Memory)
+        ));
+        assert!(s.solve_assuming(&[], &Budget::default()).is_unsat());
+    }
+
+    /// The truncated-proof fault freezes the log mid-run; the forward
+    /// checker must refuse the incomplete refutation rather than
+    /// certify it.
+    #[test]
+    fn injected_proof_truncation_is_rejected_by_the_checker() {
+        let c = pigeonhole(4);
+        let mut s = CdclSolver::with_config(faulted_config(FaultKind::TruncateProof, 1));
+        s.enable_proof();
+        s.add_cnf(&c);
+        assert!(s.solve_assuming(&[], &Budget::default()).is_unsat());
+        let log = s.proof().expect("proof enabled");
+        assert!(log.is_frozen(), "the fault never froze the log");
+        let err = crate::proof::certify_unsat(log, s.final_assumption_conflict())
+            .expect_err("a truncated proof must not certify");
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    /// Corrupt-clause containment: worker 0 publishes one exported
+    /// clause with a flipped literal; the importers' RUP re-check is
+    /// the only line of defense. The fleet must still reach the right
+    /// verdict and its UNSAT proof must still certify — which it could
+    /// not if the corrupt clause had been admitted and logged.
+    #[test]
+    fn corrupted_exchange_clause_is_contained_by_the_import_filter() {
+        let c = pigeonhole(6);
+        let hub = Arc::new(ClauseExchange::new(2, 256));
+        let mut workers: Vec<CdclSolver> = (0..2u64)
+            .map(|seed| {
+                let mut config = CdclConfig::diversified(seed);
+                if seed == 0 {
+                    config.fault_plan = Some(FaultPlan {
+                        kind: FaultKind::CorruptExchange,
+                        at: 1,
+                        only_seed: Some(config.seed),
+                    });
+                }
+                let mut s = CdclSolver::with_config(config);
+                s.enable_proof();
+                s.add_cnf(&c);
+                s.connect_exchange(Arc::clone(&hub), seed as usize, ShareLimits::default());
+                s
+            })
+            .collect();
+        'driver: loop {
+            for worker in &mut workers {
+                let outcome = worker.solve_assuming(&[], &Budget::conflict_limit(100));
+                if !matches!(outcome, SolveOutcome::Unknown(_)) {
+                    assert!(outcome.is_unsat(), "fleet verdict flipped");
+                    let log = worker.proof().expect("proof enabled");
+                    crate::proof::certify_unsat(log, worker.final_assumption_conflict())
+                        .expect("refutation must certify despite the corrupt clause");
+                    break 'driver;
+                }
+            }
+        }
+        // The fault actually fired: worker 0 exported something after
+        // its first conflict, so the flipped clause was in flight.
+        assert!(
+            workers[0].session_stats().exported_clauses > 0,
+            "worker 0 never exported — the corruption never happened"
         );
     }
 
@@ -4185,11 +4548,11 @@ mod tests {
         };
         let stopped = AtomicBool::new(true);
         let mut st = build();
-        st.maybe_inprocess(Some(&stopped));
+        st.maybe_inprocess(Some(&stopped), None);
         assert_eq!(st.stats.subsumed_clauses, 0, "subsumption ran despite stop");
         assert_eq!(st.stats.eliminated_vars, 0, "elimination ran despite stop");
         let mut st = build();
-        st.maybe_inprocess(None);
+        st.maybe_inprocess(None, None);
         assert!(
             st.stats.subsumed_clauses > 0 || st.stats.eliminated_vars > 0,
             "control run was expected to simplify something"
@@ -4211,7 +4574,7 @@ mod tests {
         solver.add_cnf(&pigeonhole(7));
         let stop = Arc::new(AtomicBool::new(true));
         let outcome = solver.solve_assuming(&[], &Budget::default().with_stop(Arc::clone(&stop)));
-        assert!(matches!(outcome, SolveOutcome::Unknown));
+        assert!(matches!(outcome, SolveOutcome::Unknown(_)));
         assert!(
             solver.session_stats().conflicts < 256,
             "stop was only honored by the amortized poll, got {} conflicts",

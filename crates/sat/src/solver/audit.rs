@@ -751,7 +751,7 @@ mod tests {
             ..CdclConfig::default()
         };
         let mut st = State::new(&c, config);
-        assert!(st.eliminate_vars());
+        assert!(st.eliminate_vars(None));
         assert!(st.eliminated[0]);
         st.collect_garbage();
         st.audit_now(AuditPoint::Gc); // control: eliminated-var invariants hold

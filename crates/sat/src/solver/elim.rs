@@ -151,7 +151,10 @@ impl State {
     /// missed resolution partner would make elimination unsound).
     /// Deleted clauses, by contrast, stay harmlessly in the index as
     /// tombstones and are filtered on use.
-    pub(super) fn eliminate_vars(&mut self) -> bool {
+    /// `deadline` is the governor's wall cutoff, polled every 1024
+    /// variables: an out-of-time pass stops resolving and falls
+    /// through to the closing GC with whatever it committed.
+    pub(super) fn eliminate_vars(&mut self, deadline: Option<Instant>) -> bool {
         debug_assert_eq!(self.decision_level(), 0);
         if self.root_unsat || self.num_vars == 0 {
             return false;
@@ -208,6 +211,9 @@ impl State {
         let mut changed = false;
         for v in 0..self.num_vars {
             if budget <= 0 || self.root_unsat {
+                break;
+            }
+            if v.is_multiple_of(1024) && governor_halt(None, deadline) {
                 break;
             }
             if !candidate[v] || index_stale[v] || self.eliminated[v] || !self.is_unassigned(v) {
@@ -398,8 +404,9 @@ impl State {
 
     /// One failed-literal probing pass over the binary-implication
     /// roots, bounded by [`CdclConfig::probe_propagation_budget`]
-    /// propagations. Each failed probe asserts a root-level unit.
-    pub(super) fn probe_failed_literals(&mut self) {
+    /// propagations (and, amortized every 512 probes, the governor's
+    /// wall `deadline`). Each failed probe asserts a root-level unit.
+    pub(super) fn probe_failed_literals(&mut self, deadline: Option<Instant>) {
         debug_assert_eq!(self.decision_level(), 0);
         let n = 2 * self.num_vars;
         if n == 0 || self.root_unsat {
@@ -414,6 +421,9 @@ impl State {
         // (enqueue/propagate/backtrack) allocate nothing.
         while processed < n {
             if self.root_unsat || self.stats.propagations - props_start >= budget {
+                break;
+            }
+            if processed.is_multiple_of(512) && governor_halt(None, deadline) {
                 break;
             }
             let l = Lit::from_code((start + processed) % n);
@@ -521,7 +531,7 @@ mod tests {
         // Variable 1 resolves (1 2) × (-1 3) into (2 3); the two
         // originals land on the elimination stack.
         let mut st = state(&[&[1, 2], &[-1, 3]], CdclConfig::default());
-        assert!(st.eliminate_vars());
+        assert!(st.eliminate_vars(None));
         assert!(st.eliminated[0]);
         assert_eq!(st.stats.eliminated_vars, 1);
         assert_eq!(st.stats.elim_resolvents, 1);
@@ -543,11 +553,11 @@ mod tests {
         st.frozen[0] = true;
         st.assumed[1] = true;
         st.frozen[2] = true;
-        assert!(!st.eliminate_vars());
+        assert!(!st.eliminate_vars(None));
         assert!(!st.eliminated.iter().any(|&e| e));
         // Melting a variable makes it eliminable again.
         st.frozen[0] = false;
-        assert!(st.eliminate_vars());
+        assert!(st.eliminate_vars(None));
         assert!(st.eliminated[0]);
         assert!(!st.eliminated[1]);
         assert!(!st.eliminated[2]);
@@ -558,7 +568,7 @@ mod tests {
         // (1 2) × (-1 -2) is tautological: eliminating variable 1 adds
         // nothing, and variable 2 then goes out as a pure literal.
         let mut st = state(&[&[1, 2], &[-1, -2]], CdclConfig::default());
-        assert!(st.eliminate_vars());
+        assert!(st.eliminate_vars(None));
         assert!(st.eliminated[0]);
         assert_eq!(st.stats.elim_resolvents, 0);
     }
@@ -566,7 +576,7 @@ mod tests {
     #[test]
     fn restore_var_replays_frames_lifo() {
         let mut st = state(&[&[1, 2], &[-1, 3]], CdclConfig::default());
-        assert!(st.eliminate_vars());
+        assert!(st.eliminate_vars(None));
         assert!(st.eliminated[0]);
         st.restore_var(0);
         assert!(!st.eliminated[0]);
@@ -587,13 +597,13 @@ mod tests {
     #[test]
     fn freeze_restores_an_already_eliminated_variable() {
         let mut st = state(&[&[1, 2], &[-1, 3]], CdclConfig::default());
-        assert!(st.eliminate_vars());
+        assert!(st.eliminate_vars(None));
         assert!(st.eliminated[0]);
         st.freeze_var(Var(0));
         assert!(!st.eliminated[0]);
         assert!(st.frozen[0]);
         // A frozen variable stays put through further passes.
-        assert!(!st.eliminate_vars() || !st.eliminated[0]);
+        assert!(!st.eliminate_vars(None) || !st.eliminated[0]);
     }
 
     #[test]
@@ -603,7 +613,7 @@ mod tests {
         // resolvent only one way. With 2 false and 3 true, clause (1 2)
         // forces variable 1 true.
         let mut st = state(&[&[1, 2], &[-1, 3]], CdclConfig::default());
-        assert!(st.eliminate_vars());
+        assert!(st.eliminate_vars(None));
         let mut values = vec![false, false, true];
         st.reconstruct_model(&mut values);
         assert!(values[0], "clause (1 2) with 2 false forces 1 true");
@@ -627,7 +637,7 @@ mod tests {
                 ..CdclConfig::default()
             },
         );
-        st.probe_failed_literals();
+        st.probe_failed_literals(None);
         assert_eq!(st.stats.failed_literals, 1);
         assert!(st.stats.probed_literals >= 1);
         assert_eq!(st.value(lit(-1)), 1, "failed probe asserts the negation");
@@ -644,7 +654,7 @@ mod tests {
                 ..CdclConfig::default()
             },
         );
-        st.probe_failed_literals();
+        st.probe_failed_literals(None);
         assert_eq!(st.stats.probed_literals, 0);
         assert_eq!(st.stats.failed_literals, 0);
     }
@@ -704,7 +714,7 @@ mod tests {
         s.add_clause([lit(-1), lit(3)]);
         {
             let st = s.session.as_mut().unwrap();
-            assert!(st.eliminate_vars());
+            assert!(st.eliminate_vars(None));
             assert!(st.eliminated[0]);
             st.collect_garbage();
         }
@@ -729,7 +739,7 @@ mod tests {
         s.add_clause([lit(-1), lit(3)]);
         {
             let st = s.session.as_mut().unwrap();
-            assert!(st.eliminate_vars());
+            assert!(st.eliminate_vars(None));
             assert!(st.eliminated[0]);
             st.collect_garbage();
         }

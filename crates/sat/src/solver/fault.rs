@@ -1,0 +1,162 @@
+//! Deterministic fault injection for the solve supervisor.
+//!
+//! Production fault-containment claims ("a crashed worker is
+//! quarantined", "a corrupted shared clause is rejected", "a truncated
+//! proof is refused by the checker") are only worth anything if the
+//! faults are actually injected and the containment observed. This
+//! module is the injection half: a [`FaultPlan`] armed on a solver
+//! (via [`CdclConfig::fault_plan`](super::CdclConfig::fault_plan) or
+//! the `LASSYNTH_FAULT` environment variable) fires **exactly once**,
+//! at a deterministic trigger point, so every containment test is
+//! replayable:
+//!
+//! * [`FaultKind::Panic`] — the solver panics inside `solve` once its
+//!   session conflict count reaches the trigger, modeling a worker
+//!   crash inside a portfolio quantum;
+//! * [`FaultKind::CorruptExchange`] — the next exported learnt clause
+//!   at or past the trigger conflict is published with its first
+//!   literal flipped, modeling a corrupted clause in flight (the
+//!   importer's RUP filter must reject it or prove it harmless);
+//! * [`FaultKind::TruncateProof`] — the proof log is frozen at the
+//!   trigger conflict: later derivations are silently dropped, so the
+//!   log ends without a refutation and the DRAT checker must reject
+//!   it;
+//! * [`FaultKind::ArenaOom`] — the solve reports memory exhaustion
+//!   once the clause arena reaches the trigger word count, modeling
+//!   an arena-growth failure (the session must stay sound on a
+//!   re-solve).
+//!
+//! The environment form is `LASSYNTH_FAULT=<kind>@<n>[@seed]`, e.g.
+//! `LASSYNTH_FAULT=panic@50` or `LASSYNTH_FAULT=corrupt-clause@10@2`;
+//! the optional third field restricts the fault to the solver whose
+//! config seed matches, so exactly one portfolio worker takes the hit.
+//! Like `LASSYNTH_AUDIT`, the variable is sampled once per solver
+//! construction. With no plan armed, the per-conflict cost is one
+//! `Option` test.
+
+use std::str::FromStr;
+
+/// Which fault to inject (see the [module docs](self)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside `solve` at the trigger conflict.
+    Panic,
+    /// Flip the first literal of the next exported clause at or past
+    /// the trigger conflict.
+    CorruptExchange,
+    /// Freeze the proof log at the trigger conflict.
+    TruncateProof,
+    /// Report memory exhaustion once the arena reaches the trigger
+    /// word count.
+    ArenaOom,
+}
+
+/// A one-shot deterministic fault: `kind` fires when its trigger
+/// counter reaches `at`, on every solver unless `only_seed` restricts
+/// it to one portfolio member.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The fault to inject.
+    pub kind: FaultKind,
+    /// Trigger threshold: session conflicts for
+    /// [`FaultKind::Panic`] / [`FaultKind::CorruptExchange`] /
+    /// [`FaultKind::TruncateProof`], arena words for
+    /// [`FaultKind::ArenaOom`].
+    pub at: u64,
+    /// Fire only on the solver whose `config.seed` matches.
+    pub only_seed: Option<u64>,
+}
+
+impl FaultPlan {
+    /// The plan armed by `LASSYNTH_FAULT`, if the variable is set and
+    /// parses. A set-but-malformed value is ignored (the harness must
+    /// never turn an env typo into a behavior change).
+    pub fn from_env() -> Option<FaultPlan> {
+        std::env::var("LASSYNTH_FAULT").ok()?.parse().ok()
+    }
+
+    /// Whether the plan applies to a solver with the given seed.
+    pub fn applies_to(&self, seed: u64) -> bool {
+        self.only_seed.is_none_or(|s| s == seed)
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = String;
+
+    /// Parses `<kind>@<n>[@seed]` with kinds `panic`,
+    /// `corrupt-clause`, `truncate-proof`, `arena-oom`.
+    fn from_str(s: &str) -> Result<FaultPlan, String> {
+        let mut parts = s.split('@');
+        let kind = match parts.next().unwrap_or("") {
+            "panic" => FaultKind::Panic,
+            "corrupt-clause" => FaultKind::CorruptExchange,
+            "truncate-proof" => FaultKind::TruncateProof,
+            "arena-oom" => FaultKind::ArenaOom,
+            other => return Err(format!("unknown fault kind {other:?}")),
+        };
+        let at = parts
+            .next()
+            .ok_or_else(|| format!("fault plan {s:?} is missing its @N trigger"))?
+            .parse::<u64>()
+            .map_err(|e| format!("bad fault trigger in {s:?}: {e}"))?;
+        let only_seed = match parts.next() {
+            None => None,
+            Some(seed) => Some(
+                seed.parse::<u64>()
+                    .map_err(|e| format!("bad fault seed in {s:?}: {e}"))?,
+            ),
+        };
+        if parts.next().is_some() {
+            return Err(format!("trailing fields in fault plan {s:?}"));
+        }
+        Ok(FaultPlan {
+            kind,
+            at,
+            only_seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind() {
+        for (text, kind) in [
+            ("panic@50", FaultKind::Panic),
+            ("corrupt-clause@10", FaultKind::CorruptExchange),
+            ("truncate-proof@3", FaultKind::TruncateProof),
+            ("arena-oom@4096", FaultKind::ArenaOom),
+        ] {
+            let plan: FaultPlan = text.parse().expect(text);
+            assert_eq!(plan.kind, kind);
+            assert_eq!(plan.only_seed, None);
+        }
+    }
+
+    #[test]
+    fn parses_seed_restriction() {
+        let plan: FaultPlan = "panic@50@2".parse().unwrap();
+        assert_eq!(plan.only_seed, Some(2));
+        assert!(plan.applies_to(2));
+        assert!(!plan.applies_to(3));
+        assert!(FaultPlan::from_str("panic@1").unwrap().applies_to(7));
+    }
+
+    #[test]
+    fn rejects_malformed_plans() {
+        for bad in [
+            "",
+            "panic",
+            "panic@",
+            "panic@x",
+            "oom@5",
+            "panic@1@x",
+            "panic@1@2@3",
+        ] {
+            assert!(FaultPlan::from_str(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+}

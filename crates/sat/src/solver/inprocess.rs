@@ -68,14 +68,15 @@ impl State {
     /// never triggers.
     ///
     /// `stop` is the cooperative cancellation flag of the caller's
-    /// [`Budget`]: it is re-checked at every pass boundary (and
-    /// between elimination rounds), so a cancelled portfolio worker
-    /// abandons the remaining passes instead of burning a full
-    /// subsume/eliminate/vivify/probe cycle after the winner already
-    /// finished. Search-level determinism is unaffected — the flag
-    /// only ever *skips* work on the way out of a run whose result is
-    /// already discarded.
-    pub(super) fn maybe_inprocess(&mut self, stop: Option<&AtomicBool>) {
+    /// [`Budget`] and `deadline` its wall-clock cutoff: both are
+    /// re-checked at every pass boundary (and between elimination
+    /// rounds), so a cancelled or out-of-time worker abandons the
+    /// remaining passes instead of burning a full
+    /// subsume/eliminate/vivify/probe cycle after its result stopped
+    /// mattering. Search-level determinism is unaffected — the checks
+    /// only ever *skip* work on the way out of a run whose result is
+    /// already discarded (no governor set, no behavior change).
+    pub(super) fn maybe_inprocess(&mut self, stop: Option<&AtomicBool>, deadline: Option<Instant>) {
         if !self.config.use_vivification
             && !self.config.use_subsumption
             && !self.config.use_elim
@@ -94,7 +95,7 @@ impl State {
         let mut changed = false;
         if self.config.use_subsumption
             && !self.root_unsat
-            && !stop_requested(stop)
+            && !governor_halt(stop, deadline)
             && self.stats.conflicts >= self.next_subsume
         {
             changed |= self.subsume();
@@ -109,14 +110,15 @@ impl State {
         // shrunk database) and before vivification, so vivification
         // never wastes budget distilling clauses elimination is about
         // to resolve away.
-        if self.config.use_elim && simplify_on && !self.root_unsat && !stop_requested(stop) {
+        if self.config.use_elim && simplify_on && !self.root_unsat && !governor_halt(stop, deadline)
+        {
             for _ in 0..self.config.elim_rounds.max(1) {
                 // Record the round's work *before* deciding whether to
                 // continue: a stop raised mid-pass must not skip the
                 // closing GC for deletions already marked.
-                let round_changed = self.eliminate_vars();
+                let round_changed = self.eliminate_vars(deadline);
                 changed |= round_changed;
-                if !round_changed || self.root_unsat || stop_requested(stop) {
+                if !round_changed || self.root_unsat || governor_halt(stop, deadline) {
                     break;
                 }
             }
@@ -126,7 +128,7 @@ impl State {
         }
         if self.config.use_vivification
             && !self.root_unsat
-            && !stop_requested(stop)
+            && !governor_halt(stop, deadline)
             && self.stats.conflicts >= self.next_vivify
         {
             changed |= self.vivify();
@@ -135,8 +137,12 @@ impl State {
                 self.audit_checkpoint(AuditPoint::Inprocess);
             }
         }
-        if self.config.use_probing && simplify_on && !self.root_unsat && !stop_requested(stop) {
-            self.probe_failed_literals();
+        if self.config.use_probing
+            && simplify_on
+            && !self.root_unsat
+            && !governor_halt(stop, deadline)
+        {
+            self.probe_failed_literals(deadline);
             if !self.root_unsat {
                 self.audit_checkpoint(AuditPoint::Inprocess);
             }

@@ -163,6 +163,41 @@ impl Model {
     }
 }
 
+/// Why a solve gave up before reaching a verdict.
+///
+/// The resource governor distinguishes the budget axes so callers can
+/// react differently: a conflict budget expiring mid-portfolio means
+/// "rotate to the next worker", a deadline means "report the anytime
+/// answer", a memory ceiling means "this instance needs a bigger box".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExhaustionReason {
+    /// The conflict budget ([`Budget::max_conflicts`]) expired.
+    Conflicts,
+    /// The propagation budget ([`Budget::max_propagations`]) expired.
+    Propagations,
+    /// The wall-clock deadline ([`Budget::max_time`]) passed.
+    Deadline,
+    /// The memory ceiling ([`Budget::max_memory_words`]) was reached
+    /// (clause-arena words, covering original and learnt clauses), or
+    /// arena growth failed.
+    Memory,
+    /// The cooperative [`Budget::stop`] flag was raised, or the
+    /// backend was interrupted without a resource verdict.
+    Cancelled,
+}
+
+impl fmt::Display for ExhaustionReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExhaustionReason::Conflicts => "conflict budget",
+            ExhaustionReason::Propagations => "propagation budget",
+            ExhaustionReason::Deadline => "deadline",
+            ExhaustionReason::Memory => "memory ceiling",
+            ExhaustionReason::Cancelled => "cancelled",
+        })
+    }
+}
+
 /// Result of a solve call.
 #[derive(Clone, Debug)]
 pub enum SolveOutcome {
@@ -170,8 +205,8 @@ pub enum SolveOutcome {
     Sat(Model),
     /// The formula (with assumptions) is unsatisfiable.
     Unsat,
-    /// The budget expired before a verdict.
-    Unknown,
+    /// The budget expired before a verdict, for the given reason.
+    Unknown(ExhaustionReason),
 }
 
 impl SolveOutcome {
@@ -207,8 +242,15 @@ impl SolveOutcome {
 pub struct Budget {
     /// Give up after this many conflicts.
     pub max_conflicts: Option<u64>,
+    /// Give up after this many literal propagations.
+    pub max_propagations: Option<u64>,
     /// Give up after this much wall-clock time.
     pub max_time: Option<Duration>,
+    /// Give up when the clause arena (original + learnt clauses,
+    /// header words included) reaches this many `u32` words. This is
+    /// the solver's dominant allocation, so the ceiling is an
+    /// effective memory governor without global allocator hooks.
+    pub max_memory_words: Option<u64>,
     /// Cooperative cancellation flag, checked periodically.
     pub stop: Option<Arc<AtomicBool>>,
 }
@@ -235,9 +277,32 @@ impl Budget {
         }
     }
 
+    /// A propagation-count budget.
+    pub fn propagation_limit(limit: u64) -> Budget {
+        Budget {
+            max_propagations: Some(limit),
+            ..Budget::default()
+        }
+    }
+
+    /// A clause-arena memory ceiling in `u32` words (see
+    /// [`Budget::max_memory_words`]).
+    pub fn memory_limit_words(limit: u64) -> Budget {
+        Budget {
+            max_memory_words: Some(limit),
+            ..Budget::default()
+        }
+    }
+
     /// Attaches a cancellation flag.
     pub fn with_stop(mut self, stop: Arc<AtomicBool>) -> Budget {
         self.stop = Some(stop);
+        self
+    }
+
+    /// Attaches a memory ceiling in `u32` arena words.
+    pub fn with_memory_words(mut self, limit: u64) -> Budget {
+        self.max_memory_words = Some(limit);
         self
     }
 }
@@ -300,6 +365,41 @@ mod tests {
     fn outcome_helpers() {
         assert!(SolveOutcome::Unsat.is_unsat());
         assert!(SolveOutcome::Sat(Model::new(vec![])).is_sat());
-        assert!(!SolveOutcome::Unknown.is_sat());
+        assert!(!SolveOutcome::Unknown(ExhaustionReason::Conflicts).is_sat());
+    }
+
+    #[test]
+    fn exhaustion_reasons_render() {
+        let rendered: Vec<String> = [
+            ExhaustionReason::Conflicts,
+            ExhaustionReason::Propagations,
+            ExhaustionReason::Deadline,
+            ExhaustionReason::Memory,
+            ExhaustionReason::Cancelled,
+        ]
+        .iter()
+        .map(|r| r.to_string())
+        .collect();
+        assert_eq!(
+            rendered,
+            [
+                "conflict budget",
+                "propagation budget",
+                "deadline",
+                "memory ceiling",
+                "cancelled"
+            ]
+        );
+    }
+
+    #[test]
+    fn budget_constructors_set_one_axis() {
+        let b = Budget::propagation_limit(10);
+        assert_eq!(b.max_propagations, Some(10));
+        assert!(b.max_conflicts.is_none() && b.max_memory_words.is_none());
+        let b = Budget::memory_limit_words(1 << 20);
+        assert_eq!(b.max_memory_words, Some(1 << 20));
+        let b = Budget::conflict_limit(5).with_memory_words(64);
+        assert_eq!((b.max_conflicts, b.max_memory_words), (Some(5), Some(64)));
     }
 }

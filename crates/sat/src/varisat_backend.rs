@@ -48,7 +48,10 @@ impl Backend for VarisatBackend {
                 SolveOutcome::Sat(Model::new(values))
             }
             Ok(false) => SolveOutcome::Unsat,
-            Err(_) => SolveOutcome::Unknown,
+            // The shim has no budget semantics: an internal solver
+            // error surfaces as an interruption, not a resource
+            // verdict.
+            Err(_) => SolveOutcome::Unknown(crate::ExhaustionReason::Cancelled),
         }
     }
 }

@@ -148,7 +148,7 @@ fn cdcl_matches_varisat_on_pigeonhole() {
                             "php({pigeons},{holes}) verdict mismatch: {config:?}"
                         );
                     }
-                    sat::SolveOutcome::Unknown => {
+                    sat::SolveOutcome::Unknown(_) => {
                         panic!("php({pigeons},{holes}) unbounded solve returned unknown")
                     }
                 }
@@ -196,7 +196,7 @@ proptest! {
                 prop_assert!(cnf.eval(&model));
             }
             sat::SolveOutcome::Unsat => prop_assert!(!expected),
-            sat::SolveOutcome::Unknown => prop_assert!(false, "unbounded solve returned unknown"),
+            sat::SolveOutcome::Unknown(_) => prop_assert!(false, "unbounded solve returned unknown"),
         }
     }
 
@@ -338,7 +338,7 @@ proptest! {
                 prop_assert!(cnf.eval(&model), "bogus model");
             }
             sat::SolveOutcome::Unsat => prop_assert!(!theirs, "we say UNSAT, varisat says SAT"),
-            sat::SolveOutcome::Unknown => prop_assert!(false, "unbounded solve returned unknown"),
+            sat::SolveOutcome::Unknown(_) => prop_assert!(false, "unbounded solve returned unknown"),
         }
     }
 
@@ -368,7 +368,7 @@ proptest! {
                 prop_assert!(cnf.eval(&model));
             }
             sat::SolveOutcome::Unsat => prop_assert!(!theirs),
-            sat::SolveOutcome::Unknown => prop_assert!(false, "unbounded solve returned unknown"),
+            sat::SolveOutcome::Unknown(_) => prop_assert!(false, "unbounded solve returned unknown"),
         }
     }
 
@@ -506,7 +506,7 @@ proptest! {
                             certified.err()
                         );
                     }
-                    sat::SolveOutcome::Unknown => {
+                    sat::SolveOutcome::Unknown(_) => {
                         prop_assert!(false, "unbounded solve returned unknown")
                     }
                 }
@@ -632,9 +632,120 @@ proptest! {
                                 certified.err()
                             );
                         }
-                        sat::SolveOutcome::Unknown => {
+                        sat::SolveOutcome::Unknown(_) => {
                             prop_assert!(false, "unbounded solve returned unknown")
                         }
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case reruns the whole matrix with three sabotage solves per
+    // real solve, so keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Cancellation axis of the torture matrix: before every real
+    /// solve, each session is interrupted mid-search — once at a
+    /// random small conflict quantum, once under a pre-raised stop
+    /// flag, once under a one-word memory ceiling — and the re-solve
+    /// on the same session must still be sound: verdicts match a fresh
+    /// solver, models satisfy formula and assumptions, UNSAT cores
+    /// refute and their proofs certify. Interrupted solves may answer
+    /// early (that is fine); what they must never do is corrupt the
+    /// retained session state they abandoned mid-conflict.
+    #[test]
+    fn cancelled_sessions_stay_sound_on_resolve(
+        n in 6usize..10,
+        quantum in 1u64..8,
+        ops in proptest::collection::vec(
+            (any::<bool>(), proptest::collection::vec((0u32..10, any::<bool>()), 2..5)),
+            1..30,
+        ),
+    ) {
+        use std::sync::Arc;
+        use std::sync::atomic::AtomicBool;
+        let mut sessions: Vec<(CdclConfig, CdclSolver)> = inprocessing_matrix()
+            .into_iter()
+            .map(|config| (config.clone(), CdclSolver::with_config(config)))
+            .collect();
+        for (_, session) in &mut sessions {
+            session.enable_proof();
+            for _ in 0..n {
+                session.new_var();
+            }
+        }
+        let mut accumulated = Cnf::new(n);
+        for (op_index, (is_clause, raw)) in ops.iter().enumerate() {
+            let lits: Vec<Lit> = raw
+                .iter()
+                .map(|&(v, neg)| Lit::new(Var(v % n as u32), neg))
+                .collect();
+            if *is_clause {
+                accumulated.add_clause(lits.clone());
+                for (_, session) in &mut sessions {
+                    session.add_clause(lits.clone());
+                }
+                continue;
+            }
+            let fresh = CdclSolver::default()
+                .solve_with(&accumulated, &lits, &Budget::default());
+            // Vary the interruption point across the op stream so the
+            // abandonment lands at different search phases.
+            let q = quantum + (op_index as u64 % 5);
+            for (config, session) in &mut sessions {
+                let partial = session.solve_assuming(&lits, &Budget::conflict_limit(q));
+                if let sat::SolveOutcome::Sat(m) = &partial {
+                    prop_assert!(accumulated.eval(m), "bogus model from interrupted solve");
+                }
+                let stopped = Budget {
+                    stop: Some(Arc::new(AtomicBool::new(true))),
+                    ..Budget::default()
+                };
+                let _ = session.solve_assuming(&lits, &stopped);
+                let _ = session.solve_assuming(&lits, &Budget::memory_limit_words(1));
+                let ours = session.solve_assuming(&lits, &Budget::default());
+                prop_assert_eq!(
+                    ours.is_sat(),
+                    fresh.is_sat(),
+                    "re-solve after cancellation diverges from fresh under viv={} sub={} \
+                     chrono={} tiers={} elim={} probing={}",
+                    config.use_vivification,
+                    config.use_subsumption,
+                    config.use_chrono,
+                    config.use_tiers,
+                    config.use_elim,
+                    config.use_probing
+                );
+                match ours {
+                    sat::SolveOutcome::Sat(model) => {
+                        prop_assert!(accumulated.eval(&model), "bogus post-cancellation model");
+                        for &a in &lits {
+                            prop_assert!(model.lit_true(a), "model violates assumption {a}");
+                        }
+                    }
+                    sat::SolveOutcome::Unsat => {
+                        let core = session.final_assumption_conflict().to_vec();
+                        for l in &core {
+                            prop_assert!(lits.contains(l), "core literal {l} not assumed");
+                        }
+                        let recheck = CdclSolver::default()
+                            .solve_with(&accumulated, &core, &Budget::default());
+                        prop_assert!(recheck.is_unsat(), "assumption core fails to refute");
+                        let certified = sat::certify_unsat(
+                            session.proof().expect("proof logging enabled"),
+                            &core,
+                        );
+                        prop_assert!(
+                            certified.is_ok(),
+                            "DRAT check rejects a post-cancellation proof: {:?}",
+                            certified.err()
+                        );
+                    }
+                    sat::SolveOutcome::Unknown(_) => {
+                        prop_assert!(false, "unbounded solve returned unknown")
                     }
                 }
             }

@@ -2,13 +2,15 @@
 //! from the shell.
 //!
 //! ```text
-//! lassynth synth  <spec.json>  [--out DIR] [--timeout SECS] [--seeds N|auto] [--stats] [--varisat]
-//!                              [--restart-policy luby|ema] [--chrono on|off] [--audit-cnf]
-//!                              [--certify] [--drat FILE] [--share-clauses] [--quantum N]
+//! lassynth synth  <spec.json>  [--out DIR] [--timeout SECS] [--max-memory MB] [--seeds N|auto]
+//!                              [--stats] [--varisat] [--restart-policy luby|ema] [--chrono on|off]
+//!                              [--audit-cnf] [--certify] [--drat FILE] [--share-clauses]
+//!                              [--quantum N]
 //! lassynth verify <design.lasre>
 //! lassynth render <design.lasre>
 //! lassynth dimacs <spec.json>
-//! lassynth depth  <spec.json> --lo L --hi H [--start S] [--timeout SECS] [--no-incremental] [--stats]
+//! lassynth depth  <spec.json> --lo L --hi H [--start S] [--timeout SECS] [--deadline SECS]
+//!                              [--max-memory MB] [--no-incremental] [--stats]
 //!                              [--restart-policy luby|ema] [--chrono on|off] [--audit-cnf]
 //!                              [--certify] [--depth-parallel] [--share-clauses] [--quantum N]
 //! lassynth lint-cnf <spec.json|file.cnf> [--lo L --hi H]
@@ -42,6 +44,20 @@
 //! restart schedule and chronological backtracking for every solver of
 //! the run (including portfolio workers), so per-instance tuning needs
 //! no rebuild.
+//!
+//! `--timeout SECS` and `--max-memory MB` arm the resource governor: a
+//! wall-clock budget and an arena memory ceiling every solver of the
+//! run honours cooperatively (both require the in-tree CDCL backend —
+//! they conflict with `--varisat`, whose shim cannot be interrupted).
+//! `depth --deadline SECS` is the depth-search spelling of the same
+//! wall clock (the sequential walk budgets each probe; the lockstep
+//! `--depth-parallel` fleet treats it as one whole-search deadline).
+//! An expired governor does not discard work: `depth` reports the
+//! anytime window — the certified lower bound (one past the largest
+//! refuted depth) and the best SAT depth found so far — instead of
+//! erroring, and `--stats` shows which budget axis expired. Workers
+//! that crash mid-run are quarantined and reported on stderr while the
+//! survivors finish the job.
 //!
 //! `lint-cnf` runs the CNF structural analyzer (`sat::analyze`) over a
 //! spec's encoding — layered when `--lo`/`--hi` are given — or over a
@@ -105,8 +121,21 @@ fn load_spec(path: &str) -> Result<lasre::LasSpec, String> {
 
 fn options_from(args: &[String]) -> Result<SynthOptions, String> {
     let mut options = SynthOptions::default();
-    if let Some(t) = flag_value(args, "--timeout").and_then(|s| s.parse().ok()) {
-        options.budget.max_time = Some(Duration::from_secs(t));
+    if let Some(t) = flag_value(args, "--timeout") {
+        let secs =
+            t.parse::<u64>().ok().filter(|&s| s > 0).ok_or_else(|| {
+                format!("--timeout expects a positive number of seconds, got {t:?}")
+            })?;
+        options.budget.max_time = Some(Duration::from_secs(secs));
+    }
+    if let Some(m) = flag_value(args, "--max-memory") {
+        let mb = m
+            .parse::<u64>()
+            .ok()
+            .filter(|&m| m > 0)
+            .ok_or_else(|| format!("--max-memory expects a positive size in MiB, got {m:?}"))?;
+        // The governor accounts arena memory in 4-byte words.
+        options.budget.max_memory_words = Some(mb * (1 << 20) / 4);
     }
     if let Some(policy) = flag_value(args, "--restart-policy") {
         options.restart_policy = Some(match policy.as_str() {
@@ -153,6 +182,15 @@ fn options_from(args: &[String]) -> Result<SynthOptions, String> {
         if options.share_clauses || options.depth_parallel {
             return Err(
                 "--share-clauses/--depth-parallel need the CDCL backend (drop --varisat)".into(),
+            );
+        }
+        if options.budget.max_time.is_some() || options.budget.max_memory_words.is_some() {
+            // The varisat shim has no cooperative interrupt: a governor
+            // it would silently ignore is a usage error, not a no-op.
+            return Err(
+                "--timeout/--max-memory need the CDCL backend's cooperative resource \
+                 governor (drop --varisat)"
+                    .into(),
             );
         }
         options.backend = BackendChoice::Varisat;
@@ -215,6 +253,18 @@ fn print_stats(stats: sat::SolverStats, seed: Option<u64>) {
         "  exported_clauses={} imported_clauses={} imported_kept={}",
         stats.exported_clauses, stats.imported_clauses, stats.imported_kept
     );
+    println!(
+        "  exhausted_conflicts={} exhausted_propagations={} exhausted_deadline={} \
+         exhausted_memory={} exhausted_cancelled={}",
+        stats.exhausted_conflicts,
+        stats.exhausted_propagations,
+        stats.exhausted_deadline,
+        stats.exhausted_memory,
+        stats.exhausted_cancelled
+    );
+    if let Some(reason) = stats.exhaustion_reason() {
+        println!("  gave up on: {reason}");
+    }
 }
 
 /// How `--seeds` resolves: one solve, an explicit portfolio width, or
@@ -274,6 +324,11 @@ fn run_synth(
     let portfolio = |spec: lasre::LasSpec, options: SynthOptions, n: u64| {
         let seed_list: Vec<u64> = (0..n).collect();
         let outcome = optimize::solve_portfolio_detailed(&spec, &seed_list, &options)?;
+        // Crashed workers are operational news, stats or not: the fleet
+        // finished without them, and the operator should know.
+        for (seed, msg) in &outcome.quarantined {
+            eprintln!("warning: worker seed {seed} crashed and was quarantined: {msg}");
+        }
         if want_stats {
             match outcome.stats {
                 Some(stats) => print_stats(stats, outcome.winner_seed),
@@ -283,19 +338,31 @@ fn run_synth(
             // share above is what the verdict cost, this is what the
             // machine paid.
             match outcome.total {
-                Some(t) => println!(
-                    "portfolio total ({} workers): conflicts={} propagations={} \
-                     decisions={} restarts={} exported_clauses={} imported_clauses={} \
-                     imported_kept={}",
-                    outcome.worker_stats.len(),
-                    t.conflicts,
-                    t.propagations,
-                    t.decisions,
-                    t.restarts,
-                    t.exported_clauses,
-                    t.imported_clauses,
-                    t.imported_kept
-                ),
+                Some(t) => {
+                    println!(
+                        "portfolio total ({} workers): conflicts={} propagations={} \
+                         decisions={} restarts={} exported_clauses={} imported_clauses={} \
+                         imported_kept={}",
+                        outcome.worker_stats.len(),
+                        t.conflicts,
+                        t.propagations,
+                        t.decisions,
+                        t.restarts,
+                        t.exported_clauses,
+                        t.imported_clauses,
+                        t.imported_kept
+                    );
+                    println!(
+                        "portfolio exhaustion: conflicts={} propagations={} deadline={} \
+                         memory={} cancelled={} quarantined_workers={}",
+                        t.exhausted_conflicts,
+                        t.exhausted_propagations,
+                        t.exhausted_deadline,
+                        t.exhausted_memory,
+                        t.exhausted_cancelled,
+                        outcome.quarantined.len()
+                    );
+                }
                 None => println!("portfolio total: no worker reported statistics"),
             }
         }
@@ -329,7 +396,7 @@ fn run_synth(
 fn cmd_synth(args: &[String]) -> i32 {
     let Some(path) = args.first() else {
         eprintln!(
-            "usage: lassynth synth <spec.json> [--out DIR] [--timeout SECS] \
+            "usage: lassynth synth <spec.json> [--out DIR] [--timeout SECS] [--max-memory MB] \
              [--seeds N|auto] [--stats] [--restart-policy luby|ema] [--chrono on|off] \
              [--audit-cnf] [--certify] [--drat FILE] [--share-clauses] [--quantum N]"
         );
@@ -625,9 +692,10 @@ fn cmd_check_proof(args: &[String]) -> i32 {
 fn cmd_depth(args: &[String]) -> i32 {
     let Some(path) = args.first() else {
         eprintln!(
-            "usage: lassynth depth <spec.json> --lo L --hi H [--start S] \
-             [--no-incremental] [--stats] [--restart-policy luby|ema] [--chrono on|off] \
-             [--audit-cnf] [--certify] [--depth-parallel] [--share-clauses] [--quantum N]"
+            "usage: lassynth depth <spec.json> --lo L --hi H [--start S] [--timeout SECS] \
+             [--deadline SECS] [--max-memory MB] [--no-incremental] [--stats] \
+             [--restart-policy luby|ema] [--chrono on|off] [--audit-cnf] [--certify] \
+             [--depth-parallel] [--share-clauses] [--quantum N]"
         );
         return 2;
     };
@@ -665,6 +733,20 @@ fn cmd_depth(args: &[String]) -> i32 {
             return 2;
         }
     };
+    // `--deadline` is the depth-search spelling of `--timeout`: the
+    // wall clock the resource governor enforces (per probe in the
+    // sequential walk, whole-search in the depth-parallel fleet).
+    if let Some(d) = flag_value(args, "--deadline") {
+        if args.iter().any(|a| a == "--varisat") {
+            eprintln!("--deadline needs the CDCL backend's resource governor (drop --varisat)");
+            return 2;
+        }
+        let Some(secs) = d.parse::<u64>().ok().filter(|&s| s > 0) else {
+            eprintln!("--deadline expects a positive number of seconds, got {d:?}");
+            return 2;
+        };
+        options.budget.max_time = Some(Duration::from_secs(secs));
+    }
     // Incremental probing is the default; `--no-incremental` restores
     // the from-scratch probe sequence (and `--incremental` is accepted
     // for symmetry).
@@ -688,10 +770,11 @@ fn cmd_depth(args: &[String]) -> i32 {
                 println!(
                     "max_k {}: {}{} ({:.2?})",
                     p.max_k,
-                    match p.sat {
-                        Some(true) => "SAT",
-                        Some(false) => "UNSAT",
-                        None => "UNKNOWN",
+                    match (p.sat, p.exhaustion) {
+                        (Some(true), _) => "SAT".to_string(),
+                        (Some(false), _) => "UNSAT".to_string(),
+                        (None, Some(reason)) => format!("UNKNOWN [{reason}]"),
+                        (None, None) => "UNKNOWN".to_string(),
                     },
                     if p.certified { " [proof checked]" } else { "" },
                     p.time
@@ -731,14 +814,41 @@ fn cmd_depth(args: &[String]) -> i32 {
                     }
                 }
             }
-            match search.best_depth() {
-                Some(d) => {
-                    println!("optimal depth: {d}");
-                    0
+            for (k, msg) in &search.quarantined {
+                eprintln!("warning: depth-{k} worker crashed and was quarantined: {msg}");
+            }
+            let (bound, best) = search.window();
+            if best == Some(bound) {
+                // Certified minimum: every shallower depth in range is
+                // refuted (or `bound` is the range floor), so budget
+                // expiries or crashes elsewhere change nothing.
+                println!("optimal depth: {bound}");
+                0
+            } else if search.exhaustion.is_none() && search.quarantined.is_empty() {
+                println!("no satisfiable depth in [{lo}, {hi}]");
+                1
+            } else {
+                // The governor (or a crash) stopped the search with the
+                // window still open: report the anytime answer instead
+                // of pretending nothing was learnt.
+                match search.exhaustion {
+                    Some(reason) => println!("search stopped early ({reason})"),
+                    None => println!("search stopped early (undecided workers crashed)"),
                 }
-                None => {
-                    println!("no satisfiable depth in [{lo}, {hi}]");
-                    1
+                match best {
+                    Some(d) => {
+                        println!(
+                            "anytime window: certified lower bound {bound}, best SAT depth {d}"
+                        );
+                        0
+                    }
+                    None => {
+                        println!(
+                            "anytime window: certified lower bound {bound}, \
+                             no SAT depth found yet"
+                        );
+                        1
+                    }
                 }
             }
         }

@@ -495,6 +495,118 @@ fn certify_and_check_proof_round_trip() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The resource-governor flags: malformed values and `--varisat`
+/// combinations are usage errors before any solving; valid values are
+/// accepted and `--stats` reports the per-axis exhaustion counters.
+#[test]
+fn governor_flags_validate_and_report() {
+    for bad in [
+        ["--timeout", "0"],
+        ["--timeout", "soon"],
+        ["--timeout", "-3"],
+        ["--max-memory", "0"],
+        ["--max-memory", "lots"],
+    ] {
+        for cmd in ["synth", "depth"] {
+            let out = bin()
+                .arg(cmd)
+                .arg(cnot_spec_path())
+                .args(bad)
+                .output()
+                .expect("run lassynth with a bad governor flag");
+            assert_eq!(out.status.code(), Some(2), "{cmd} {bad:?} must exit 2");
+        }
+    }
+    for bad in [["--deadline", "0"], ["--deadline", "never"]] {
+        let out = bin()
+            .arg("depth")
+            .arg(cnot_spec_path())
+            .args(bad)
+            .output()
+            .expect("run lassynth depth with a bad deadline");
+        assert_eq!(out.status.code(), Some(2), "depth {bad:?} must exit 2");
+    }
+
+    // The varisat shim cannot honour the governor: combining them is a
+    // usage error (and so is `--varisat` itself in a build without the
+    // feature — exit 2 either way).
+    for conflicting in [
+        vec!["synth", "--timeout", "5", "--varisat"],
+        vec!["synth", "--max-memory", "64", "--varisat"],
+        vec!["depth", "--deadline", "5", "--varisat"],
+    ] {
+        let out = bin()
+            .arg(conflicting[0])
+            .arg(cnot_spec_path())
+            .args(&conflicting[1..])
+            .output()
+            .expect("run lassynth with governor + varisat");
+        assert_eq!(out.status.code(), Some(2), "{conflicting:?} must exit 2");
+    }
+
+    // Generous limits leave the verdict alone and surface the counters.
+    let dir = std::env::temp_dir().join(format!("lassynth-cli-governor-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = bin()
+        .arg("synth")
+        .arg(cnot_spec_path())
+        .arg("--out")
+        .arg(&dir)
+        .args(["--timeout", "600", "--max-memory", "512", "--stats"])
+        .output()
+        .expect("run lassynth synth with a generous governor");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("SAT"), "{text}");
+    assert!(
+        text.contains("exhausted_conflicts=0") && text.contains("exhausted_deadline=0"),
+        "--stats reports the exhaustion counters: {text}"
+    );
+    assert!(
+        !text.contains("gave up on:"),
+        "a resolved solve names no exhaustion reason: {text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A deterministically injected arena-OOM (`LASSYNTH_FAULT`) exhausts
+/// the first depth probe: the search reports the anytime window —
+/// certified lower bound plus best-known SAT depth — instead of
+/// erroring out.
+#[test]
+fn depth_reports_anytime_window_when_exhausted() {
+    let out = bin()
+        .arg("depth")
+        .arg(cnot_spec_path())
+        .args(["--lo", "2", "--hi", "4", "--start", "3"])
+        .env("LASSYNTH_FAULT", "arena-oom@0")
+        .output()
+        .expect("run lassynth depth under an injected arena-OOM");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "no SAT depth in hand exits 1: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains("UNKNOWN [memory ceiling]"),
+        "the exhausted probe names its axis: {text}"
+    );
+    assert!(
+        text.contains("search stopped early (memory ceiling)"),
+        "the search explains why it gave up: {text}"
+    );
+    assert!(
+        text.contains("anytime window: certified lower bound 2"),
+        "the anytime window is reported: {text}"
+    );
+}
+
 #[test]
 fn usage_errors_exit_nonzero() {
     let out = bin().output().expect("run lassynth");
